@@ -1,0 +1,86 @@
+"""Ablation -- Levenshtein/substring matcher variants (paper Section VI-B).
+
+The paper contrasts PHP's native Levenshtein (short operands) with an
+optimized linear-memory implementation for long operands, and relies on
+heuristics to skip implausible comparisons.  This bench compares:
+
+- full-matrix vs two-row vs banded Levenshtein on short and long operands;
+- the Sellers substring matcher with and without its pruning budget, on
+  the NTI hot path (benign long input vs unrelated query).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench.reporting import render_table
+from repro.matching import (
+    best_substring_match,
+    levenshtein_banded,
+    levenshtein_full,
+    levenshtein_two_row,
+)
+
+SHORT_A = "posting a comment about unions"
+SHORT_B = "UPDATE wp_posts SET comment_count = comment_count + 1"
+LONG_A = ("a benign multi-sentence blog comment, repeated to simulate a "
+          "sizable upload ") * 20
+LONG_B = ("SELECT * FROM wp_posts WHERE post_status = 'publish' AND "
+          "post_title LIKE '%term%' ORDER BY ID DESC LIMIT 10 ") * 10
+
+
+def _time(fn, *args, repeat=5):
+    import time
+
+    best = float("inf")
+    result = None
+    for __ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_ablation_matcher_variants(benchmark):
+    rows = []
+    checks = {}
+    for label, a, b in (("short", SHORT_A, SHORT_B), ("long", LONG_A, LONG_B)):
+        t_full, d_full = _time(levenshtein_full, a, b)
+        t_two, d_two = _time(levenshtein_two_row, a, b)
+        budget = max(len(a) // 4, 8)
+        t_band, d_band = _time(levenshtein_banded, a, b, budget)
+        rows.append(
+            [f"levenshtein full ({label})", f"{t_full * 1000:.3f} ms", d_full]
+        )
+        rows.append(
+            [f"levenshtein two-row ({label})", f"{t_two * 1000:.3f} ms", d_two]
+        )
+        rows.append(
+            [
+                f"levenshtein banded<= {budget} ({label})",
+                f"{t_band * 1000:.3f} ms",
+                d_band if d_band <= budget else f">{budget}",
+            ]
+        )
+        checks[label] = (t_full, t_two, t_band, d_full, d_two)
+    t_noprune, m1 = _time(best_substring_match, LONG_A, LONG_B)
+    t_prune, m2 = _time(best_substring_match, LONG_A, LONG_B, len(LONG_A) // 4)
+    rows.append(["substring match, no budget (long)", f"{t_noprune * 1000:.3f} ms",
+                 m1.distance])
+    rows.append(["substring match, pruned (long)", f"{t_prune * 1000:.3f} ms",
+                 "pruned" if m2 is None else m2.distance])
+    emit(
+        "ablation_matcher",
+        render_table(
+            "Ablation: matcher variants (fastest of 5 runs)",
+            ["Variant", "Time", "Distance"],
+            rows,
+        ),
+    )
+    for label, (t_full, t_two, t_band, d_full, d_two) in checks.items():
+        assert d_full == d_two  # implementations agree
+    # Pruning must win decisively on the implausible long-input case.
+    assert t_prune < t_noprune / 5
+
+    benchmark(best_substring_match, SHORT_A, SHORT_B, len(SHORT_A) // 4)

@@ -1,0 +1,88 @@
+"""Figure 8 -- read / write / search request times, plain vs protected.
+
+The paper's bar chart compares WordPress request times with and without
+Joza for a full-site crawl (read), random comment posting (write) and
+random searching, splitting the protection cost into its NTI and PTI
+shares.
+
+Shape asserted: protection cost is visible on every stream; the write
+stream pays the largest relative cost; NTI is a substantial share of the
+write/search cost (the paper's rationale for keeping NTI in-process).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import PERF_NUM_POSTS, REFERENCE_RENDER_COST, REPEATS, emit
+
+from repro.bench import read_stream, search_stream, write_stream
+from repro.bench.reporting import pct, render_table
+from repro.bench.runner import attributed_overhead_pct, measure
+
+
+@pytest.fixture(scope="module")
+def fig8_data():
+    streams = {
+        "read (site crawl)": read_stream(PERF_NUM_POSTS, 300),
+        "write (comments)": write_stream(PERF_NUM_POSTS, 200),
+        "search": search_stream(200),
+    }
+    warm = read_stream(PERF_NUM_POSTS, PERF_NUM_POSTS + 5)
+    common = dict(
+        num_posts=PERF_NUM_POSTS,
+        render_cost=REFERENCE_RENDER_COST,
+        repeats=REPEATS,
+        warmup=warm,
+    )
+    out = {}
+    for label, stream in streams.items():
+        plain = measure(stream, f"plain {label}", protected=False, **common)
+        protected = measure(stream, f"joza {label}", **common)
+        out[label] = (plain, protected)
+    return out
+
+
+def test_fig8_request_times(benchmark, fig8_data):
+    rows = []
+    overheads = {}
+    nti_share = {}
+    for label, (plain, protected) in fig8_data.items():
+        stats = protected.engine.stats
+        nti_ms = stats.nti_seconds / protected.requests * 1000
+        pti_ms = stats.pti_seconds / protected.requests * 1000
+        plain_ms = plain.per_request * 1000
+        overheads[label] = attributed_overhead_pct(plain, protected)
+        analysis = stats.nti_seconds + stats.pti_seconds
+        nti_share[label] = stats.nti_seconds / analysis if analysis else 0.0
+        rows.append(
+            [
+                label,
+                f"{plain_ms:.3f}",
+                f"{plain_ms + nti_ms + pti_ms:.3f}",
+                f"{nti_ms:.4f}",
+                f"{pti_ms:.4f}",
+                pct(overheads[label]),
+            ]
+        )
+    emit(
+        "fig8_request_times",
+        render_table(
+            "Figure 8: request times with and without Joza (ms/request)",
+            ["Stream", "Plain", "Protected", "NTI share", "PTI share", "Overhead"],
+            rows,
+        ),
+    )
+    assert overheads["write (comments)"] == max(overheads.values())
+    assert all(v >= 0 for v in overheads.values())
+    # NTI carries a real share of the cost on input-heavy streams.
+    assert nti_share["write (comments)"] > 0.2
+
+    # Timed representative operation: one protected search request.
+    from repro.core import JozaEngine
+    from repro.phpapp import HttpRequest
+    from repro.testbed import build_testbed
+
+    app = build_testbed(10)
+    JozaEngine.protect(app)
+    request = HttpRequest(path="/search", get={"s": "lorem"})
+    benchmark(app.handle, request)

@@ -1,0 +1,145 @@
+"""Table V -- PTI overhead by request type and cache configuration.
+
+Paper shape: read requests drop to <4% overhead with the query cache; write
+requests are the expensive case (34% without the structure cache, 12% with
+it); a hypothetical PHP-extension deployment would pay only 0.2% (read) /
+3.2% (write).
+
+Reproduced shape asserted here:
+
+- no-cache overhead > cached overhead, for both request types;
+- write overhead > read overhead once caches are on (writes produce
+  fresh-literal queries every request);
+- the extension estimate (analysis minus daemon spawn+IPC, Section VI-C)
+  is below the measured daemon overhead.
+
+Absolute percentages differ from the paper because the substrate differs
+(see DESIGN.md on render-cost calibration); orderings are the claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import PERF_NUM_POSTS, REFERENCE_RENDER_COST, REPEATS, emit
+
+from repro.bench import read_stream, write_stream
+from repro.bench.reporting import pct, render_table
+from repro.bench.runner import (
+    attributed_overhead_pct,
+    extension_estimate_pct,
+    measure,
+)
+from repro.core import JozaConfig
+from repro.pti.daemon import DaemonConfig
+
+
+def _pti_config(query_cache: bool, structure_cache: bool) -> JozaConfig:
+    return JozaConfig(
+        enable_nti=False,
+        daemon=DaemonConfig(
+            use_query_cache=query_cache, use_structure_cache=structure_cache
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def table5_data():
+    reads = read_stream(PERF_NUM_POSTS, 300)
+    writes = write_stream(PERF_NUM_POSTS, 200)
+    warm = reads[: PERF_NUM_POSTS + 5]
+    common = dict(
+        num_posts=PERF_NUM_POSTS,
+        render_cost=REFERENCE_RENDER_COST,
+        repeats=REPEATS,
+    )
+    plain_read = measure(reads, "plain read", protected=False, warmup=warm, **common)
+    plain_write = measure(writes, "plain write", protected=False, **common)
+    rows = []
+    measurements = {}
+    for qc, sc, label in (
+        (False, False, "no caches"),
+        (True, False, "query cache"),
+        (True, True, "query + structure cache"),
+    ):
+        cfg = _pti_config(qc, sc)
+        m_read = measure(reads, label, config=cfg, warmup=warm, **common)
+        m_write = measure(writes, label, config=cfg, **common)
+        rows.append(
+            [
+                label,
+                pct(attributed_overhead_pct(plain_read, m_read)),
+                pct(attributed_overhead_pct(plain_write, m_write)),
+            ]
+        )
+        measurements[label] = (m_read, m_write)
+    # PHP-extension estimate from a real subprocess-daemon run (VI-C).
+    ext_cfg = _pti_config(True, True)
+    sub_read = measure(
+        reads, "daemon read", config=ext_cfg, subprocess_daemon=True,
+        warmup=warm, **common
+    )
+    sub_write = measure(
+        writes, "daemon write", config=ext_cfg, subprocess_daemon=True, **common
+    )
+    return {
+        "plain_read": plain_read,
+        "plain_write": plain_write,
+        "rows": rows,
+        "measurements": measurements,
+        "sub_read": sub_read,
+        "sub_write": sub_write,
+    }
+
+
+def test_table5_pti_overhead(benchmark, table5_data):
+    data = table5_data
+    plain_read, plain_write = data["plain_read"], data["plain_write"]
+    rows = list(data["rows"])
+    rows.append(
+        [
+            "daemon (subprocess, all caches)",
+            pct(attributed_overhead_pct(plain_read, data["sub_read"])),
+            pct(attributed_overhead_pct(plain_write, data["sub_write"])),
+        ]
+    )
+    rows.append(
+        [
+            "PHP-extension estimate (VI-C)",
+            pct(extension_estimate_pct(plain_read, data["sub_read"])),
+            pct(extension_estimate_pct(plain_write, data["sub_write"])),
+        ]
+    )
+    rows.append(["paper: daemon", "<4%", "12% (34% w/o structure cache)"])
+    rows.append(["paper: extension estimate", "0.2%", "3.2%"])
+    emit(
+        "table5_pti_overhead",
+        render_table(
+            "Table V: PTI overhead by request type and configuration",
+            ["Configuration", "Read overhead", "Write overhead"],
+            rows,
+        ),
+    )
+    # Timed representative operation: one cold PTI analysis of a write query.
+    from repro.pti import FragmentStore, PTIAnalyzer
+    from repro.testbed import build_testbed
+
+    store = FragmentStore.from_sources(build_testbed(5).all_sources())
+    analyzer = PTIAnalyzer(store)
+    write_query = (
+        "INSERT INTO wp_comments (comment_post_ID, comment_author, "
+        "comment_content, comment_approved) VALUES (3, 'visitor9', "
+        "'bookmarked for later reference', 1)"
+    )
+    benchmark(analyzer.analyze, write_query)
+
+    # Shape assertions.
+    m = data["measurements"]
+    def oh(pair, plain): return attributed_overhead_pct(plain, pair)
+    no_cache_read, no_cache_write = m["no caches"]
+    cached_read, cached_write = m["query + structure cache"]
+    assert oh(no_cache_read, plain_read) > oh(cached_read, plain_read)
+    assert oh(no_cache_write, plain_write) > oh(cached_write, plain_write)
+    assert oh(cached_write, plain_write) > oh(cached_read, plain_read)
+    assert extension_estimate_pct(plain_write, data["sub_write"]) <= (
+        attributed_overhead_pct(plain_write, data["sub_write"])
+    )

@@ -1,0 +1,52 @@
+"""Shared fixtures and constants for the paper-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.  The
+heavy experiment data is computed once per session in fixtures here; the
+benchmark-fixture tests then (a) time a representative operation and (b)
+render, save and sanity-check the paper-style output.
+
+Rendered outputs land in ``benchmarks/results/`` (consumed by
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testbed.evaluation import evaluate_corpus, evaluate_sqlgen_variants
+
+#: Synthetic per-request templating work: restores a WordPress-like ratio of
+#: application work to analysis work (see DESIGN.md, "render cost").
+REFERENCE_RENDER_COST = 600
+
+#: Testbed size for performance runs (the paper's 1001-URL site shrunk to
+#: keep the suite minutes-fast; scaling is linear).
+PERF_NUM_POSTS = 30
+
+#: Fastest-of-N repetitions for wall-clock runs.
+REPEATS = 2
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip() + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def corpus_eval():
+    """Full security evaluation (Tables I, II, IV share this)."""
+    return evaluate_corpus(num_posts=10)
+
+
+@pytest.fixture(scope="session")
+def sqlgen_eval():
+    """SQLMap-variant detection counts (Table II, second row)."""
+    return evaluate_sqlgen_variants(count_per_plugin=40)

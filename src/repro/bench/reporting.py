@@ -1,0 +1,57 @@
+"""Paper-style ASCII rendering of tables and series.
+
+Every benchmark regenerating a table or figure funnels its rows through
+these helpers so output is uniform and diffable, and persists the rendered
+text under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["render_table", "render_kv", "save_result", "pct", "RESULTS_DIR"]
+
+#: Default output directory for rendered experiment artefacts.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+
+
+def pct(value: float) -> str:
+    """Format a percentage the way the paper prints them (two decimals)."""
+    return f"{value:.2f}%"
+
+
+def render_table(title: str, headers: list[str], rows: list[list[object]]) -> str:
+    """Render an ASCII table with a title rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def line(items: list[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(items, widths)) + " |"
+
+    out = [title, sep, line(headers), sep]
+    out.extend(line(row) for row in cells)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_kv(title: str, pairs: list[tuple[str, object]]) -> str:
+    """Render key/value pairs (for figure-style series)."""
+    width = max((len(k) for k, __ in pairs), default=0)
+    lines = [title]
+    lines.extend(f"  {k.ljust(width)} : {v}" for k, v in pairs)
+    return "\n".join(lines)
+
+
+def save_result(name: str, text: str, results_dir: str | None = None) -> str:
+    """Persist rendered output under the results directory; returns path."""
+    directory = os.path.abspath(results_dir or RESULTS_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip() + "\n")
+    return path

@@ -1,0 +1,127 @@
+"""Workload generation for the performance evaluation (paper Section VI).
+
+The paper's workloads are WordPress request streams:
+
+- **read** -- a full site crawl ("1001 unique URLs ... approximately 20,000
+  SQL queries"); here: home page, every post page, author pages.
+- **write** -- posting comments (each write request issues multiple queries:
+  the INSERT, the comment-count UPDATE, a COUNT read).
+- **search** -- random search queries.
+- **mixed** -- read/write mixes at the ratios of Table VI (50/50, 10/90,
+  5/95, 1/99).
+
+Streams are deterministic given a seed so plain/protected runs replay the
+exact same traffic.
+"""
+
+from __future__ import annotations
+
+from ..phpapp.request import HttpRequest
+
+__all__ = [
+    "read_stream",
+    "write_stream",
+    "search_stream",
+    "mixed_stream",
+    "TABLE_VI_MIXES",
+]
+
+#: The read/write mixes of Table VI as (write_fraction, label).
+TABLE_VI_MIXES = (
+    (0.50, "50% writes / 50% reads"),
+    (0.10, "10% writes / 90% reads"),
+    (0.05, "5% writes / 95% reads"),
+    (0.01, "1% writes / 99% reads"),
+)
+
+_SEARCH_TERMS = (
+    "lorem", "ipsum", "dolor", "tempor", "magna", "aliqua", "veniam",
+    "nostrud", "labore", "consequat",
+)
+
+_COMMENT_TEXTS = (
+    "really enjoyed this article thanks",
+    "I disagree with the second point entirely",
+    "could you expand on the performance section",
+    "bookmarked for later reference",
+    "this helped me fix my deployment",
+)
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF or 1
+
+    def next_int(bound: int) -> int:
+        nonlocal state
+        state = (state * 48271) % 0x7FFFFFFF
+        return state % bound
+
+    return next_int
+
+
+def read_stream(num_posts: int, count: int, seed: int = 7) -> list[HttpRequest]:
+    """``count`` read requests cycling through the site's unique URLs."""
+    rand = _lcg(seed)
+    requests: list[HttpRequest] = []
+    for i in range(count):
+        kind = i % (num_posts + 3)
+        if kind == 0:
+            requests.append(HttpRequest(path="/"))
+        elif kind <= num_posts:
+            requests.append(HttpRequest(path="/post", get={"id": str(kind)}))
+        else:
+            requests.append(
+                HttpRequest(path="/author", get={"author": str(1 + rand(2))})
+            )
+    return requests
+
+
+def write_stream(num_posts: int, count: int, seed: int = 11) -> list[HttpRequest]:
+    """``count`` comment-posting requests."""
+    rand = _lcg(seed)
+    return [
+        HttpRequest(
+            method="POST",
+            path="/comment",
+            post={
+                "post_id": str(1 + rand(num_posts)),
+                "author": f"visitor{rand(1000)}",
+                "content": _COMMENT_TEXTS[rand(len(_COMMENT_TEXTS))],
+            },
+        )
+        for __ in range(count)
+    ]
+
+
+def search_stream(count: int, seed: int = 13) -> list[HttpRequest]:
+    """``count`` search requests over a small vocabulary."""
+    rand = _lcg(seed)
+    return [
+        HttpRequest(
+            path="/search", get={"s": _SEARCH_TERMS[rand(len(_SEARCH_TERMS))]}
+        )
+        for __ in range(count)
+    ]
+
+
+def mixed_stream(
+    num_posts: int, count: int, write_fraction: float, seed: int = 17
+) -> list[HttpRequest]:
+    """A deterministic interleaving of reads and writes at a given ratio."""
+    writes_wanted = round(count * write_fraction)
+    reads = read_stream(num_posts, count - writes_wanted, seed)
+    writes = write_stream(num_posts, writes_wanted, seed + 1)
+    rand = _lcg(seed + 2)
+    stream: list[HttpRequest] = []
+    r = w = 0
+    for i in range(count):
+        remaining = count - i
+        writes_left = len(writes) - w
+        take_write = writes_left > 0 and rand(remaining) < writes_left
+        if take_write:
+            stream.append(writes[w])
+            w += 1
+        else:
+            stream.append(reads[r])
+            r += 1
+    return stream

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the workflows a Joza operator performs:
+
+- ``fragments`` -- run the installer's extraction over PHP sources and
+  optionally persist the fragment store (paper Section IV-A);
+- ``inspect`` -- analyse one query against a fragment vocabulary with
+  optional request inputs, printing per-technique verdicts and markings;
+- ``evaluate`` -- run the WP-SQLI-LAB security evaluation and print the
+  Table II / Section V-A headline numbers;
+- ``crawl`` -- run the benign crawl false-positive study (Section V-B).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Joza hybrid taint inference (DSN 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fragments = sub.add_parser(
+        "fragments", help="extract PTI fragments from PHP source files"
+    )
+    fragments.add_argument("paths", nargs="+", help=".php files or directories")
+    fragments.add_argument("--save", metavar="FILE", help="persist the store as JSON")
+    fragments.add_argument(
+        "--show", type=int, default=10, metavar="N", help="print the first N fragments"
+    )
+
+    inspect = sub.add_parser("inspect", help="analyse one query")
+    inspect.add_argument("query", help="the SQL query string")
+    inspect.add_argument(
+        "--input", action="append", default=[], metavar="VALUE",
+        help="a raw request input value (repeatable; feeds NTI)",
+    )
+    source = inspect.add_mutually_exclusive_group()
+    source.add_argument(
+        "--fragments-file", metavar="FILE", help="JSON store from 'fragments --save'"
+    )
+    source.add_argument(
+        "--php", nargs="+", metavar="PATH", help="PHP sources to extract fragments from"
+    )
+    inspect.add_argument(
+        "--strict", action="store_true",
+        help="Ray/Ligatti-style policy: identifiers are critical tokens",
+    )
+    inspect.add_argument(
+        "--threshold", type=float, default=0.20, help="NTI difference-ratio threshold"
+    )
+
+    evaluate = sub.add_parser(
+        "evaluate", help="run the WP-SQLI-LAB security evaluation"
+    )
+    evaluate.add_argument("--posts", type=int, default=8, help="testbed size")
+
+    crawl = sub.add_parser("crawl", help="run the benign-crawl FP study")
+    crawl.add_argument("--posts", type=int, default=10, help="testbed size")
+    crawl.add_argument("--comments", type=int, default=10)
+    crawl.add_argument("--searches", type=int, default=10)
+    return parser
+
+
+def _iter_php_files(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, __, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".php"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def _load_sources(paths) -> list[str]:
+    sources = []
+    for file_path in _iter_php_files(paths):
+        with open(file_path, "r", encoding="utf-8", errors="replace") as handle:
+            sources.append(handle.read())
+    return sources
+
+
+def _cmd_fragments(args, out) -> int:
+    from .pti.fragments import FragmentStore
+
+    sources = _load_sources(args.paths)
+    if not sources:
+        print("no PHP sources found", file=out)
+        return 1
+    store = FragmentStore.from_sources(sources)
+    stats = store.stats()
+    print(f"files scanned:    {len(sources)}", file=out)
+    print(f"fragments:        {stats['fragments']}", file=out)
+    print(f"indexed tokens:   {stats['indexed_tokens']}", file=out)
+    print(f"total characters: {stats['total_characters']}", file=out)
+    for fragment in store.fragments[: args.show]:
+        print(f"  {fragment!r}", file=out)
+    if args.save:
+        store.save(args.save)
+        print(f"saved to {args.save}", file=out)
+    return 0
+
+
+def _cmd_inspect(args, out) -> int:
+    from .core import JozaConfig, JozaEngine
+    from .nti.inference import NTIConfig
+    from .phpapp.context import CapturedInput, RequestContext
+    from .pti.fragments import FragmentStore
+
+    if args.fragments_file:
+        store = FragmentStore.load(args.fragments_file)
+    elif args.php:
+        store = FragmentStore.from_sources(_load_sources(args.php))
+    else:
+        store = FragmentStore()
+    config = JozaConfig(
+        nti=NTIConfig(threshold=args.threshold), strict_tokens=args.strict
+    )
+    engine = JozaEngine(store, config)
+    context = RequestContext(
+        inputs=[CapturedInput("cli", f"input{i}", v) for i, v in enumerate(args.input)]
+    )
+    verdict = engine.inspect(args.query, context)
+    print(f"query : {args.query}", file=out)
+    print(f"safe  : {verdict.safe}", file=out)
+    if verdict.pti is not None:
+        print(f"PTI   : {'safe' if verdict.pti.safe else 'ATTACK'}", file=out)
+    if verdict.nti is not None:
+        print(f"NTI   : {'safe' if verdict.nti.safe else 'ATTACK'}", file=out)
+    for detection in verdict.detections:
+        print(
+            f"  [{detection.technique.value}] token {detection.token_text!r} "
+            f"at {detection.token_start}..{detection.token_end}: {detection.reason}",
+            file=out,
+        )
+    return 0 if verdict.safe else 2
+
+
+def _cmd_evaluate(args, out) -> int:
+    from .testbed.evaluation import evaluate_corpus
+
+    ev = evaluate_corpus(num_posts=args.posts)
+    nti_hit, nti_total = ev.nti_baseline
+    pti_hit, pti_total = ev.pti_baseline
+    joza_hit, joza_total = ev.joza_detections
+    print(f"original exploits functional: "
+          f"{sum(r.original_works for r in ev.reports)}/{len(ev.reports)}", file=out)
+    print(f"NTI baseline detection:       {nti_hit}/{nti_total}", file=out)
+    print(f"PTI baseline detection:       {pti_hit}/{pti_total}", file=out)
+    print(f"NTI-evasive mutants:          {ev.nti_evasions}/{len(ev.reports)}", file=out)
+    print(f"Taintless PTI evasions:       {ev.taintless_successes}/{len(ev.reports)}", file=out)
+    print(f"Joza detection:               {joza_hit}/{joza_total}", file=out)
+    for scenario in ev.scenario_reports:
+        print(
+            f"  {scenario.name}: NTI orig={scenario.nti_original} "
+            f"PTI orig={scenario.pti_original} Joza={scenario.joza}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_crawl(args, out) -> int:
+    from .core import JozaEngine
+    from .testbed import build_testbed, full_crawl
+
+    app = build_testbed(num_posts=args.posts)
+    JozaEngine.protect(app)
+    report = full_crawl(
+        app, num_posts=args.posts, comments=args.comments, searches=args.searches
+    )
+    print(f"requests:        {report.total_requests}", file=out)
+    print(f"queries:         {report.total_queries}", file=out)
+    print(f"false positives: {report.false_positives}", file=out)
+    print(f"errors:          {report.error_requests}", file=out)
+    return 0 if report.false_positives == 0 else 3
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "fragments": _cmd_fragments,
+        "inspect": _cmd_inspect,
+        "evaluate": _cmd_evaluate,
+        "crawl": _cmd_crawl,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

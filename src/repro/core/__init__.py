@@ -1,0 +1,24 @@
+"""Joza's core: the hybrid taint-inference engine, policies and verdicts."""
+
+from .engine import AttackRecord, EngineStats, JozaEngine
+from .policy import JozaConfig, RecoveryPolicy
+from .verdict import (
+    AnalysisResult,
+    Detection,
+    QueryVerdict,
+    TaintMarking,
+    Technique,
+)
+
+__all__ = [
+    "AttackRecord",
+    "EngineStats",
+    "JozaEngine",
+    "JozaConfig",
+    "RecoveryPolicy",
+    "AnalysisResult",
+    "Detection",
+    "QueryVerdict",
+    "TaintMarking",
+    "Technique",
+]

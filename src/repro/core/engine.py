@@ -1,0 +1,230 @@
+"""The Joza hybrid taint-inference engine (paper Section IV).
+
+:class:`JozaEngine` is the system's primary public entry point.  It wires
+the PTI daemon and the NTI analyzer behind the database wrapper's
+:class:`~repro.phpapp.application.QueryGuard` interface:
+
+    All commands intended for the backend DBMS are intercepted and first
+    sent to the PTI Analysis component, and then to the NTI Analysis
+    component before being allowed to proceed to the DBMS.  A query is safe
+    if and only if both PTI and NTI components deem the query safe.
+
+Typical use::
+
+    from repro.core import JozaEngine
+    engine = JozaEngine.protect(app)        # extract fragments, hook wrapper
+    response = app.handle(request)          # attacks now blocked
+
+or, without an application object, analyse queries directly::
+
+    engine = JozaEngine.from_fragments(["SELECT * FROM t WHERE id="])
+    verdict = engine.inspect("SELECT * FROM t WHERE id=1 OR 1=1", context)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..nti.inference import NTIAnalyzer
+from ..phpapp.application import QueryBlockedError, WebApplication
+from ..phpapp.context import RequestContext
+from ..pti.daemon import PTIDaemon
+from ..pti.fragments import FragmentStore
+from ..sqlparser.parser import critical_tokens
+from .policy import JozaConfig, RecoveryPolicy
+from .verdict import AnalysisResult, QueryVerdict, Technique
+
+__all__ = ["JozaEngine", "AttackRecord", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class AttackRecord:
+    """Audit-log entry for one blocked query."""
+
+    query: str
+    verdict: QueryVerdict
+    request_path: str
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for audit export."""
+        return {
+            "query": self.query,
+            "request_path": self.request_path,
+            "detected_by": sorted(t.value for t in self.verdict.detected_by()),
+            "detections": [
+                {
+                    "technique": d.technique.value,
+                    "token": d.token_text,
+                    "start": d.token_start,
+                    "end": d.token_end,
+                    "reason": d.reason,
+                    "input": d.input_value,
+                }
+                for d in self.verdict.detections
+            ],
+        }
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters for reporting."""
+
+    queries_checked: int = 0
+    attacks_blocked: int = 0
+    nti_detections: int = 0
+    pti_detections: int = 0
+    nti_seconds: float = 0.0
+    pti_seconds: float = 0.0
+
+
+class JozaEngine:
+    """Hybrid NTI + PTI query guard."""
+
+    def __init__(
+        self,
+        store: FragmentStore,
+        config: JozaConfig | None = None,
+        *,
+        daemon=None,
+    ) -> None:
+        self.config = config or JozaConfig()
+        #: Any object with ``analyze_query(query) -> DaemonReply`` works here;
+        #: benchmarks substitute a
+        #: :class:`~repro.pti.daemon.SubprocessPTIDaemon` to measure the
+        #: paper's deployment architecture.
+        self.daemon = daemon if daemon is not None else PTIDaemon(
+            store, self.config.daemon
+        )
+        self.nti = NTIAnalyzer(self.config.nti)
+        self.stats = EngineStats()
+        self.attack_log: list[AttackRecord] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_fragments(
+        cls, fragments: Iterable[str], config: JozaConfig | None = None
+    ) -> "JozaEngine":
+        """Build an engine over an explicit fragment vocabulary."""
+        return cls(FragmentStore(fragments), config)
+
+    @classmethod
+    def from_sources(
+        cls, sources: Iterable[str], config: JozaConfig | None = None
+    ) -> "JozaEngine":
+        """Build an engine by extracting fragments from PHP source texts."""
+        return cls(FragmentStore.from_sources(sources), config)
+
+    @classmethod
+    def protect(
+        cls, app: WebApplication, config: JozaConfig | None = None
+    ) -> "JozaEngine":
+        """Install Joza on an application (the paper's installation step).
+
+        Extracts fragments from the application core and all plugins,
+        installs the query guard on the database wrapper, and subscribes to
+        plugin changes so the fragment set stays complete (Section IV-B).
+        """
+        engine = cls.from_sources(app.all_sources(), config)
+        app.install_guard(engine)
+
+        def refresh() -> None:
+            if hasattr(engine.daemon, "refresh_fragments"):
+                engine.daemon.refresh_fragments(
+                    FragmentStore.from_sources(app.all_sources())
+                )
+
+        app.on_source_change(refresh)
+        return engine
+
+    @property
+    def store(self) -> FragmentStore:
+        return self.daemon.store
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def inspect(self, query: str, context: RequestContext) -> QueryVerdict:
+        """Run the full hybrid pipeline without enforcement.
+
+        PTI runs first (through the daemon and its caches); NTI runs second,
+        reusing the critical tokens the daemon extracted when available
+        (Section IV-D).  NTI is skipped entirely when the request carried no
+        input -- "[NTI] only needs to be computed when input is provided to
+        the application" (Section III-A).
+        """
+        self.stats.queries_checked += 1
+        pti_result: AnalysisResult | None = None
+        tokens = None
+        if self.config.enable_pti:
+            t0 = time.perf_counter()
+            reply = self.daemon.analyze_query(query)
+            self.stats.pti_seconds += time.perf_counter() - t0
+            pti_result = reply.result
+            tokens = reply.tokens
+        nti_result: AnalysisResult | None = None
+        if self.config.enable_nti:
+            t0 = time.perf_counter()
+            if context.non_empty_values():
+                if tokens is None:
+                    tokens = critical_tokens(
+                        query, strict=self.config.strict_tokens
+                    )
+                nti_result = self.nti.analyze(query, context, tokens)
+            else:
+                nti_result = AnalysisResult(technique=Technique.NTI, safe=True)
+            self.stats.nti_seconds += time.perf_counter() - t0
+        safe = (pti_result is None or pti_result.safe) and (
+            nti_result is None or nti_result.safe
+        )
+        verdict = QueryVerdict(query=query, safe=safe, pti=pti_result, nti=nti_result)
+        if pti_result is not None and not pti_result.safe:
+            self.stats.pti_detections += 1
+        if nti_result is not None and not nti_result.safe:
+            self.stats.nti_detections += 1
+        return verdict
+
+    # ------------------------------------------------------------------
+    # QueryGuard interface (enforcement)
+    # ------------------------------------------------------------------
+
+    def check_query(self, query: str, context: RequestContext) -> None:
+        """Vet one intercepted query; raises on attack (QueryGuard protocol)."""
+        verdict = self.inspect(query, context)
+        if verdict.safe:
+            return
+        self.stats.attacks_blocked += 1
+        self.attack_log.append(
+            AttackRecord(query=query, verdict=verdict, request_path=context.path)
+        )
+        flagged = ", ".join(sorted(t.value for t in verdict.detected_by()))
+        raise QueryBlockedError(
+            f"SQL injection detected by {flagged}",
+            terminate=self.config.policy is RecoveryPolicy.TERMINATE,
+        )
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+
+    def export_attack_log(self) -> str:
+        """The attack log as a JSON document (operator audit trail)."""
+        import json
+
+        return json.dumps(
+            {
+                "application_stats": {
+                    "queries_checked": self.stats.queries_checked,
+                    "attacks_blocked": self.stats.attacks_blocked,
+                    "nti_detections": self.stats.nti_detections,
+                    "pti_detections": self.stats.pti_detections,
+                },
+                "attacks": [record.to_dict() for record in self.attack_log],
+            },
+            indent=2,
+        )

@@ -1,0 +1,49 @@
+"""Joza configuration and attack-recovery policies (paper Section IV-E)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..nti.inference import NTIConfig
+from ..pti.daemon import DaemonConfig
+
+__all__ = ["RecoveryPolicy", "JozaConfig"]
+
+
+class RecoveryPolicy(enum.Enum):
+    """What happens to a request whose query was judged an attack.
+
+    ``TERMINATE`` (the default; "Joza uses termination, which typically
+    results in a blank HTML page") aborts the request.
+    ``ERROR_VIRTUALIZATION`` "returns an error code as if the query had
+    failed and relies on the application logic to handle this error
+    gracefully".
+    """
+
+    TERMINATE = "terminate"
+    ERROR_VIRTUALIZATION = "error_virtualization"
+
+
+@dataclass
+class JozaConfig:
+    """Top-level configuration of the hybrid engine.
+
+    ``enable_nti`` / ``enable_pti`` exist for the paper's component-wise
+    security evaluation (Section V-A runs each technique in isolation);
+    production deployments leave both on.
+    """
+
+    nti: NTIConfig = field(default_factory=NTIConfig)
+    daemon: DaemonConfig = field(default_factory=DaemonConfig)
+    policy: RecoveryPolicy = RecoveryPolicy.TERMINATE
+    enable_nti: bool = True
+    enable_pti: bool = True
+    #: Ray/Ligatti-style strict policy: identifiers become critical tokens.
+    #: Breaks applications that pass field/table names through input (the
+    #: reason the paper defaults to the pragmatic stance, Section II).
+    strict_tokens: bool = False
+
+    def __post_init__(self) -> None:
+        if self.strict_tokens:
+            self.daemon.strict_tokens = True

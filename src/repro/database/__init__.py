@@ -1,0 +1,48 @@
+"""In-memory SQL database engine substrate.
+
+Stands in for the MySQL backend of the paper's testbed.  The engine executes
+the AST produced by :mod:`repro.sqlparser`, with MySQL-flavoured coercion and
+error semantics so every exploit class in Table I genuinely functions:
+
+- union-based exfiltration (``UNION SELECT``),
+- standard-blind (distinguishable :class:`DatabaseError` subclasses),
+- double-blind (``SLEEP``/``BENCHMARK`` advance a virtual clock exposed as
+  :attr:`QueryResult.elapsed`),
+- tautologies (loose string/number comparison).
+"""
+
+from .errors import (
+    ColumnCountMismatchError,
+    ColumnNotFoundError,
+    DatabaseError,
+    DuplicateKeyError,
+    SqlSyntaxError,
+    TableNotFoundError,
+    UnknownFunctionError,
+)
+from .evaluator import VirtualClock, sql_truth
+from .executor import Database, QueryResult
+from .prepared import PreparedStatement, bind_parameters, quote_literal
+from .schema import Column, ColumnType, TableSchema
+from .storage import Table
+
+__all__ = [
+    "ColumnCountMismatchError",
+    "ColumnNotFoundError",
+    "DatabaseError",
+    "DuplicateKeyError",
+    "SqlSyntaxError",
+    "TableNotFoundError",
+    "UnknownFunctionError",
+    "VirtualClock",
+    "sql_truth",
+    "Database",
+    "QueryResult",
+    "PreparedStatement",
+    "bind_parameters",
+    "quote_literal",
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "Table",
+]

@@ -1,0 +1,65 @@
+"""Database error hierarchy.
+
+Standard-blind SQL injection (paper Table I) works by provoking *errors* for
+invalid payloads and valid results otherwise, so the engine must fail loudly
+and distinguishably.  Every error carries a MySQL-style ``errno`` that the
+simulated applications can surface (or swallow) the way real PHP code does.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DatabaseError",
+    "SqlSyntaxError",
+    "TableNotFoundError",
+    "ColumnNotFoundError",
+    "ColumnCountMismatchError",
+    "DuplicateKeyError",
+    "UnknownFunctionError",
+]
+
+
+class DatabaseError(Exception):
+    """Base class for all engine errors."""
+
+    errno = 1105  # ER_UNKNOWN_ERROR
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class SqlSyntaxError(DatabaseError):
+    """The statement could not be parsed (ER_PARSE_ERROR)."""
+
+    errno = 1064
+
+
+class TableNotFoundError(DatabaseError):
+    """Referenced table does not exist (ER_NO_SUCH_TABLE)."""
+
+    errno = 1146
+
+
+class ColumnNotFoundError(DatabaseError):
+    """Referenced column does not exist (ER_BAD_FIELD_ERROR)."""
+
+    errno = 1054
+
+
+class ColumnCountMismatchError(DatabaseError):
+    """UNION branches or INSERT row width disagree (ER_WRONG_VALUE_COUNT)."""
+
+    errno = 1222
+
+
+class DuplicateKeyError(DatabaseError):
+    """Unique/primary key violation (ER_DUP_ENTRY)."""
+
+    errno = 1062
+
+
+class UnknownFunctionError(DatabaseError):
+    """Call to a function the engine does not implement (ER_SP_DOES_NOT_EXIST)."""
+
+    errno = 1305

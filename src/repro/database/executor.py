@@ -1,0 +1,699 @@
+"""Statement execution for the in-memory SQL engine.
+
+:class:`Database` is the backend DBMS stand-in of the reproduction.  The
+testbed web applications issue their queries here through the Joza wrappers,
+exactly as the paper's WordPress testbed issues queries to MySQL.  The
+engine is deliberately deterministic: ``RAND()`` is seeded, ``NOW()`` is a
+counter-based timestamp, and timing side effects accumulate on a virtual
+clock carried by the :class:`~repro.database.evaluator.EvalContext` --
+double-blind exploits read ``QueryResult.elapsed`` rather than wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sqlparser import ast_nodes as ast
+from ..sqlparser.parser import SqlParseError, parse_statement
+from .errors import (
+    ColumnCountMismatchError,
+    DatabaseError,
+    SqlSyntaxError,
+    TableNotFoundError,
+)
+from .evaluator import (
+    AGGREGATE_FUNCTIONS,
+    EvalContext,
+    Evaluator,
+    RowScope,
+    VirtualClock,
+    sql_truth,
+)
+from .schema import Column, ColumnType, TableSchema
+from .storage import Table
+
+__all__ = ["Database", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one executed statement.
+
+    Attributes:
+        columns: projected column names (empty for DML).
+        rows: result rows as tuples aligned with ``columns``.
+        rowcount: rows affected (DML) or returned (queries).
+        lastrowid: auto-increment id of the last inserted row, or 0.
+        elapsed: virtual seconds consumed (``SLEEP``/``BENCHMARK``); the
+            observable for double-blind exploits.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    lastrowid: int = 0
+    elapsed: float = 0.0
+
+    def first(self) -> tuple | None:
+        """First row or ``None`` -- mirrors ``mysql_fetch_row`` idioms."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> object:
+        """First column of the first row, or ``None``."""
+        row = self.first()
+        return row[0] if row else None
+
+    def dicts(self) -> list[dict[str, object]]:
+        """Rows as dicts keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    """Whether an expression tree contains an aggregate call (not crossing subqueries)."""
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name.lower() in AGGREGATE_FUNCTIONS:
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.Unary):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.InList):
+        return _contains_aggregate(expr.needle) or any(
+            _contains_aggregate(i) for i in expr.items if not isinstance(i, ast.SubqueryExpr)
+        )
+    if isinstance(expr, ast.Between):
+        return any(
+            _contains_aggregate(e) for e in (expr.needle, expr.low, expr.high)
+        )
+    if isinstance(expr, (ast.IsNull,)):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Like):
+        return _contains_aggregate(expr.operand) or _contains_aggregate(expr.pattern)
+    if isinstance(expr, ast.CaseExpr):
+        parts: list[ast.Expr] = []
+        if expr.operand is not None:
+            parts.append(expr.operand)
+        for when, then in expr.whens:
+            parts.extend((when, then))
+        if expr.default is not None:
+            parts.append(expr.default)
+        return any(_contains_aggregate(p) for p in parts)
+    return False
+
+
+def _item_name(item: ast.SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    expr = item.expr
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        return f"{expr.name}(...)"
+    if isinstance(expr, ast.Literal):
+        return str(expr.value)
+    return f"expr_{index}"
+
+
+class Database:
+    """An in-memory, single-connection SQL database.
+
+    Typical use::
+
+        db = Database("wordpress")
+        db.create_table(TableSchema("posts", [Column("id", ColumnType.INTEGER,
+            primary_key=True, auto_increment=True), Column("title")]))
+        db.execute("INSERT INTO posts (title) VALUES ('hello')")
+        result = db.execute("SELECT * FROM posts WHERE id = 1")
+    """
+
+    def __init__(
+        self,
+        name: str = "app",
+        *,
+        server_version: str = "5.5.41-joza-sim",
+        current_user: str = "webapp@localhost",
+        rand_seed: int = 0x5EED,
+    ) -> None:
+        self.name = name
+        self.server_version = server_version
+        self.current_user = current_user
+        self.session_variables: dict[str, object] = {"version": server_version}
+        self.tables: dict[str, Table] = {}
+        self._rand_state = rand_seed & 0x7FFFFFFF or 1
+        self._timestamp_counter = 0
+        self.query_log: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Schema / deterministic environment
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register a table; replaces any existing table of the same name."""
+        table = Table(schema)
+        self.tables[schema.name.lower()] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        lowered = name.lower()
+        if lowered.startswith("information_schema."):
+            return self._information_schema(lowered.split(".", 1)[1])
+        table = self.tables.get(lowered)
+        if table is None:
+            raise TableNotFoundError(f"Table '{self.name}.{name}' doesn't exist")
+        return table
+
+    def _information_schema(self, view: str) -> Table:
+        """Virtual ``information_schema`` views, rebuilt per access.
+
+        Real union-based exploits enumerate ``information_schema.tables`` /
+        ``.columns`` to discover where the secrets live; SQLMap's extraction
+        phase depends on them.
+        """
+        if view == "tables":
+            schema = TableSchema(
+                "information_schema.tables",
+                [
+                    Column("table_schema", ColumnType.TEXT),
+                    Column("table_name", ColumnType.TEXT),
+                    Column("table_rows", ColumnType.INTEGER),
+                ],
+            )
+            table = Table(schema)
+            for name, stored in sorted(self.tables.items()):
+                table.insert(
+                    {
+                        "table_schema": self.name,
+                        "table_name": name,
+                        "table_rows": len(stored),
+                    }
+                )
+            return table
+        if view == "columns":
+            schema = TableSchema(
+                "information_schema.columns",
+                [
+                    Column("table_schema", ColumnType.TEXT),
+                    Column("table_name", ColumnType.TEXT),
+                    Column("column_name", ColumnType.TEXT),
+                    Column("ordinal_position", ColumnType.INTEGER),
+                    Column("data_type", ColumnType.TEXT),
+                ],
+            )
+            table = Table(schema)
+            for name, stored in sorted(self.tables.items()):
+                for position, column in enumerate(stored.schema.columns, start=1):
+                    table.insert(
+                        {
+                            "table_schema": self.name,
+                            "table_name": name,
+                            "column_name": column.name,
+                            "ordinal_position": position,
+                            "data_type": column.type.value,
+                        }
+                    )
+            return table
+        raise TableNotFoundError(
+            f"Table 'information_schema.{view}' doesn't exist"
+        )
+
+    def _next_rand(self) -> float:
+        # Park-Miller LCG: deterministic RAND() so runs are reproducible.
+        self._rand_state = (self._rand_state * 48271) % 0x7FFFFFFF
+        return self._rand_state / 0x7FFFFFFF
+
+    @property
+    def current_timestamp(self) -> str:
+        self._timestamp_counter += 1
+        minutes, seconds = divmod(self._timestamp_counter % 3600, 60)
+        return f"2015-06-22 12:{minutes:02d}:{seconds:02d}"
+
+    # ------------------------------------------------------------------
+    # Execution entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute one SQL statement.
+
+        Raises a :class:`~repro.database.errors.DatabaseError` subclass on
+        any failure (syntax, missing table/column, ...), which the simulated
+        applications translate into the error behaviour blind exploits probe.
+        """
+        self.query_log.append(sql)
+        try:
+            statement = parse_statement(sql)
+        except SqlParseError as exc:
+            raise SqlSyntaxError(
+                "You have an error in your SQL syntax; check the manual "
+                f"near offset {exc.position}"
+            ) from exc
+        clock = VirtualClock()
+        ctx = EvalContext(self, RowScope(), clock)
+        if isinstance(statement, (ast.Select, ast.Union)):
+            columns, dict_rows = self._select_with_columns(statement, ctx)
+            rows = [tuple(r[c] for c in columns) for r in dict_rows]
+            return QueryResult(
+                columns=columns,
+                rows=rows,
+                rowcount=len(rows),
+                elapsed=clock.elapsed,
+            )
+        if isinstance(statement, ast.Insert):
+            count, last_id = self._execute_insert(statement, ctx)
+            return QueryResult(rowcount=count, lastrowid=last_id, elapsed=clock.elapsed)
+        if isinstance(statement, ast.Update):
+            count = self._execute_update(statement, ctx)
+            return QueryResult(rowcount=count, elapsed=clock.elapsed)
+        if isinstance(statement, ast.Delete):
+            count = self._execute_delete(statement, ctx)
+            return QueryResult(rowcount=count, elapsed=clock.elapsed)
+        raise DatabaseError(f"unsupported statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # SELECT / UNION
+    # ------------------------------------------------------------------
+
+    def _execute_select(
+        self, statement: "ast.Select | ast.Union", outer: EvalContext
+    ) -> list[dict[str, object]]:
+        """Internal: run a (sub)query and return rows as ordered dicts."""
+        __, rows = self._select_with_columns(statement, outer)
+        return rows
+
+    def _select_with_columns(
+        self, statement: "ast.Select | ast.Union", ctx: EvalContext
+    ) -> tuple[list[str], list[dict[str, object]]]:
+        if isinstance(statement, ast.Union):
+            return self._union(statement, ctx)
+        return self._select(statement, ctx)
+
+    def _union(
+        self, union: ast.Union, ctx: EvalContext
+    ) -> tuple[list[str], list[dict[str, object]]]:
+        columns: list[str] | None = None
+        combined: list[dict[str, object]] = []
+        seen: set[tuple] = set()
+        for select in union.selects:
+            cols, rows = self._select(select, ctx)
+            if columns is None:
+                columns = cols
+            elif len(cols) != len(columns):
+                raise ColumnCountMismatchError(
+                    "The used SELECT statements have a different number of columns"
+                )
+            for row in rows:
+                aligned = dict(zip(columns, row.values()))
+                if union.all:
+                    combined.append(aligned)
+                else:
+                    key = tuple(aligned.values())
+                    if key not in seen:
+                        seen.add(key)
+                        combined.append(aligned)
+        assert columns is not None
+        combined = self._order_rows(combined, union.order_by, ctx)
+        combined = self._apply_limit(combined, union.limit, union.offset, ctx)
+        return columns, combined
+
+    def _select(
+        self, select: ast.Select, ctx: EvalContext
+    ) -> tuple[list[str], list[dict[str, object]]]:
+        scopes = self._from_clause(select, ctx)
+        if select.where is not None:
+            scopes = [
+                s
+                for s in scopes
+                if sql_truth(self._eval_in(select.where, s, ctx)) is True
+            ]
+        wants_aggregate = select.group_by or any(
+            _contains_aggregate(item.expr) for item in select.items
+        ) or (select.having is not None and _contains_aggregate(select.having))
+        if wants_aggregate:
+            rows = self._aggregate_select(select, scopes, ctx)
+            if select.distinct:
+                rows = self._distinct_rows(rows)
+            rows = self._order_rows(rows, select.order_by, ctx)
+        else:
+            pairs: list[tuple[RowScope, dict[str, object]]] = [
+                (scope, self._project(select.items, scope, ctx, group=None))
+                for scope in scopes
+            ]
+            if select.distinct:
+                unique_pairs: list[tuple[RowScope, dict[str, object]]] = []
+                seen: set[tuple] = set()
+                for scope, row in pairs:
+                    key = tuple(row.values())
+                    if key not in seen:
+                        seen.add(key)
+                        unique_pairs.append((scope, row))
+                pairs = unique_pairs
+            pairs = self._order_pairs(pairs, select.order_by, ctx)
+            rows = [row for __, row in pairs]
+        rows = self._apply_limit(rows, select.limit, select.offset, ctx)
+        columns = list(rows[0].keys()) if rows else self._projection_names(select, ctx)
+        return columns, rows
+
+    def _projection_names(self, select: ast.Select, ctx: EvalContext) -> list[str]:
+        names: list[str] = []
+        for idx, item in enumerate(select.items):
+            if isinstance(item.expr, ast.Star):
+                if select.table is not None and select.table.name:
+                    try:
+                        table = self.table(select.table.name)
+                        names.extend(table.schema.column_names)
+                        continue
+                    except TableNotFoundError:
+                        pass
+                names.append("*")
+                continue
+            names.append(_item_name(item, idx))
+        return names
+
+    def _from_clause(self, select: ast.Select, ctx: EvalContext) -> list[RowScope]:
+        if select.table is None:
+            return [RowScope(sources=[], parent=ctx.scope)]
+        sources = [self._resolve_source(select.table, ctx)]
+        scopes: list[list[tuple[str | None, dict[str, object]]]] = [
+            [(sources[0][0], row)] for row in sources[0][1]
+        ]
+        for join in select.joins:
+            alias, rows, null_row = self._resolve_source_with_null(join.table, ctx)
+            new_scopes: list[list[tuple[str | None, dict[str, object]]]] = []
+            if join.kind in ("inner", "cross"):
+                for combo in scopes:
+                    for row in rows:
+                        candidate = combo + [(alias, row)]
+                        if join.condition is None or sql_truth(
+                            self._eval_in(
+                                join.condition,
+                                RowScope(candidate, parent=ctx.scope),
+                                ctx,
+                            )
+                        ) is True:
+                            new_scopes.append(candidate)
+            elif join.kind == "left":
+                for combo in scopes:
+                    matched = False
+                    for row in rows:
+                        candidate = combo + [(alias, row)]
+                        if join.condition is None or sql_truth(
+                            self._eval_in(
+                                join.condition,
+                                RowScope(candidate, parent=ctx.scope),
+                                ctx,
+                            )
+                        ) is True:
+                            new_scopes.append(candidate)
+                            matched = True
+                    if not matched:
+                        new_scopes.append(combo + [(alias, dict(null_row))])
+            elif join.kind == "right":
+                for row in rows:
+                    matched = False
+                    for combo in scopes:
+                        candidate = combo + [(alias, row)]
+                        if join.condition is None or sql_truth(
+                            self._eval_in(
+                                join.condition,
+                                RowScope(candidate, parent=ctx.scope),
+                                ctx,
+                            )
+                        ) is True:
+                            new_scopes.append(candidate)
+                            matched = True
+                    if not matched and scopes:
+                        null_left = [
+                            (a, {k: None for k in r})
+                            for a, r in scopes[0]
+                        ]
+                        new_scopes.append(null_left + [(alias, row)])
+            else:  # pragma: no cover - parser restricts kinds
+                raise DatabaseError(f"unsupported join kind {join.kind!r}")
+            scopes = new_scopes
+        return [RowScope(combo, parent=ctx.scope) for combo in scopes]
+
+    def _resolve_source(
+        self, ref: ast.TableRef, ctx: EvalContext
+    ) -> tuple[str | None, list[dict[str, object]]]:
+        alias, rows, __ = self._resolve_source_with_null(ref, ctx)
+        return alias, rows
+
+    def _resolve_source_with_null(
+        self, ref: ast.TableRef, ctx: EvalContext
+    ) -> tuple[str | None, list[dict[str, object]], dict[str, object]]:
+        if ref.subquery is not None:
+            rows = self._execute_select(ref.subquery, ctx)
+            null_row = {k: None for k in (rows[0] if rows else {})}
+            return ref.alias, [dict(r) for r in rows], null_row
+        assert ref.name is not None
+        table = self.table(ref.name)
+        alias = ref.alias or ref.name
+        null_row = {c: None for c in table.schema.column_names}
+        return alias, [dict(r) for r in table.rows], null_row
+
+    def _eval_in(self, expr: ast.Expr, scope: RowScope, ctx: EvalContext) -> object:
+        return Evaluator(EvalContext(self, scope, ctx.clock)).eval(expr)
+
+    def _project(
+        self,
+        items: tuple[ast.SelectItem, ...],
+        scope: RowScope,
+        ctx: EvalContext,
+        group: list[RowScope] | None,
+    ) -> dict[str, object]:
+        out: dict[str, object] = {}
+        for idx, item in enumerate(items):
+            if isinstance(item.expr, ast.Star):
+                for name, value in scope.all_columns(item.expr.table):
+                    out[name] = value
+                continue
+            evaluator = Evaluator(EvalContext(self, scope, ctx.clock, group=group))
+            value = evaluator.eval(item.expr)
+            name = _item_name(item, idx)
+            if name in out:
+                name = f"{name}_{idx}"
+            out[name] = value
+        return out
+
+    def _aggregate_select(
+        self, select: ast.Select, scopes: list[RowScope], ctx: EvalContext
+    ) -> list[dict[str, object]]:
+        groups: dict[tuple, list[RowScope]] = {}
+        if select.group_by:
+            for scope in scopes:
+                key = tuple(
+                    self._eval_in(g, scope, ctx) for g in select.group_by
+                )
+                groups.setdefault(key, []).append(scope)
+        else:
+            groups[()] = scopes
+        rows: list[dict[str, object]] = []
+        for __, members in groups.items():
+            representative = members[0] if members else RowScope(parent=ctx.scope)
+            if select.having is not None:
+                evaluator = Evaluator(
+                    EvalContext(self, representative, ctx.clock, group=members)
+                )
+                if sql_truth(evaluator.eval(select.having)) is not True:
+                    continue
+            rows.append(self._project(select.items, representative, ctx, group=members))
+        return rows
+
+    @staticmethod
+    def _distinct_rows(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+        unique: list[dict[str, object]] = []
+        seen: set[tuple] = set()
+        for row in rows:
+            key = tuple(row.values())
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        return unique
+
+    @staticmethod
+    def _comparable(value: object) -> tuple:
+        # Sort NULLs first (MySQL), keep mixed types comparable.
+        if value is None:
+            return (0, 0, "")
+        if isinstance(value, (int, float)):
+            return (1, value, "")
+        return (2, 0, str(value).lower())
+
+    def _sort_key_value(
+        self,
+        row: dict[str, object],
+        item: ast.OrderItem,
+        ctx: EvalContext,
+        scope: RowScope | None = None,
+    ) -> object:
+        """Resolve an ORDER BY key against the projection, with fallback to
+        the originating row scope (covers ordering by non-projected columns,
+        e.g. ``SELECT name FROM t ORDER BY t.id``)."""
+        expr = item.expr
+        columns = list(row.keys())
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            index = expr.value - 1
+            if 0 <= index < len(columns):
+                return row[columns[index]]
+            raise ColumnCountMismatchError(
+                f"Unknown column '{expr.value}' in 'order clause'"
+            )
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for name in row:
+                if name.lower() == expr.name.lower():
+                    return row[name]
+        if scope is not None:
+            return self._eval_in(expr, scope, ctx)
+        fallback = RowScope([(None, row)], parent=ctx.scope)
+        return self._eval_in(expr, fallback, ctx)
+
+    def _order_pairs(
+        self,
+        pairs: list[tuple[RowScope, dict[str, object]]],
+        order_by: tuple[ast.OrderItem, ...],
+        ctx: EvalContext,
+    ) -> list[tuple[RowScope, dict[str, object]]]:
+        if not order_by or not pairs:
+            return pairs
+        ordered = list(pairs)
+        for item in reversed(order_by):
+            ordered.sort(
+                key=lambda pair, it=item: self._comparable(
+                    self._sort_key_value(pair[1], it, ctx, scope=pair[0])
+                ),
+                reverse=item.descending,
+            )
+        return ordered
+
+    def _order_rows(
+        self,
+        rows: list[dict[str, object]],
+        order_by: tuple[ast.OrderItem, ...],
+        ctx: EvalContext,
+    ) -> list[dict[str, object]]:
+        if not order_by or not rows:
+            return rows
+        ordered = list(rows)
+        for item in reversed(order_by):
+            ordered.sort(
+                key=lambda r, it=item: self._comparable(
+                    self._sort_key_value(r, it, ctx)
+                ),
+                reverse=item.descending,
+            )
+        return ordered
+
+    def _apply_limit(
+        self,
+        rows: list[dict[str, object]],
+        limit: ast.Expr | None,
+        offset: ast.Expr | None,
+        ctx: EvalContext,
+    ) -> list[dict[str, object]]:
+        if limit is None and offset is None:
+            return rows
+        start = 0
+        if offset is not None:
+            start = max(int(self._scalar_of(offset, ctx)), 0)
+        if limit is None:
+            return rows[start:]
+        count = max(int(self._scalar_of(limit, ctx)), 0)
+        return rows[start : start + count]
+
+    def _scalar_of(self, expr: ast.Expr, ctx: EvalContext) -> float:
+        value = self._eval_in(expr, RowScope(parent=ctx.scope), ctx)
+        if value is None:
+            return 0
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return 0
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _insert_row(self, table, values: dict, replace: bool) -> tuple[int, int]:
+        """Insert one row; REPLACE semantics delete conflicting rows first.
+
+        Returns (rows_affected, lastrowid).  MySQL counts a REPLACE that
+        displaced an existing row as 2 affected rows.
+        """
+        if not replace:
+            return 1, table.insert(values)
+        displaced = table.delete_conflicting(values)
+        return 1 + displaced, table.insert(values)
+
+    def _execute_insert(self, insert: ast.Insert, ctx: EvalContext) -> tuple[int, int]:
+        table = self.table(insert.table)
+        last_id = 0
+        count = 0
+        if insert.select is not None:
+            columns = list(insert.columns) or table.schema.column_names
+            __, rows = self._select_with_columns(insert.select, ctx)
+            for row in rows:
+                values = list(row.values())
+                if len(values) != len(columns):
+                    raise ColumnCountMismatchError(
+                        "Column count doesn't match value count"
+                    )
+                affected, last_id = self._insert_row(
+                    table, dict(zip(columns, values)), insert.replace
+                )
+                count += affected
+            return count, last_id
+        columns = list(insert.columns) or table.schema.column_names
+        for row_exprs in insert.rows:
+            if len(row_exprs) != len(columns):
+                raise ColumnCountMismatchError(
+                    f"Column count doesn't match value count at row {count + 1}"
+                )
+            values = [
+                self._eval_in(e, RowScope(parent=ctx.scope), ctx) for e in row_exprs
+            ]
+            affected, last_id = self._insert_row(
+                table, dict(zip(columns, values)), insert.replace
+            )
+            count += affected
+        return count, last_id
+
+    def _execute_update(self, update: ast.Update, ctx: EvalContext) -> int:
+        table = self.table(update.table)
+        alias = update.table
+        changed = 0
+        budget = None
+        if update.limit is not None:
+            budget = max(int(self._scalar_of(update.limit, ctx)), 0)
+        for row in table.rows:
+            scope = RowScope([(alias, row)], parent=ctx.scope)
+            if update.where is not None and sql_truth(
+                self._eval_in(update.where, scope, ctx)
+            ) is not True:
+                continue
+            changes = {
+                col: self._eval_in(expr, scope, ctx)
+                for col, expr in update.assignments
+            }
+            table.update_row(row, changes)
+            changed += 1
+            if budget is not None and changed >= budget:
+                break
+        return changed
+
+    def _execute_delete(self, delete: ast.Delete, ctx: EvalContext) -> int:
+        table = self.table(delete.table)
+        alias = delete.table
+        doomed: list[dict[str, object]] = []
+        budget = None
+        if delete.limit is not None:
+            budget = max(int(self._scalar_of(delete.limit, ctx)), 0)
+        for row in table.rows:
+            scope = RowScope([(alias, row)], parent=ctx.scope)
+            if delete.where is not None and sql_truth(
+                self._eval_in(delete.where, scope, ctx)
+            ) is not True:
+                continue
+            doomed.append(row)
+            if budget is not None and len(doomed) >= budget:
+                break
+        return table.delete_rows(doomed)

@@ -1,0 +1,119 @@
+"""Client-side prepared statements.
+
+Paper Section V-B discusses prepared statements as the standard SQLi
+defense -- and shows (Drupal, CVE-2014-3704) that they are "not a panacea"
+when placeholder *names* are attacker-controlled.  This module provides the
+well-behaved half of that story: a prepared-statement API in which the
+template is parsed once with ``?`` / ``:name`` placeholders and parameters
+are bound as pure data, properly escaped, never re-parsed as SQL.
+
+Binding is performed client-side (the way ``mysqli``'s emulation and PDO's
+default mode work): placeholder tokens are located lexically and replaced
+with quoted literals, so the bound query is an ordinary string the engine
+-- and Joza -- can process.  Because the *template* is what the application
+author wrote, Joza vets the template once; bound parameters cannot add
+critical tokens (they land inside string/number literals by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..sqlparser.lexer import tokenize_significant
+from ..sqlparser.parser import SqlParseError, parse_statement
+from ..sqlparser.tokens import Token, TokenType
+from .errors import DatabaseError, SqlSyntaxError
+
+__all__ = ["PreparedStatement", "quote_literal", "bind_parameters"]
+
+
+def quote_literal(value) -> str:
+    """Render a parameter as a safe SQL literal.
+
+    Strings are single-quoted with backslash and quote escaping; numbers
+    pass through; ``None`` becomes NULL; booleans become 1/0.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    escaped = (
+        text.replace("\\", "\\\\")
+        .replace("'", "\\'")
+        .replace("\0", "\\0")
+    )
+    return f"'{escaped}'"
+
+
+def _placeholder_tokens(sql: str) -> list[Token]:
+    return [
+        t for t in tokenize_significant(sql) if t.type is TokenType.PLACEHOLDER
+    ]
+
+
+def bind_parameters(sql: str, params) -> str:
+    """Substitute parameters into a placeholder template.
+
+    ``params`` is a sequence for positional ``?`` placeholders or a mapping
+    for ``:name`` placeholders (names without the colon).  Raises
+    :class:`DatabaseError` on arity/name mismatches or mixed styles.
+    """
+    placeholders = _placeholder_tokens(sql)
+    if not placeholders:
+        if params:
+            raise DatabaseError("statement has no placeholders to bind")
+        return sql
+    positional = [t for t in placeholders if t.text == "?"]
+    named = [t for t in placeholders if t.text != "?"]
+    if positional and named:
+        raise DatabaseError("cannot mix positional and named placeholders")
+    replacements: list[tuple[Token, str]] = []
+    if positional:
+        if not isinstance(params, Sequence) or isinstance(params, (str, bytes)):
+            raise DatabaseError("positional placeholders need a sequence of parameters")
+        if len(params) != len(positional):
+            raise DatabaseError(
+                f"statement needs {len(positional)} parameters, got {len(params)}"
+            )
+        replacements = list(zip(positional, (quote_literal(p) for p in params)))
+    else:
+        if not isinstance(params, Mapping):
+            raise DatabaseError("named placeholders need a mapping of parameters")
+        for token in named:
+            name = token.text[1:]
+            if name not in params:
+                raise DatabaseError(f"missing parameter {name!r}")
+            replacements.append((token, quote_literal(params[name])))
+        unused = set(params) - {t.text[1:] for t in named}
+        if unused:
+            raise DatabaseError(f"unknown parameters: {sorted(unused)}")
+    bound = sql
+    for token, literal in sorted(replacements, key=lambda r: -r[0].start):
+        bound = bound[: token.start] + literal + bound[token.end :]
+    return bound
+
+
+class PreparedStatement:
+    """A parsed template plus an execute-with-parameters method.
+
+    Construction validates the template's syntax once (placeholders are
+    legal expression positions); each :meth:`execute` binds and runs.
+    """
+
+    def __init__(self, db, sql: str) -> None:
+        self.db = db
+        self.sql = sql
+        try:
+            parse_statement(sql)
+        except SqlParseError as exc:
+            raise SqlSyntaxError(
+                f"cannot prepare statement: {exc}"
+            ) from exc
+        self.parameter_count = len(_placeholder_tokens(sql))
+
+    def execute(self, params=()):
+        """Bind ``params`` and execute; returns the engine's QueryResult."""
+        return self.db.execute(bind_parameters(self.sql, params))

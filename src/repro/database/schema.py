@@ -1,0 +1,82 @@
+"""Table schema definitions for the in-memory engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import ColumnNotFoundError
+
+__all__ = ["ColumnType", "Column", "TableSchema"]
+
+
+class ColumnType(enum.Enum):
+    """Storage types.  MySQL-style loose coercion happens at evaluation time."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition."""
+
+    name: str
+    type: ColumnType = ColumnType.TEXT
+    primary_key: bool = False
+    auto_increment: bool = False
+    unique: bool = False
+    default: object = None
+
+    def coerce(self, value: object) -> object:
+        """Coerce an inserted value to the column's storage type.
+
+        MySQL silently coerces on insert; we do the same but keep ``None``
+        (NULL) untouched and fall back to the raw value when coercion fails,
+        mirroring MySQL's permissive non-strict mode.
+        """
+        if value is None:
+            return None
+        try:
+            if self.type is ColumnType.INTEGER:
+                return int(value)
+            if self.type is ColumnType.REAL:
+                return float(value)
+            return str(value)
+        except (TypeError, ValueError):
+            return value
+
+
+@dataclass
+class TableSchema:
+    """Ordered column collection with name lookup."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name = {c.name.lower(): c for c in self.columns}
+
+    def column(self, name: str) -> Column:
+        """Look up a column case-insensitively or raise ColumnNotFoundError."""
+        col = self._by_name.get(name.lower())
+        if col is None:
+            raise ColumnNotFoundError(
+                f"Unknown column '{name}' in table '{self.name}'"
+            )
+        return col
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def auto_increment_column(self) -> Column | None:
+        for col in self.columns:
+            if col.auto_increment:
+                return col
+        return None

@@ -1,0 +1,124 @@
+"""Row storage for the in-memory engine."""
+
+from __future__ import annotations
+
+from .errors import ColumnNotFoundError, DuplicateKeyError
+from .schema import TableSchema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A heap of rows governed by a :class:`TableSchema`.
+
+    Rows are stored as plain dicts keyed by the schema's canonical (original
+    case) column names.  Uniqueness for primary-key and unique columns is
+    enforced with side indexes.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[dict[str, object]] = []
+        self._next_auto = 1
+        self._unique_cols = [
+            c.name for c in schema.columns if c.primary_key or c.unique
+        ]
+        self._unique_index: dict[str, set[object]] = {c: set() for c in self._unique_cols}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def insert(self, values: dict[str, object]) -> int:
+        """Insert one row; returns the row's auto-increment id (or 0).
+
+        ``values`` is keyed by column name (any case).  Missing columns get
+        their defaults; an auto-increment column missing or NULL gets the
+        next counter value.
+        """
+        row: dict[str, object] = {}
+        provided = {k.lower(): v for k, v in values.items()}
+        for key in provided:
+            if not self.schema.has_column(key):
+                raise ColumnNotFoundError(
+                    f"Unknown column '{key}' in table '{self.schema.name}'"
+                )
+        last_id = 0
+        for col in self.schema.columns:
+            if col.name.lower() in provided:
+                value = col.coerce(provided[col.name.lower()])
+            elif col.auto_increment:
+                value = None
+            else:
+                value = col.default
+            if col.auto_increment and value is None:
+                value = self._next_auto
+            if col.auto_increment:
+                value = int(value)
+                self._next_auto = max(self._next_auto, value + 1)
+                last_id = value
+            row[col.name] = value
+        for col_name in self._unique_cols:
+            value = row[col_name]
+            if value is not None and value in self._unique_index[col_name]:
+                raise DuplicateKeyError(
+                    f"Duplicate entry '{value}' for key '{col_name}'"
+                )
+        for col_name in self._unique_cols:
+            value = row[col_name]
+            if value is not None:
+                self._unique_index[col_name].add(value)
+        self.rows.append(row)
+        return last_id
+
+    def delete_conflicting(self, values: dict[str, object]) -> int:
+        """Remove rows that collide with ``values`` on any unique column.
+
+        Implements REPLACE INTO semantics; returns the number of displaced
+        rows.  Coercion mirrors :meth:`insert` so the comparison sees the
+        stored representation.
+        """
+        provided = {k.lower(): v for k, v in values.items()}
+        doomed: list[dict[str, object]] = []
+        for col_name in self._unique_cols:
+            col = self.schema.column(col_name)
+            if col_name.lower() not in provided:
+                continue
+            new_value = col.coerce(provided[col_name.lower()])
+            if new_value is None:
+                continue
+            doomed.extend(
+                row for row in self.rows if row[col_name] == new_value
+            )
+        return self.delete_rows(doomed) if doomed else 0
+
+    def delete_rows(self, rows: list[dict[str, object]]) -> int:
+        """Remove the given row objects (identity comparison); returns count."""
+        doomed = {id(r) for r in rows}
+        kept: list[dict[str, object]] = []
+        removed = 0
+        for row in self.rows:
+            if id(row) in doomed:
+                removed += 1
+                for col_name in self._unique_cols:
+                    self._unique_index[col_name].discard(row[col_name])
+            else:
+                kept.append(row)
+        self.rows = kept
+        return removed
+
+    def update_row(self, row: dict[str, object], changes: dict[str, object]) -> None:
+        """Apply column changes to a row in place, maintaining unique indexes."""
+        for name, value in changes.items():
+            col = self.schema.column(name)
+            new_value = col.coerce(value)
+            if col.name in self._unique_index:
+                old_value = row[col.name]
+                if new_value != old_value:
+                    if new_value is not None and new_value in self._unique_index[col.name]:
+                        raise DuplicateKeyError(
+                            f"Duplicate entry '{new_value}' for key '{col.name}'"
+                        )
+                    self._unique_index[col.name].discard(old_value)
+                    if new_value is not None:
+                        self._unique_index[col.name].add(new_value)
+            row[col.name] = new_value

@@ -1,0 +1,44 @@
+"""Approximate string matching substrate used by negative taint inference.
+
+Public surface:
+
+- :func:`repro.matching.levenshtein` and its explicit variants
+  (:func:`levenshtein_full`, :func:`levenshtein_two_row`,
+  :func:`levenshtein_banded`).
+- :func:`repro.matching.best_substring_match` /
+  :func:`repro.matching.substring_distance` -- Sellers-style approximate
+  substring search.
+- :func:`repro.matching.match_with_ratio` and
+  :data:`repro.matching.DEFAULT_NTI_THRESHOLD` -- the paper's
+  difference-ratio acceptance test.
+"""
+
+from .levenshtein import (
+    PHP_LEVENSHTEIN_LIMIT,
+    levenshtein,
+    levenshtein_banded,
+    levenshtein_full,
+    levenshtein_two_row,
+)
+from .ratio import (
+    DEFAULT_NTI_THRESHOLD,
+    RatioMatch,
+    difference_ratio,
+    match_with_ratio,
+)
+from .substring import SubstringMatch, best_substring_match, substring_distance
+
+__all__ = [
+    "PHP_LEVENSHTEIN_LIMIT",
+    "levenshtein",
+    "levenshtein_banded",
+    "levenshtein_full",
+    "levenshtein_two_row",
+    "DEFAULT_NTI_THRESHOLD",
+    "RatioMatch",
+    "difference_ratio",
+    "match_with_ratio",
+    "SubstringMatch",
+    "best_substring_match",
+    "substring_distance",
+]

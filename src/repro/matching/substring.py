@@ -1,0 +1,190 @@
+"""Approximate substring matching for negative taint inference.
+
+The NTI algorithm (paper Section III-A) needs, for each application input
+``p`` and intercepted query ``q``, the *substring distance*: the minimum edit
+distance between ``p`` and any substring of ``q``, together with the location
+and length of the best-matching substring.  The naive formulation compares
+every substring of ``q`` against ``p`` with Levenshtein, costing
+``O(n^2 * m^2)``; the paper notes this is impractical and that optimized
+dynamic programming plus heuristics to skip implausible comparisons are used
+instead (Sections III-A and VI-B).
+
+We implement Sellers' algorithm: the standard edit-distance DP in which the
+first row is initialised to zero, so a match may *begin* at any position of
+the text for free, and the minimum over the final row allows it to *end*
+anywhere.  This yields the substring distance in ``O(n * m)`` time and
+``O(n)`` memory.  Start positions are recovered with a parallel
+start-tracking row, avoiding a quadratic traceback.
+
+Heuristics applied before the DP (the "skip implausible comparisons" of the
+paper):
+
+- an input longer than the query plus the distance budget cannot match;
+- an exact ``str.find`` hit short-circuits to distance zero;
+- a character-frequency lower bound prunes inputs that share too few
+  characters with the query to possibly fall under the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SubstringMatch", "best_substring_match", "substring_distance"]
+
+
+@dataclass(frozen=True)
+class SubstringMatch:
+    """Best approximate occurrence of a pattern inside a text.
+
+    Attributes:
+        distance: minimum edit distance between the pattern and ``text[start:end]``.
+        start: start offset of the matched substring in the text.
+        end: end offset (exclusive) of the matched substring in the text.
+    """
+
+    distance: int
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Length of the matched query substring (denominator of the paper's ratio)."""
+        return self.end - self.start
+
+
+def _char_budget_bound(pattern: str, text: str) -> int:
+    """Lower bound on the substring distance from character multiplicities.
+
+    Every pattern character missing from the text (counting multiplicity)
+    requires at least one edit.  Cheap ``O(n + m)`` pruning pass.
+    """
+    counts: dict[str, int] = {}
+    for ch in text:
+        counts[ch] = counts.get(ch, 0) + 1
+    missing = 0
+    for ch in pattern:
+        remaining = counts.get(ch, 0)
+        if remaining:
+            counts[ch] = remaining - 1
+        else:
+            missing += 1
+    return missing
+
+
+def _bigram_bound(pattern: str, text: str) -> int:
+    """q-gram lower bound (q=2) on the substring distance.
+
+    By the q-gram lemma, one edit destroys at most ``q`` of the pattern's
+    q-grams, so ``distance >= missing_bigrams / 2`` where missing counts the
+    multiset of pattern bigrams absent from the text.  The text's bigram set
+    over-approximates every substring's, keeping the bound valid for
+    substring matching.  This is the decisive pruning pass for NTI: a benign
+    comment body shares almost no bigrams with an UPDATE statement, so the
+    quadratic DP is skipped entirely.
+    """
+    if len(pattern) < 2:
+        return 0
+    counts: dict[str, int] = {}
+    for i in range(len(text) - 1):
+        gram = text[i : i + 2]
+        counts[gram] = counts.get(gram, 0) + 1
+    missing = 0
+    for i in range(len(pattern) - 1):
+        gram = pattern[i : i + 2]
+        remaining = counts.get(gram, 0)
+        if remaining:
+            counts[gram] = remaining - 1
+        else:
+            missing += 1
+    return missing // 2
+
+
+def best_substring_match(
+    pattern: str,
+    text: str,
+    max_distance: int | None = None,
+) -> SubstringMatch | None:
+    """Find the best approximate occurrence of ``pattern`` within ``text``.
+
+    Args:
+        pattern: the application input value.
+        text: the intercepted SQL query string.
+        max_distance: optional pruning budget; when given, ``None`` is
+            returned as soon as it can be proven that no substring of
+            ``text`` is within ``max_distance`` edits of ``pattern``.
+
+    Returns:
+        The :class:`SubstringMatch` with minimal distance (ties broken by
+        leftmost end, then longest match), or ``None`` when pruned out by
+        ``max_distance``.  An empty pattern trivially matches with distance
+        zero and zero length at offset 0.
+    """
+    n = len(pattern)
+    m = len(text)
+    if n == 0:
+        return SubstringMatch(0, 0, 0)
+
+    # Heuristic 1: exact containment short-circuits the DP entirely.
+    idx = text.find(pattern)
+    if idx >= 0:
+        return SubstringMatch(0, idx, idx + n)
+
+    if max_distance is not None:
+        # Heuristic 2: a pattern much longer than the text cannot fit.
+        if n - m > max_distance:
+            return None
+        # Heuristic 3: character-frequency lower bound.
+        if _char_budget_bound(pattern, text) > max_distance:
+            return None
+        # Heuristic 4: q-gram lower bound (tighter, slightly costlier).
+        if _bigram_bound(pattern, text) > max_distance:
+            return None
+
+    if m == 0:
+        if max_distance is not None and n > max_distance:
+            return None
+        return SubstringMatch(n, 0, 0)
+
+    # Sellers DP over columns of the text.  dist[i] = best edit distance
+    # between pattern[:i] and some substring of text ending at the current
+    # column; start[i] = start offset of that substring.
+    dist = list(range(n + 1))
+    starts = [0] * (n + 1)
+    best = SubstringMatch(dist[n], 0, 0)
+    for j in range(1, m + 1):
+        tj = text[j - 1]
+        prev_diag_dist = dist[0]
+        prev_diag_start = starts[0]
+        # First row stays 0: a match may begin at any text offset for free.
+        starts[0] = j
+        for i in range(1, n + 1):
+            cost = 0 if pattern[i - 1] == tj else 1
+            sub_d = prev_diag_dist + cost          # substitute / match
+            del_d = dist[i] + 1                    # skip a text character
+            ins_d = dist[i - 1] + 1                # skip a pattern character
+            prev_diag_dist = dist[i]
+            if sub_d <= del_d and sub_d <= ins_d:
+                new_d, new_s = sub_d, prev_diag_start
+            elif del_d <= ins_d:
+                new_d, new_s = del_d, starts[i]
+            else:
+                new_d, new_s = ins_d, starts[i - 1]
+            prev_diag_start = starts[i]
+            dist[i] = new_d
+            starts[i] = new_s
+        if dist[n] < best.distance or (
+            dist[n] == best.distance and j - starts[n] > best.length
+        ):
+            best = SubstringMatch(dist[n], starts[n], j)
+            if best.distance == 0:
+                return best
+    if max_distance is not None and best.distance > max_distance:
+        return None
+    return best
+
+
+def substring_distance(pattern: str, text: str) -> int:
+    """Minimum edit distance between ``pattern`` and any substring of ``text``."""
+    match = best_substring_match(pattern, text)
+    assert match is not None  # no budget given, so never pruned
+    return match.distance

@@ -1,0 +1,6 @@
+"""Negative taint inference component (paper Section III-A)."""
+
+from .inference import NTIAnalyzer, NTIConfig
+from .sources import candidate_inputs
+
+__all__ = ["NTIAnalyzer", "NTIConfig", "candidate_inputs"]

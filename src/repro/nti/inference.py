@@ -1,0 +1,114 @@
+"""Negative taint inference (NTI).
+
+Implements the algorithm of paper Section III-A:
+
+.. code-block:: text
+
+    query q = intercept_query()
+    for each input source, S
+        for each input p, in S
+            diff_ratio = substring_distance(q, p)
+            if diff_ratio < threshold
+                mark_negative_taint(q, p)
+
+followed by the detection rule: the query is an attack iff some *single*
+input's inferred marking fully covers at least one critical token.  Two
+false-positive guards come straight from the paper:
+
+- markings inferred from different inputs are never combined (otherwise
+  one-letter inputs ``O`` and ``R`` would taint every ``OR``);
+- a match only counts if it covers "at least one whole SQL token", so an
+  input like ``1`` matching the data position of ``WHERE ID=1`` is benign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.verdict import AnalysisResult, Detection, TaintMarking, Technique
+from ..matching.ratio import DEFAULT_NTI_THRESHOLD, match_with_ratio
+from ..phpapp.context import RequestContext
+from ..sqlparser.parser import critical_tokens
+from ..sqlparser.tokens import Token
+from .sources import candidate_inputs
+
+__all__ = ["NTIConfig", "NTIAnalyzer"]
+
+
+@dataclass(frozen=True)
+class NTIConfig:
+    """Tunables for the NTI component.
+
+    Attributes:
+        threshold: maximum difference ratio accepted as a match.  The paper
+            discusses the sensitivity of this knob at length (Section
+            III-A); 0.20 matches Figure 2C's arithmetic.
+        min_input_length: inputs shorter than this are never matched.  The
+            default of 1 relies purely on the whole-token rule, as the
+            paper does.
+    """
+
+    threshold: float = DEFAULT_NTI_THRESHOLD
+    min_input_length: int = 1
+
+
+class NTIAnalyzer:
+    """Stateless analyzer: correlate raw inputs with an intercepted query."""
+
+    def __init__(self, config: NTIConfig | None = None) -> None:
+        self.config = config or NTIConfig()
+
+    def analyze(
+        self,
+        query: str,
+        context: RequestContext,
+        tokens: list[Token] | None = None,
+    ) -> AnalysisResult:
+        """Run NTI over one query.
+
+        Args:
+            query: the intercepted SQL string.
+            context: raw-input snapshot captured at request entry.
+            tokens: optional pre-computed critical tokens.  The Joza
+                pipeline reuses "the critical tokens and keywords previously
+                obtained by the PTI Daemon" (Section IV-D); standalone use
+                recomputes them.
+        """
+        crit = tokens if tokens is not None else critical_tokens(query)
+        markings: list[TaintMarking] = []
+        detections: list[Detection] = []
+        for value in candidate_inputs(context, query, self.config.threshold):
+            if len(value) < self.config.min_input_length:
+                continue
+            matched = match_with_ratio(value, query, self.config.threshold)
+            if matched is None:
+                continue
+            marking = TaintMarking(
+                start=matched.start,
+                end=matched.end,
+                technique=Technique.NTI,
+                origin=value,
+                ratio=matched.ratio,
+            )
+            markings.append(marking)
+            for token in crit:
+                if marking.covers(token):
+                    detections.append(
+                        Detection(
+                            technique=Technique.NTI,
+                            reason=(
+                                "critical token covered by negative taint "
+                                f"(ratio {matched.ratio:.3f})"
+                            ),
+                            token_text=token.text,
+                            token_start=token.start,
+                            token_end=token.end,
+                            input_value=value,
+                        )
+                    )
+        return AnalysisResult(
+            technique=Technique.NTI,
+            safe=not detections,
+            markings=markings,
+            detections=detections,
+        )

@@ -1,0 +1,47 @@
+"""Input enumeration and pre-filtering for NTI.
+
+NTI iterates over "each input source S, for each input p in S" (paper
+Section III-A pseudo-code).  This module turns a captured
+:class:`~repro.phpapp.context.RequestContext` into the candidate list that
+feeds the matcher, applying the cheap filters that keep NTI fast:
+
+- empty values carry no taint and are dropped;
+- values longer than the query plus the edit budget cannot match any
+  substring and are dropped (the "skip implausible comparisons" heuristic);
+- duplicates (the same value arriving via two parameters) are matched once.
+"""
+
+from __future__ import annotations
+
+from ..phpapp.context import RequestContext
+
+__all__ = ["candidate_inputs"]
+
+
+def candidate_inputs(
+    context: RequestContext,
+    query: str,
+    threshold: float,
+) -> list[str]:
+    """Input values worth running the substring matcher on.
+
+    The length cutoff is derived from the threshold exactly like the match
+    budget in :func:`repro.matching.ratio.match_with_ratio`: an input of
+    length ``n`` can only match with distance ``d <= threshold * n /
+    (1 - threshold)``, and the matched substring is at most the whole query,
+    so inputs with ``n - len(query) > budget`` can never pass.
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    qlen = len(query)
+    for value in context.values():
+        if not value or value in seen:
+            continue
+        seen.add(value)
+        budget = (
+            int(threshold * len(value) / (1.0 - threshold)) if threshold else 0
+        )
+        if len(value) - qlen > budget:
+            continue
+        out.append(value)
+    return out

@@ -1,0 +1,47 @@
+"""Simulated PHP web-application substrate.
+
+Provides the pieces of the paper's deployment environment that taint
+inference interacts with: HTTP requests and superglobals
+(:mod:`~repro.phpapp.request`), PHP/WordPress input transformations
+(:mod:`~repro.phpapp.transforms`), raw-input capture for NTI
+(:mod:`~repro.phpapp.context`), PHP source scanning for PTI fragments
+(:mod:`~repro.phpapp.source`), and the application/plugin framework with the
+database-wrapper interception point (:mod:`~repro.phpapp.application`).
+"""
+
+from .application import (
+    DatabaseWrapper,
+    Handler,
+    Plugin,
+    QueryBlockedError,
+    QueryGuard,
+    TerminationSignal,
+    WebApplication,
+)
+from .context import CapturedInput, RequestContext
+from .request import HttpRequest, HttpResponse, InputSource
+from .source import (
+    extract_fragments,
+    extract_string_literals,
+    has_sql_token,
+    split_placeholders,
+)
+
+__all__ = [
+    "DatabaseWrapper",
+    "Handler",
+    "Plugin",
+    "QueryBlockedError",
+    "QueryGuard",
+    "TerminationSignal",
+    "WebApplication",
+    "CapturedInput",
+    "RequestContext",
+    "HttpRequest",
+    "HttpResponse",
+    "InputSource",
+    "extract_fragments",
+    "extract_string_literals",
+    "has_sql_token",
+    "split_placeholders",
+]

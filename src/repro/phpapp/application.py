@@ -1,0 +1,305 @@
+"""Simulated PHP web application framework.
+
+This is the substrate the testbed runs on: a WordPress-like application
+object with a plugin architecture, a request pipeline that applies
+PHP/WordPress global input transformations (magic quotes, authenticated-user
+trimming), and a database wrapper through which *all* queries flow -- the
+interception point where Joza installs itself (paper Section IV-A: "the
+installation process wraps all standard PHP functions and classes that
+interact with backend databases").
+
+Layering note: this module knows nothing about taint inference.  It exposes
+a :class:`QueryGuard` protocol; :class:`repro.core.engine.JozaEngine`
+implements it and is attached with :meth:`WebApplication.install_guard`.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from ..database import Database, DatabaseError, QueryResult
+from .context import RequestContext
+from .request import HttpRequest, HttpResponse
+from .transforms import addslashes, trim
+
+__all__ = [
+    "QueryGuard",
+    "QueryBlockedError",
+    "TerminationSignal",
+    "DatabaseWrapper",
+    "Plugin",
+    "WebApplication",
+    "Handler",
+]
+
+
+class QueryBlockedError(Exception):
+    """Raised by a guard when a query is judged to be an attack.
+
+    ``terminate`` selects the recovery policy (Section IV-E): ``True`` kills
+    the request (blank page), ``False`` behaves like a failed query (error
+    virtualization) that application logic may handle gracefully.
+    """
+
+    def __init__(self, message: str, *, terminate: bool = True) -> None:
+        super().__init__(message)
+        self.terminate = terminate
+
+
+class TerminationSignal(Exception):
+    """Internal: unwinds the request under the termination policy."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class QueryGuard(typing.Protocol):
+    """Interface Joza implements to vet intercepted queries."""
+
+    def check_query(self, query: str, context: RequestContext) -> None:
+        """Raise :class:`QueryBlockedError` if ``query`` is an attack."""
+
+
+class DatabaseWrapper:
+    """The Joza wrapper around database access.
+
+    Every query the application issues goes through :meth:`query`; if a
+    guard is installed it sees the query (with the request's raw-input
+    snapshot) before the DBMS does.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.guard: QueryGuard | None = None
+        self._context: RequestContext | None = None
+        self.query_count = 0
+        self.elapsed = 0.0
+        self.blocked_queries: list[str] = []
+
+    def begin_request(self, context: RequestContext) -> None:
+        """Reset per-request accounting; called by the application."""
+        self._context = context
+        self.query_count = 0
+        self.elapsed = 0.0
+
+    def execute_prepared(self, sql: str, params=()) -> QueryResult:
+        """Prepared-statement path: vet the *template*, bind, execute.
+
+        The template is what the application author wrote, so Joza vets it
+        (through the normal guard); bound parameters are pure data -- they
+        are escaped into literals and cannot introduce critical tokens --
+        so the bound query skips re-vetting.  This is the deployment model
+        Section V-B's Drupal discussion assumes, minus Drupal's bug of
+        letting input reach the placeholder *names*.
+        """
+        from ..database.prepared import PreparedStatement
+
+        self.query_count += 1
+        if self.guard is not None:
+            context = self._context or RequestContext()
+            try:
+                self.guard.check_query(sql, context)
+            except QueryBlockedError as blocked:
+                self.blocked_queries.append(sql)
+                if blocked.terminate:
+                    raise TerminationSignal(str(blocked)) from blocked
+                raise DatabaseError("query error") from blocked
+        result = PreparedStatement(self.db, sql).execute(params)
+        self.elapsed += result.elapsed
+        return result
+
+    def query(self, sql: str) -> QueryResult:
+        """Intercept, vet and execute one query.
+
+        Raises :class:`TerminationSignal` when a guard blocks under the
+        termination policy, :class:`DatabaseError` under error
+        virtualization (indistinguishable from a failed query, as the paper
+        prescribes), and passes through genuine database errors.
+        """
+        self.query_count += 1
+        if self.guard is not None:
+            context = self._context or RequestContext()
+            try:
+                self.guard.check_query(sql, context)
+            except QueryBlockedError as blocked:
+                self.blocked_queries.append(sql)
+                if blocked.terminate:
+                    raise TerminationSignal(str(blocked)) from blocked
+                raise DatabaseError("query error") from blocked
+        result = self.db.execute(sql)
+        self.elapsed += result.elapsed
+        return result
+
+
+#: A route handler: receives the application and the (transformed) request,
+#: returns the response body.
+Handler = typing.Callable[["WebApplication", HttpRequest], str]
+
+
+@dataclass
+class Plugin:
+    """A plugin: routes plus the PHP source its fragments are extracted from."""
+
+    name: str
+    version: str = "1.0"
+    source: str = ""
+    routes: dict[str, Handler] = field(default_factory=dict)
+
+
+class WebApplication:
+    """A simulated PHP web application with a plugin architecture.
+
+    Args:
+        name: application name (used in reports).
+        db: backing database.
+        core_source: PHP source of the application core (fragment corpus).
+        magic_quotes: apply :func:`addslashes` to GET/POST/COOKIE values
+            before handlers see them (WordPress behaviour the paper's NTI
+            evasion leverages).
+        trim_authenticated: strip whitespace from authenticated users'
+            inputs (the paper's second evasion lever).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        db: Database,
+        *,
+        core_source: str = "",
+        core_routes: dict[str, Handler] | None = None,
+        magic_quotes: bool = True,
+        trim_authenticated: bool = True,
+        render_cost: int = 0,
+    ) -> None:
+        self.name = name
+        self.db = db
+        self.wrapper = DatabaseWrapper(db)
+        self.core_source = core_source
+        self.magic_quotes = magic_quotes
+        self.trim_authenticated = trim_authenticated
+        #: Synthetic per-request templating work (MD5 rounds).  A real PHP
+        #: application spends most of a request interpreting templates; the
+        #: simulator is orders of magnitude cheaper, which would make any
+        #: fixed analysis cost look enormous in percentage terms.  The
+        #: performance benchmarks set this to restore a WordPress-like
+        #: application-work : analysis-work ratio (see DESIGN.md); the
+        #: security evaluation leaves it at 0.
+        self.render_cost = render_cost
+        self.plugins: dict[str, Plugin] = {}
+        self.routes: dict[str, Handler] = dict(core_routes or {})
+        self._source_listeners: list[typing.Callable[[], None]] = []
+
+    def _render_burn(self, body: str) -> None:
+        if not self.render_cost:
+            return
+        import hashlib
+
+        # Pad small bodies: even a tiny response (comment POST) renders a
+        # full template in real WordPress.
+        data = (body.encode("utf-8", "replace") + b" " * 2048)[:4096]
+        digest = hashlib.md5()
+        for __ in range(self.render_cost):
+            digest.update(data)
+        self._last_render_digest = digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+
+    def register_plugin(self, plugin: Plugin) -> None:
+        """Install a plugin: mount its routes, publish its source.
+
+        Mirrors Section IV-B: the preprocessing component re-runs the
+        installer "whenever new or modified files are found in the
+        application ... to keep the set of string fragments complete".
+        Registered source listeners (the Joza engine) are notified.
+        """
+        if plugin.name in self.plugins:
+            raise ValueError(f"plugin {plugin.name!r} already registered")
+        for path in plugin.routes:
+            if path in self.routes:
+                raise ValueError(f"route {path!r} already taken")
+        self.plugins[plugin.name] = plugin
+        self.routes.update(plugin.routes)
+        for listener in self._source_listeners:
+            listener()
+
+    def on_source_change(self, listener: typing.Callable[[], None]) -> None:
+        """Subscribe to plugin-set changes (used for fragment refresh)."""
+        self._source_listeners.append(listener)
+
+    def all_sources(self) -> list[str]:
+        """Source text of the core and every plugin (fragment corpus)."""
+        return [self.core_source] + [p.source for p in self.plugins.values()]
+
+    def install_guard(self, guard: QueryGuard | None) -> None:
+        """Attach (or detach, with ``None``) the query guard."""
+        self.wrapper.guard = guard
+
+    # ------------------------------------------------------------------
+    # Request pipeline
+    # ------------------------------------------------------------------
+
+    def _transform_request(self, request: HttpRequest) -> HttpRequest:
+        """Apply the application-global input transformations."""
+
+        def pipeline(value: str) -> str:
+            if self.magic_quotes:
+                value = addslashes(value)
+            if self.trim_authenticated and request.authenticated:
+                value = trim(value)
+            return value
+
+        return HttpRequest(
+            method=request.method,
+            path=request.path,
+            get={k: pipeline(v) for k, v in request.get.items()},
+            post={k: pipeline(v) for k, v in request.post.items()},
+            cookies={k: pipeline(v) for k, v in request.cookies.items()},
+            headers=dict(request.headers),
+            files=dict(request.files),
+            authenticated=request.authenticated,
+        )
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Process one request end-to-end.
+
+        Pipeline: raw-input snapshot (Joza preprocessing) -> global input
+        transforms -> route dispatch -> response assembly.  Database errors
+        that escape the handler surface on the page the way sloppy PHP code
+        surfaces ``mysql_error()`` -- which is precisely the oracle
+        standard-blind exploits need.
+        """
+        context = RequestContext.capture(request)
+        self.wrapper.begin_request(context)
+        transformed = self._transform_request(request)
+        handler = self.routes.get(request.path)
+        if handler is None:
+            return HttpResponse(status=404, body="Not Found")
+        try:
+            body = handler(self, transformed)
+        except TerminationSignal:
+            return HttpResponse(
+                status=500,
+                body="",
+                blocked=True,
+                elapsed=self.wrapper.elapsed,
+                query_count=self.wrapper.query_count,
+            )
+        except DatabaseError as exc:
+            return HttpResponse(
+                status=200,
+                body=f"<b>Database error:</b> {exc}",
+                db_error=str(exc),
+                elapsed=self.wrapper.elapsed,
+                query_count=self.wrapper.query_count,
+            )
+        self._render_burn(body)
+        return HttpResponse(
+            status=200,
+            body=body,
+            elapsed=self.wrapper.elapsed,
+            query_count=self.wrapper.query_count,
+        )

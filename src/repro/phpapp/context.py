@@ -1,0 +1,53 @@
+"""Per-request input capture (the Joza preprocessing component's snapshot).
+
+Paper Section IV-B: *"The preprocessing component defines Joza wrappers and
+stores a copy of all inputs to the web application to preserve them for NTI
+analysis.  This step is required as many web applications modify user-input
+before it reaches NTI analysis."*
+
+:class:`RequestContext` is that copy: the raw, untransformed inputs as they
+arrived on the wire, enumerated per source.  NTI analyses these values, not
+whatever the application later derived from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .request import HttpRequest
+
+__all__ = ["RequestContext", "CapturedInput"]
+
+
+@dataclass(frozen=True)
+class CapturedInput:
+    """One raw input value: where it came from and what it was named."""
+
+    source: str  # InputSource constant
+    name: str
+    value: str
+
+
+@dataclass
+class RequestContext:
+    """Immutable snapshot of all inputs of one request."""
+
+    inputs: list[CapturedInput] = field(default_factory=list)
+    is_write: bool = False
+    path: str = "/"
+
+    @classmethod
+    def capture(cls, request: HttpRequest) -> "RequestContext":
+        """Snapshot ``request`` before any application transform runs."""
+        return cls(
+            inputs=[CapturedInput(s, n, v) for s, n, v in request.inputs()],
+            is_write=request.is_write,
+            path=request.path,
+        )
+
+    def values(self) -> list[str]:
+        """All raw input values (the strings NTI matches against queries)."""
+        return [captured.value for captured in self.inputs]
+
+    def non_empty_values(self) -> list[str]:
+        return [captured.value for captured in self.inputs if captured.value]

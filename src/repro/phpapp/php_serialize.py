@@ -1,0 +1,167 @@
+"""A PHP ``serialize``/``unserialize`` subset.
+
+Needed for the Joomla scenario (paper Section V-B): CVE-2013-1453 abused an
+``unserialize`` of encoded cookie input to instantiate an object whose
+member variables -- attacker-controlled -- are later interpolated into a SQL
+query.  The subset covers what that exploit needs: strings, integers,
+floats, booleans, null, arrays (maps) and objects (class name + property
+map).
+
+Format reference (PHP):
+
+- ``s:<len>:"<bytes>";``    string (len counts bytes, not characters)
+- ``i:<int>;`` / ``d:<float>;`` / ``b:<0|1>;`` / ``N;``
+- ``a:<n>:{<key><value>...}``           array
+- ``O:<len>:"<class>":<n>:{<k><v>...}`` object
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PhpObject", "php_serialize", "php_unserialize", "PhpSerializeError"]
+
+
+class PhpSerializeError(ValueError):
+    """Malformed serialized data."""
+
+
+@dataclass
+class PhpObject:
+    """An unserialized PHP object: class name plus property map."""
+
+    class_name: str
+    properties: dict = field(default_factory=dict)
+
+    def get(self, name: str, default=None):
+        return self.properties.get(name, default)
+
+
+def php_serialize(value) -> str:
+    """Serialize a Python value using PHP's wire format."""
+    if value is None:
+        return "N;"
+    if isinstance(value, bool):
+        return f"b:{1 if value else 0};"
+    if isinstance(value, int):
+        return f"i:{value};"
+    if isinstance(value, float):
+        return f"d:{value};"
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return f's:{len(raw)}:"{value}";'
+    if isinstance(value, PhpObject):
+        body = "".join(
+            php_serialize(k) + php_serialize(v)
+            for k, v in value.properties.items()
+        )
+        return (
+            f'O:{len(value.class_name)}:"{value.class_name}":'
+            f"{len(value.properties)}:{{{body}}}"
+        )
+    if isinstance(value, dict):
+        body = "".join(php_serialize(k) + php_serialize(v) for k, v in value.items())
+        return f"a:{len(value)}:{{{body}}}"
+    if isinstance(value, (list, tuple)):
+        body = "".join(
+            php_serialize(i) + php_serialize(v) for i, v in enumerate(value)
+        )
+        return f"a:{len(value)}:{{{body}}}"
+    raise PhpSerializeError(f"cannot serialize {type(value).__name__}")
+
+
+class _Reader:
+    def __init__(self, data: str) -> None:
+        self.data = data
+        self.pos = 0
+
+    def expect(self, text: str) -> None:
+        if not self.data.startswith(text, self.pos):
+            raise PhpSerializeError(
+                f"expected {text!r} at offset {self.pos} in serialized data"
+            )
+        self.pos += len(text)
+
+    def read_until(self, stop: str) -> str:
+        end = self.data.find(stop, self.pos)
+        if end < 0:
+            raise PhpSerializeError(f"missing {stop!r} after offset {self.pos}")
+        chunk = self.data[self.pos : end]
+        self.pos = end + len(stop)
+        return chunk
+
+    def read_exact(self, count: int) -> str:
+        # PHP lengths are byte counts; operate on a UTF-8 view.
+        raw = self.data[self.pos :].encode("utf-8")[:count]
+        text = raw.decode("utf-8", "replace")
+        self.pos += len(text)
+        return text
+
+
+def _parse(reader: _Reader):
+    try:
+        return _parse_inner(reader)
+    except (ValueError, IndexError) as exc:
+        if isinstance(exc, PhpSerializeError):
+            raise
+        raise PhpSerializeError(f"malformed serialized data: {exc}") from exc
+
+
+def _parse_inner(reader: _Reader):
+    tag = reader.data[reader.pos : reader.pos + 1]
+    if tag == "N":
+        reader.expect("N;")
+        return None
+    if tag == "b":
+        reader.expect("b:")
+        value = reader.read_until(";")
+        return value == "1"
+    if tag == "i":
+        reader.expect("i:")
+        return int(reader.read_until(";"))
+    if tag == "d":
+        reader.expect("d:")
+        return float(reader.read_until(";"))
+    if tag == "s":
+        reader.expect("s:")
+        length = int(reader.read_until(":"))
+        reader.expect('"')
+        text = reader.read_exact(length)
+        reader.expect('";')
+        return text
+    if tag == "a":
+        reader.expect("a:")
+        count = int(reader.read_until(":"))
+        reader.expect("{")
+        out: dict = {}
+        for __ in range(count):
+            key = _parse(reader)
+            out[key] = _parse(reader)
+        reader.expect("}")
+        return out
+    if tag == "O":
+        reader.expect("O:")
+        name_len = int(reader.read_until(":"))
+        reader.expect('"')
+        class_name = reader.read_exact(name_len)
+        reader.expect('":')
+        count = int(reader.read_until(":"))
+        reader.expect("{")
+        properties: dict = {}
+        for __ in range(count):
+            key = _parse(reader)
+            properties[key] = _parse(reader)
+        reader.expect("}")
+        return PhpObject(class_name, properties)
+    raise PhpSerializeError(f"unknown tag {tag!r} at offset {reader.pos}")
+
+
+def php_unserialize(data: str):
+    """Parse one serialized PHP value; raises :class:`PhpSerializeError`."""
+    reader = _Reader(data)
+    value = _parse(reader)
+    if reader.pos != len(reader.data):
+        raise PhpSerializeError(
+            f"trailing data after offset {reader.pos} in serialized value"
+        )
+    return value

@@ -1,0 +1,90 @@
+"""HTTP request/response model for the simulated web applications.
+
+The model mirrors what Joza's preprocessing component can see in PHP: the
+superglobals ``$_GET``, ``$_POST``, ``$_COOKIE``, the request headers, and
+uploaded file bodies (paper Section IV-B/IV-D: NTI "must first make a copy
+of all inputs including cookies contained in HTTP headers, as well as HTTP
+GET and POST values").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HttpRequest", "HttpResponse", "InputSource"]
+
+
+class InputSource:
+    """Names of the input channels NTI enumerates."""
+
+    GET = "get"
+    POST = "post"
+    COOKIE = "cookie"
+    HEADER = "header"
+    FILE = "file"
+
+    ALL = (GET, POST, COOKIE, HEADER, FILE)
+
+
+@dataclass
+class HttpRequest:
+    """One inbound HTTP request.
+
+    Parameter dicts map name -> string value, exactly as PHP presents them.
+    """
+
+    method: str = "GET"
+    path: str = "/"
+    get: dict[str, str] = field(default_factory=dict)
+    post: dict[str, str] = field(default_factory=dict)
+    cookies: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    files: dict[str, str] = field(default_factory=dict)
+    authenticated: bool = False
+
+    def inputs(self) -> list[tuple[str, str, str]]:
+        """All raw inputs as ``(source, name, value)`` triples."""
+        triples: list[tuple[str, str, str]] = []
+        for source, mapping in (
+            (InputSource.GET, self.get),
+            (InputSource.POST, self.post),
+            (InputSource.COOKIE, self.cookies),
+            (InputSource.HEADER, self.headers),
+            (InputSource.FILE, self.files),
+        ):
+            triples.extend((source, name, value) for name, value in mapping.items())
+        return triples
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this request mutates state (POST by convention)."""
+        return self.method.upper() == "POST"
+
+
+@dataclass
+class HttpResponse:
+    """One outbound response.
+
+    Attributes:
+        status: HTTP status code.  Blocked attacks under the termination
+            policy return 500 with an empty body ("a blank HTML page",
+            Section IV-E).
+        body: rendered page text; standard-blind exploits diff this.
+        elapsed: virtual seconds spent in database calls during the request;
+            double-blind exploits observe this.
+        query_count: number of database queries issued while handling the
+            request.
+        blocked: True when Joza terminated the request.
+        db_error: message of a database error surfaced to the page, if any
+            (drives error-based / standard-blind probing).
+    """
+
+    status: int = 200
+    body: str = ""
+    elapsed: float = 0.0
+    query_count: int = 0
+    blocked: bool = False
+    db_error: str | None = None
+
+    def ok(self) -> bool:
+        return self.status == 200 and not self.blocked

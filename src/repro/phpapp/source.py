@@ -1,0 +1,180 @@
+"""PHP-subset source scanning: string-fragment extraction for PTI.
+
+Joza's installer "recursively parses all source code files reachable from
+the top directory and extracts string literals from each file to form the
+final set of string fragments" (Section IV-A).  Our simulated applications
+carry their PHP source as text; this module performs the extraction:
+
+- single-quoted literals are taken verbatim (PHP: only ``\\'`` and ``\\\\``
+  escapes);
+- double-quoted literals are decoded and *split on interpolation
+  placeholders* (``$var``, ``{$expr}``), each segment becoming its own
+  fragment -- the paper's example splits
+  ``"SELECT * from users where id = $id and password=$password"`` into two
+  fragments;
+- ``sprintf``-style conversion specifiers (``%s``, ``%d``, ``%1$s``...) also
+  split a literal, since they are placeholders filled at runtime;
+- heredocs (``<<<EOT``) are treated like double-quoted strings;
+- only fragments containing at least one valid SQL token are retained.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..sqlparser.lexer import tokenize_significant
+
+__all__ = ["extract_string_literals", "split_placeholders", "extract_fragments", "has_sql_token"]
+
+_PRINTF_SPEC = re.compile(r"%(?:\d+\$)?[+-]?(?:\d+)?(?:\.\d+)?[bcdeEfFgGosuxX]")
+_INTERPOLATION = re.compile(
+    r"\{\$[^}]*\}"        # {$expr}
+    r"|\$\{[^}]*\}"       # ${expr}
+    r"|\$[A-Za-z_][A-Za-z0-9_]*(?:\[[^\]]*\]|->[A-Za-z_][A-Za-z0-9_]*)*"  # $var, $a[x], $o->p
+)
+
+
+def _scan_single_quoted(source: str, pos: int) -> tuple[str, int]:
+    """Decode a single-quoted PHP literal starting at the opening quote."""
+    out: list[str] = []
+    i = pos + 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\\" and i + 1 < n and source[i + 1] in ("'", "\\"):
+            out.append(source[i + 1])
+            i += 2
+        elif ch == "'":
+            return "".join(out), i + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out), n
+
+
+def _scan_double_quoted(source: str, pos: int) -> tuple[str, int]:
+    """Decode a double-quoted PHP literal, keeping interpolations as-is."""
+    out: list[str] = []
+    i = pos + 1
+    n = len(source)
+    escapes = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "$": "$", "0": "\0"}
+    while i < n:
+        ch = source[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = source[i + 1]
+            if nxt in escapes:
+                out.append(escapes[nxt])
+                i += 2
+                continue
+            out.append(ch)
+            i += 1
+        elif ch == '"':
+            return "".join(out), i + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out), n
+
+
+def _scan_heredoc(source: str, pos: int) -> tuple[str, int] | None:
+    """Scan ``<<<TAG ... TAG;`` returning the (interpolatable) body."""
+    match = re.match(r"<<<\s*['\"]?([A-Za-z_][A-Za-z0-9_]*)['\"]?\r?\n", source[pos:])
+    if match is None:
+        return None
+    tag = match.group(1)
+    body_start = pos + match.end()
+    terminator = re.compile(rf"^\s*{re.escape(tag)};?\s*$", re.MULTILINE)
+    term = terminator.search(source, body_start)
+    if term is None:
+        return source[body_start:], len(source)
+    return source[body_start : term.start()].rstrip("\n"), term.end()
+
+
+def extract_string_literals(source: str) -> list[str]:
+    """All string literals of a PHP-subset source text, in order.
+
+    Double-quoted and heredoc literals keep their ``$var`` interpolation
+    markers; callers split them with :func:`split_placeholders`.  PHP
+    comments (``//``, ``#``, ``/* */``) are skipped so commented-out code
+    does not contribute fragments.
+    """
+    literals: list[str] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "/" and source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "#":
+            end = source.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            i = n if end < 0 else end + 2
+            continue
+        if ch == "'":
+            literal, i = _scan_single_quoted(source, i)
+            literals.append(literal)
+            continue
+        if ch == '"':
+            literal, i = _scan_double_quoted(source, i)
+            literals.append(literal)
+            continue
+        if source.startswith("<<<", i):
+            scanned = _scan_heredoc(source, i)
+            if scanned is not None:
+                literal, i = scanned
+                literals.append(literal)
+                continue
+        i += 1
+    return literals
+
+
+def split_placeholders(literal: str) -> list[str]:
+    """Split a literal on interpolation and printf placeholders.
+
+    Returns the non-empty constant segments.  ``"WHERE id = $id LIMIT 5"``
+    yields ``["WHERE id = ", " LIMIT 5"]``.
+    """
+    segments: list[str] = []
+    last = 0
+    boundaries: list[tuple[int, int]] = []
+    for pattern in (_INTERPOLATION, _PRINTF_SPEC):
+        boundaries.extend(m.span() for m in pattern.finditer(literal))
+    for start, end in sorted(boundaries):
+        if start >= last:
+            segment = literal[last:start]
+            if segment:
+                segments.append(segment)
+            last = end
+    tail = literal[last:]
+    if tail:
+        segments.append(tail)
+    return segments
+
+
+def has_sql_token(fragment: str) -> bool:
+    """Whether a fragment contains at least one valid SQL token.
+
+    The installer retains only such fragments (Section IV-A).  Whitespace-
+    only fragments lex to nothing and are dropped.
+    """
+    return bool(tokenize_significant(fragment))
+
+
+def extract_fragments(source: str) -> list[str]:
+    """Full extraction pipeline for one source text.
+
+    Literal extraction -> placeholder splitting -> SQL-token filter.
+    Duplicates are preserved here; the
+    :class:`~repro.pti.fragments.FragmentStore` deduplicates.
+    """
+    fragments: list[str] = []
+    for literal in extract_string_literals(source):
+        for segment in split_placeholders(literal):
+            if has_sql_token(segment):
+                fragments.append(segment)
+    return fragments

@@ -1,0 +1,211 @@
+"""PHP-style input transformations.
+
+These are the application-level transformations that break the input/query
+correspondence NTI depends on (paper Section III-A, "Evasion via
+Application-level Transformations"):
+
+- :func:`addslashes` -- PHP magic quotes; WordPress re-enforces this on all
+  request data, and it is the transformation the paper's NTI evasion
+  exploits (each quote in the input gains a backslash in the query).
+- :func:`trim` family -- WordPress trims whitespace from authenticated
+  users' input; attackers exploit this by appending whitespace padding.
+- :func:`base64_decode` -- the input encoding responsible for the single
+  NTI miss in Table II.
+- plus the common sanitisation/normalisation helpers real plugins call.
+
+Each transform is a plain ``str -> str`` function; applications declare
+per-parameter pipelines as lists of these.
+"""
+
+from __future__ import annotations
+
+import base64
+import html
+import re
+import urllib.parse
+
+__all__ = [
+    "addslashes",
+    "stripslashes",
+    "trim",
+    "ltrim",
+    "rtrim",
+    "base64_encode",
+    "base64_decode",
+    "urlencode",
+    "urldecode",
+    "htmlspecialchars",
+    "htmlspecialchars_decode",
+    "strtolower",
+    "strtoupper",
+    "intval",
+    "floatval",
+    "strip_tags",
+    "esc_sql",
+    "sanitize_key",
+    "sanitize_text_field",
+    "wp_unslash",
+    "named",
+    "TRANSFORMS",
+]
+
+
+def addslashes(value: str) -> str:
+    """PHP ``addslashes`` -- the magic-quotes escape.
+
+    Prefixes single quotes, double quotes, backslashes and NULs with a
+    backslash.  This *adds characters inside the query* relative to the raw
+    input, inflating NTI's edit distance (Figure 2C).
+    """
+    out: list[str] = []
+    for ch in value:
+        if ch in ("'", '"', "\\"):
+            out.append("\\")
+            out.append(ch)
+        elif ch == "\0":
+            out.append("\\0")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def stripslashes(value: str) -> str:
+    """PHP ``stripslashes`` -- inverse of :func:`addslashes`."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        if value[i] == "\\":
+            if i + 1 < len(value):
+                nxt = value[i + 1]
+                out.append("\0" if nxt == "0" else nxt)
+                i += 2
+            else:
+                i += 1  # PHP drops a trailing lone backslash
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def trim(value: str) -> str:
+    """PHP ``trim`` -- strips ASCII whitespace plus NUL from both ends."""
+    return value.strip(" \t\n\r\0\x0b")
+
+
+def ltrim(value: str) -> str:
+    return value.lstrip(" \t\n\r\0\x0b")
+
+
+def rtrim(value: str) -> str:
+    return value.rstrip(" \t\n\r\0\x0b")
+
+
+def base64_encode(value: str) -> str:
+    return base64.b64encode(value.encode("utf-8")).decode("ascii")
+
+
+def base64_decode(value: str) -> str:
+    """PHP ``base64_decode`` with its forgiving parsing (ignores junk)."""
+    cleaned = re.sub(r"[^A-Za-z0-9+/=]", "", value)
+    cleaned += "=" * (-len(cleaned) % 4)
+    try:
+        return base64.b64decode(cleaned).decode("utf-8", "replace")
+    except Exception:
+        return ""
+
+
+def urlencode(value: str) -> str:
+    return urllib.parse.quote_plus(value)
+
+
+def urldecode(value: str) -> str:
+    return urllib.parse.unquote_plus(value)
+
+
+def htmlspecialchars(value: str) -> str:
+    return html.escape(value, quote=True)
+
+
+def htmlspecialchars_decode(value: str) -> str:
+    return html.unescape(value)
+
+
+def strtolower(value: str) -> str:
+    return value.lower()
+
+
+def strtoupper(value: str) -> str:
+    return value.upper()
+
+
+def intval(value: str) -> str:
+    """PHP ``intval`` rendered back to string (prefix-parse semantics).
+
+    This is the *sanitising* transform: plugins that cast to int are not
+    exploitable, so the vulnerable testbed plugins conspicuously omit it.
+    """
+    match = re.match(r"\s*[+-]?\d+", value)
+    return str(int(match.group())) if match else "0"
+
+
+def floatval(value: str) -> str:
+    match = re.match(r"\s*[+-]?(\d+(\.\d*)?|\.\d+)", value)
+    return str(float(match.group())) if match else "0"
+
+
+def strip_tags(value: str) -> str:
+    return re.sub(r"<[^>]*>", "", value)
+
+
+def esc_sql(value: str) -> str:
+    """WordPress ``esc_sql`` -- equivalent to addslashes for our purposes."""
+    return addslashes(value)
+
+
+def sanitize_key(value: str) -> str:
+    """WordPress ``sanitize_key`` -- lowercase alphanumerics, dash, underscore."""
+    return re.sub(r"[^a-z0-9_\-]", "", value.lower())
+
+
+def sanitize_text_field(value: str) -> str:
+    """WordPress ``sanitize_text_field`` -- strip tags, collapse whitespace."""
+    no_tags = strip_tags(value)
+    return re.sub(r"[\r\n\t ]+", " ", no_tags).strip()
+
+
+def wp_unslash(value: str) -> str:
+    """WordPress ``wp_unslash`` -- alias of stripslashes."""
+    return stripslashes(value)
+
+
+#: Registry for declarative plugin definitions (name -> callable).
+TRANSFORMS = {
+    "addslashes": addslashes,
+    "stripslashes": stripslashes,
+    "trim": trim,
+    "ltrim": ltrim,
+    "rtrim": rtrim,
+    "base64_encode": base64_encode,
+    "base64_decode": base64_decode,
+    "urlencode": urlencode,
+    "urldecode": urldecode,
+    "htmlspecialchars": htmlspecialchars,
+    "htmlspecialchars_decode": htmlspecialchars_decode,
+    "strtolower": strtolower,
+    "strtoupper": strtoupper,
+    "intval": intval,
+    "floatval": floatval,
+    "strip_tags": strip_tags,
+    "esc_sql": esc_sql,
+    "sanitize_key": sanitize_key,
+    "sanitize_text_field": sanitize_text_field,
+    "wp_unslash": wp_unslash,
+}
+
+
+def named(name: str):
+    """Look up a transform by its PHP-style name."""
+    try:
+        return TRANSFORMS[name]
+    except KeyError:
+        raise KeyError(f"unknown transform {name!r}") from None

@@ -1,0 +1,27 @@
+"""Positive taint inference component (paper Sections III-B, IV-C, VI-A)."""
+
+from .caches import CacheStats, MRUFragmentCache, QueryCache, StructureCache
+from .daemon import (
+    DaemonConfig,
+    DaemonReply,
+    PTIDaemon,
+    StageTimings,
+    SubprocessPTIDaemon,
+)
+from .fragments import FragmentStore
+from .inference import PTIAnalyzer, PTIConfig
+
+__all__ = [
+    "CacheStats",
+    "MRUFragmentCache",
+    "QueryCache",
+    "StructureCache",
+    "DaemonConfig",
+    "DaemonReply",
+    "PTIDaemon",
+    "StageTimings",
+    "SubprocessPTIDaemon",
+    "FragmentStore",
+    "PTIAnalyzer",
+    "PTIConfig",
+]

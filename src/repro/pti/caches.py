@@ -1,0 +1,125 @@
+"""The three caches of the PTI analysis pipeline (paper Sections IV-C, VI-A).
+
+1. :class:`QueryCache` -- exact query string -> safety verdict.  "Because
+   many queries of a web application are constant and do not rely on any
+   user-input, caching improves performance significantly" (IV-C.2).  This
+   is what takes WordPress read requests to <4% overhead (Table V).
+2. :class:`StructureCache` -- AST structure signature -> safety verdict.
+   "Caches the structure of the SQL query abstract-syntax-tree without the
+   content of data nodes", covering dynamic queries whose literals vary per
+   request; takes write requests from 34% to 12% overhead (Table V).
+3. :class:`MRUFragmentCache` -- most-recently-used fragments, tried before
+   the full store "to take advantage of the SQL query working set of a Web
+   application" (VI-A).
+
+Caching *safety* by structure is sound under the paper's threat model: an
+injection, by definition, introduces or alters critical tokens, which always
+changes the token/AST structure -- literals-only changes cannot turn a safe
+structure into an attack.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["QueryCache", "StructureCache", "MRUFragmentCache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss counters shared by the cache classes."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class _LRUCache:
+    """Bounded LRU map from string key to an arbitrary cached payload."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._store: OrderedDict[str, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: str):
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return self._store[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class QueryCache(_LRUCache):
+    """Exact-query-string cache (an in-memory hashtable, IV-C.2).
+
+    Stores ``(safe, critical_tokens)`` pairs: NTI "reuses the critical
+    tokens and keywords previously obtained by the PTI Daemon" (Section
+    IV-D), so a hit must hand the tokens back without re-lexing.
+    """
+
+
+class StructureCache(_LRUCache):
+    """Structure-signature cache (VI-A); stores safe verdicts only."""
+
+
+class MRUFragmentCache:
+    """Move-to-front list of fragments that recently covered a token.
+
+    Benign queries repeat the same small fragment working set, so trying
+    these first lets most tokens match on the first few comparisons.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: list[str] = []
+
+    def items(self) -> list[str]:
+        """Fragments in most-recently-used-first order."""
+        return list(self._items)
+
+    def touch(self, fragment: str) -> None:
+        """Record that ``fragment`` just matched; moves it to the front."""
+        try:
+            self._items.remove(fragment)
+        except ValueError:
+            pass
+        self._items.insert(0, fragment)
+        del self._items[self.capacity :]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, fragment: str) -> bool:
+        return fragment in self._items

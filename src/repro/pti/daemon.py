@@ -1,0 +1,306 @@
+"""The PTI daemon (paper Section IV-C).
+
+The paper runs PTI as a separate native daemon so that deployment needs no
+administrator privileges: the PHP application spawns the daemon and talks to
+it over pipes.  This module provides both flavours:
+
+- :class:`PTIDaemon` -- the analysis service itself (fragment matching plus
+  the query and structure caches), usable in-process.  Per-stage wall-clock
+  timings are recorded so the Figure 7 breakdown can be regenerated.
+- :class:`SubprocessPTIDaemon` -- a real child process hosting a
+  :class:`PTIDaemon`, reached over a pipe.  Two lifetimes mirror the paper:
+  ``persistent=True`` spawns once and reuses the process (the optimized
+  daemon); ``persistent=False`` spawns a fresh process per query (the
+  paper's unoptimized initial implementation).  Spawn and IPC times are
+  accounted separately because the paper's "PHP extension" overhead
+  estimate is computed by excluding exactly those costs (Section VI-C).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from ..core.verdict import AnalysisResult, Technique
+from ..sqlparser.parser import critical_tokens
+from ..sqlparser.structure import signature_and_tokens
+from ..sqlparser.tokens import Token
+from .caches import QueryCache, StructureCache
+from .fragments import FragmentStore
+from .inference import PTIAnalyzer, PTIConfig
+
+__all__ = ["DaemonReply", "StageTimings", "PTIDaemon", "SubprocessPTIDaemon"]
+
+
+class StageTimings:
+    """Accumulated wall-clock seconds per pipeline stage."""
+
+    STAGES = ("spawn", "ipc", "parse", "match", "cache")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {stage: 0.0 for stage in self.STAGES}
+
+    def add(self, stage: str, dt: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + dt
+
+    def total(self, *, exclude: tuple[str, ...] = ()) -> float:
+        return sum(v for k, v in self.seconds.items() if k not in exclude)
+
+    def reset(self) -> None:
+        for stage in self.seconds:
+            self.seconds[stage] = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.seconds)
+
+
+@dataclass
+class DaemonReply:
+    """What the daemon communicates back to the application wrapper."""
+
+    safe: bool
+    result: AnalysisResult
+    tokens: list[Token] | None = None  # None when served from a cache
+    from_cache: str | None = None  # "query" | "structure" | None
+
+
+@dataclass
+class DaemonConfig:
+    """Cache/optimization switches (each a Table V / Fig. 7 ablation axis).
+
+    ``strict_tokens`` selects the Ray/Ligatti-style token policy in which
+    identifiers are critical too (paper Section II's adjustable policy).
+    """
+
+    use_query_cache: bool = True
+    use_structure_cache: bool = True
+    pti: PTIConfig = field(default_factory=PTIConfig)
+    query_cache_capacity: int = 10_000
+    structure_cache_capacity: int = 10_000
+    strict_tokens: bool = False
+
+
+class PTIDaemon:
+    """The PTI analysis service: parse, cache-lookup, fragment-match."""
+
+    def __init__(
+        self, store: FragmentStore, config: DaemonConfig | None = None
+    ) -> None:
+        self.config = config or DaemonConfig()
+        self.analyzer = PTIAnalyzer(store, self.config.pti)
+        self.query_cache = QueryCache(self.config.query_cache_capacity)
+        self.structure_cache = StructureCache(self.config.structure_cache_capacity)
+        self.timings = StageTimings()
+        self.queries_analyzed = 0
+
+    @property
+    def store(self) -> FragmentStore:
+        return self.analyzer.store
+
+    def refresh_fragments(self, store: FragmentStore) -> None:
+        """Swap in a new fragment set (plugin installed/updated, IV-B).
+
+        Cached verdicts were computed against the old vocabulary, so both
+        caches are invalidated.
+        """
+        self.analyzer = PTIAnalyzer(store, self.config.pti)
+        self.query_cache.clear()
+        self.structure_cache.clear()
+
+    def analyze_query(self, query: str) -> DaemonReply:
+        """Full daemon pipeline for one query."""
+        self.queries_analyzed += 1
+        if self.config.use_query_cache:
+            t0 = time.perf_counter()
+            cached = self.query_cache.get(query)
+            self.timings.add("cache", time.perf_counter() - t0)
+            if cached is not None:
+                safe, cached_tokens = cached
+                return DaemonReply(
+                    safe=safe,
+                    result=AnalysisResult(
+                        technique=Technique.PTI, safe=safe, from_cache="query"
+                    ),
+                    tokens=cached_tokens,
+                    from_cache="query",
+                )
+        signature: str | None = None
+        tokens: list[Token] | None = None
+        if self.config.use_structure_cache:
+            t0 = time.perf_counter()
+            signature, tokens = signature_and_tokens(
+                query, strict=self.config.strict_tokens
+            )
+            self.timings.add("parse", time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            cached = (
+                self.structure_cache.get(signature) if signature is not None else None
+            )
+            self.timings.add("cache", time.perf_counter() - t0)
+            if cached is not None:
+                if self.config.use_query_cache:
+                    self.query_cache.put(query, (cached, tokens))
+                return DaemonReply(
+                    safe=cached,
+                    result=AnalysisResult(
+                        technique=Technique.PTI, safe=cached, from_cache="structure"
+                    ),
+                    tokens=tokens,
+                    from_cache="structure",
+                )
+        if tokens is None:
+            t0 = time.perf_counter()
+            tokens = critical_tokens(query, strict=self.config.strict_tokens)
+            self.timings.add("parse", time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        result = self.analyzer.analyze(query, tokens)
+        self.timings.add("match", time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        if self.config.use_query_cache:
+            self.query_cache.put(query, (result.safe, tokens))
+        # Only SAFE verdicts are cacheable by signature: the signature
+        # identifies a code-site template, and a template once proven safe
+        # stays safe for any bound data.  Unsafe verdicts are not structural
+        # facts (a differently-spaced/ cased attack may be coverable), and
+        # attacks are rare enough that re-analysing them costs nothing --
+        # "malicious queries may require scanning the entire set of
+        # fragments" (Section VI-A).
+        if (
+            self.config.use_structure_cache
+            and signature is not None
+            and result.safe
+        ):
+            self.structure_cache.put(signature, result.safe)
+        self.timings.add("cache", time.perf_counter() - t0)
+        return DaemonReply(safe=result.safe, result=result, tokens=tokens)
+
+
+def _daemon_loop(conn, fragments: list[str], config: DaemonConfig) -> None:
+    """Child-process entry point: serve queries over the pipe until EOF.
+
+    Each reply carries the child's per-stage timing deltas so the parent can
+    attribute analysis time to parse/match/cache even across the process
+    boundary (needed for the Figure 7 breakdown).
+    """
+    daemon = PTIDaemon(FragmentStore(fragments), config)
+    previous = daemon.timings.snapshot()
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        reply = daemon.analyze_query(message)
+        current = daemon.timings.snapshot()
+        deltas = {k: current[k] - previous.get(k, 0.0) for k in current}
+        previous = current
+        conn.send((reply.safe, reply.from_cache, reply.tokens, deltas))
+    conn.close()
+
+
+class SubprocessPTIDaemon:
+    """A real PTI daemon child process reached over an anonymous pipe.
+
+    In ``persistent`` mode the process is spawned once (named-pipe-style
+    long-lived daemon); otherwise every query pays a fresh spawn (the
+    unoptimized configuration of Figure 7).
+    """
+
+    def __init__(
+        self,
+        store: FragmentStore,
+        config: DaemonConfig | None = None,
+        *,
+        persistent: bool = True,
+    ) -> None:
+        self.fragments = store.fragments
+        self.config = config or DaemonConfig()
+        self.persistent = persistent
+        self.timings = StageTimings()
+        self._conn = None
+        self._process: multiprocessing.Process | None = None
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self):
+        t0 = time.perf_counter()
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_daemon_loop,
+            args=(child_conn, self.fragments, self.config),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.timings.add("spawn", time.perf_counter() - t0)
+        return parent_conn, process
+
+    def analyze_query(self, query: str) -> DaemonReply:
+        """Ship one query to the child and wait for its verdict.
+
+        A persistent daemon that died between queries (crash, OOM-kill) is
+        respawned transparently -- losing only its caches, never failing
+        open: a query is executed only after a live daemon vouches for it.
+        """
+        if self.persistent:
+            if self._process is None or not self._process.is_alive():
+                self._conn, self._process = self._spawn()
+            conn = self._conn
+        else:
+            conn, process = self._spawn()
+        t0 = time.perf_counter()
+        try:
+            conn.send(query)
+            safe, from_cache, tokens, child_deltas = conn.recv()
+        except (EOFError, BrokenPipeError, OSError):
+            if not self.persistent:
+                raise
+            # Child died mid-flight: respawn once and retry the query.
+            self.close()
+            self._conn, self._process = self._spawn()
+            conn = self._conn
+            conn.send(query)
+            safe, from_cache, tokens, child_deltas = conn.recv()
+        elapsed = time.perf_counter() - t0
+        # Attribute the child's analysis stages, and count only the residual
+        # (serialisation + pipe transit + scheduling) as IPC.
+        analysis = 0.0
+        for stage, dt in child_deltas.items():
+            self.timings.add(stage, dt)
+            analysis += dt
+        self.timings.add("ipc", max(elapsed - analysis, 0.0))
+        if not self.persistent:
+            conn.send(None)
+            conn.close()
+            process.join(timeout=5)
+        return DaemonReply(
+            safe=safe,
+            result=AnalysisResult(
+                technique=Technique.PTI, safe=safe, from_cache=from_cache
+            ),
+            tokens=tokens,
+            from_cache=from_cache,
+        )
+
+    def close(self) -> None:
+        """Shut down a persistent child process."""
+        if self._conn is not None:
+            try:
+                self._conn.send(None)
+                self._conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+            self._conn = None
+        if self._process is not None:
+            self._process.join(timeout=5)
+            if self._process.is_alive():  # pragma: no cover - defensive
+                self._process.terminate()
+            self._process = None
+
+    def __enter__(self) -> "SubprocessPTIDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

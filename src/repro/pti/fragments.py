@@ -1,0 +1,190 @@
+"""Fragment store: the trusted vocabulary for positive taint inference.
+
+Fragments are string literals extracted from the application and its plugins
+(paper Section IV-A).  The store deduplicates them and maintains the
+inverted index that implements the daemon's second optimization
+(Section VI-A): *"first parse the query to determine the critical set of
+tokens before attempting to match these tokens"* -- for a given critical
+token, only fragments that actually contain the token's text can possibly
+cover it, so the index maps lowercased critical-token text to candidate
+fragments.
+
+Matching inside queries is **case-sensitive** (Taintless explicitly
+"matches the letter case of attack tokens with those available in the
+application"), so the index is a recall-complete prefilter whose candidates
+are verified with exact ``str.find``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..phpapp.source import extract_fragments
+from ..sqlparser.tokens import (
+    CRITICAL_OPERATORS,
+    Token,
+    TokenType,
+    is_sql_function,
+    is_sql_keyword,
+)
+
+__all__ = ["FragmentStore", "fragment_index_keys", "token_index_key"]
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_COMMENT_MARKERS = ("/*", "--", "#")
+
+
+def fragment_index_keys(fragment: str) -> set[str]:
+    """Index keys (lowercased critical-token texts) a fragment can cover.
+
+    Application fragments are *partial* SQL -- ``' ORDER BY x DESC`` starts
+    with the closing quote of the preceding placeholder -- so running the
+    SQL lexer over them misclassifies everything after an orphan quote as
+    string content.  Indexing therefore uses a plain lexical scan: keyword /
+    function words, critical operator characters and comment markers.  The
+    index is a recall-complete over-approximation; PTI verifies candidates
+    with exact containment checks.
+    """
+    keys: set[str] = set()
+    for word in _WORD.findall(fragment):
+        # Every word is indexed, not only keywords/functions: identifier
+        # coverage matters under the strict token policy, and the index is
+        # harmless over-approximation elsewhere.
+        keys.add(word.lower())
+    for operator in CRITICAL_OPERATORS:
+        if operator in fragment:
+            keys.add(operator)
+    if ";" in fragment:
+        keys.add(";")
+    for marker in _COMMENT_MARKERS:
+        if marker in fragment:
+            keys.add(marker)
+    return keys
+
+
+def token_index_key(token: Token) -> str:
+    """The index key to look up candidates for one critical token.
+
+    Comments key on their opening marker (their text includes arbitrary
+    content); other tokens key on their lowercased text.
+    """
+    if token.type is TokenType.COMMENT:
+        if token.text.startswith("/*"):
+            return "/*"
+        if token.text.startswith("--"):
+            return "--"
+        return "#"
+    return token.text.lower()
+
+
+class FragmentStore:
+    """Deduplicated fragment set with a critical-token inverted index."""
+
+    def __init__(self, fragments: Iterable[str] = ()) -> None:
+        self._fragments: list[str] = []
+        self._seen: set[str] = set()
+        # lowercased critical-token text -> indexes of fragments containing it
+        self._index: dict[str, list[int]] = {}
+        self.add_many(fragments)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: Iterable[str]) -> "FragmentStore":
+        """Build a store by running fragment extraction over source texts."""
+        store = cls()
+        for source in sources:
+            store.add_many(extract_fragments(source))
+        return store
+
+    def add(self, fragment: str) -> None:
+        """Insert one fragment (idempotent)."""
+        if not fragment or fragment in self._seen:
+            return
+        self._seen.add(fragment)
+        index = len(self._fragments)
+        self._fragments.append(fragment)
+        for key in fragment_index_keys(fragment):
+            self._index.setdefault(key, []).append(index)
+
+    def add_many(self, fragments: Iterable[str]) -> None:
+        for fragment in fragments:
+            self.add(fragment)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._fragments)
+
+    def __contains__(self, fragment: str) -> bool:
+        return fragment in self._seen
+
+    def __iter__(self):
+        return iter(self._fragments)
+
+    @property
+    def fragments(self) -> list[str]:
+        """All fragments, in insertion order (copy; use :meth:`iter_all`
+        on hot paths)."""
+        return list(self._fragments)
+
+    def iter_all(self):
+        """Iterate all fragments without copying (hot path)."""
+        return iter(self._fragments)
+
+    def candidates_for(self, token_text: str) -> list[str]:
+        """Fragments that contain ``token_text`` (case-insensitive prefilter).
+
+        A superset of the fragments that can cover an occurrence of the
+        token, in insertion order.
+        """
+        return list(self.iter_candidates(token_text))
+
+    def iter_candidates(self, token_text: str):
+        """Non-copying iterator over index candidates (hot path)."""
+        fragments = self._fragments
+        for index in self._index.get(token_text.lower(), ()):
+            yield fragments[index]
+
+    def stats(self) -> dict[str, int]:
+        """Extraction statistics (reported by Table III's bench)."""
+        return {
+            "fragments": len(self._fragments),
+            "indexed_tokens": len(self._index),
+            "total_characters": sum(len(f) for f in self._fragments),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence (daemon warm restarts; the paper's long-lived daemon
+    # keeps fragments in memory, a restart re-extracts -- persisting the
+    # store makes restarts cheap for large applications)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the fragment list (the index is rebuilt on load)."""
+        import json
+
+        return json.dumps({"version": 1, "fragments": self._fragments})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FragmentStore":
+        import json
+
+        payload = json.loads(text)
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported fragment store version: {payload.get('version')!r}")
+        return cls(payload["fragments"])
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "FragmentStore":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

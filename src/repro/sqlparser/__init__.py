@@ -1,0 +1,104 @@
+"""SQL lexing, parsing and structural analysis substrate.
+
+The pieces consumed elsewhere in the system:
+
+- :func:`tokenize` / :func:`tokenize_significant` -- lossless lexing with
+  exact source spans (NTI's whole-token rule, PTI's containment rule).
+- :func:`parse_statement` -- AST construction for the database engine.
+- :func:`critical_tokens` -- the critical-token extraction shared by NTI and
+  PTI (paper Sections II/III).
+- :func:`structure_signature` / :func:`try_structure_signature` -- keys for
+  the PTI query-structure cache (Section VI-A).
+"""
+
+from .ast_nodes import (
+    Between,
+    Binary,
+    CaseExpr,
+    ColumnRef,
+    Delete,
+    ExistsExpr,
+    Expr,
+    FunctionCall,
+    InList,
+    Insert,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    Node,
+    OrderItem,
+    Placeholder,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    SubqueryExpr,
+    TableRef,
+    Union,
+    Unary,
+    Update,
+)
+from .lexer import tokenize, tokenize_significant
+from .parser import Parser, SqlParseError, critical_tokens, parse_statement
+from .structure import (
+    signature_and_tokens,
+    structure_signature,
+    token_signature,
+    try_query_signature,
+    try_structure_signature,
+)
+from .tokens import (
+    SQL_FUNCTIONS,
+    SQL_KEYWORDS,
+    Token,
+    TokenType,
+    is_sql_function,
+    is_sql_keyword,
+)
+
+__all__ = [
+    "Between",
+    "Binary",
+    "CaseExpr",
+    "ColumnRef",
+    "Delete",
+    "ExistsExpr",
+    "Expr",
+    "FunctionCall",
+    "InList",
+    "Insert",
+    "IsNull",
+    "Join",
+    "Like",
+    "Literal",
+    "Node",
+    "OrderItem",
+    "Placeholder",
+    "Select",
+    "SelectItem",
+    "Star",
+    "Statement",
+    "SubqueryExpr",
+    "TableRef",
+    "Union",
+    "Unary",
+    "Update",
+    "tokenize",
+    "tokenize_significant",
+    "Parser",
+    "SqlParseError",
+    "critical_tokens",
+    "parse_statement",
+    "structure_signature",
+    "try_structure_signature",
+    "try_query_signature",
+    "token_signature",
+    "signature_and_tokens",
+    "SQL_FUNCTIONS",
+    "SQL_KEYWORDS",
+    "Token",
+    "TokenType",
+    "is_sql_function",
+    "is_sql_keyword",
+]

@@ -1,0 +1,414 @@
+"""AST node definitions for the SQL subset.
+
+Nodes are plain frozen dataclasses.  Two design constraints come from the
+paper:
+
+- The **query structure cache** (Section IV-C/VI-A) keys on "abstract syntax
+  trees of parsed queries without storing contents of data nodes".  Every
+  node therefore implements ``structure_key()``, a hashable skeleton in which
+  literal values are replaced by a type marker while all structural elements
+  (keywords, operators, function names, clause shapes) are preserved.
+- The **database engine** executes these nodes directly, so the node set
+  covers the statements the testbed applications actually issue, including
+  everything exploits need (UNION, subqueries, sleep/benchmark calls,
+  tautological predicates, comments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "Placeholder",
+    "Unary",
+    "Binary",
+    "FunctionCall",
+    "InList",
+    "Between",
+    "IsNull",
+    "Like",
+    "CaseExpr",
+    "SubqueryExpr",
+    "ExistsExpr",
+    "SelectItem",
+    "TableRef",
+    "Join",
+    "OrderItem",
+    "Select",
+    "Union",
+    "Insert",
+    "Update",
+    "Delete",
+    "Statement",
+]
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    def structure_key(self) -> tuple:
+        """Hashable structural skeleton with data-node contents erased."""
+        raise NotImplementedError
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean or NULL.  This is a *data node*."""
+
+    value: object
+
+    def structure_key(self) -> tuple:
+        # Contents erased; only the broad type survives, so e.g.
+        # ``WHERE id = 1`` and ``WHERE id = 2`` share a structure key while
+        # ``WHERE id = 1 OR 1=1`` does not.
+        return ("lit", type(self.value).__name__)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """Reference to a column, optionally qualified by table name."""
+
+    name: str
+    table: str | None = None
+
+    def structure_key(self) -> tuple:
+        return ("col", self.table, self.name.lower() if self.name else None)
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """The ``*`` select item (optionally ``t.*``)."""
+
+    table: str | None = None
+
+    def structure_key(self) -> tuple:
+        return ("star", self.table)
+
+
+@dataclass(frozen=True)
+class Placeholder(Expr):
+    """A prepared-statement placeholder, ``?`` or ``:name``."""
+
+    name: str
+
+    def structure_key(self) -> tuple:
+        return ("ph", self.name)
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operator application (``-x``, ``NOT x``)."""
+
+    op: str
+    operand: Expr
+
+    def structure_key(self) -> tuple:
+        return ("unary", self.op, self.operand.structure_key())
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operator application (arithmetic, comparison, AND/OR)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def structure_key(self) -> tuple:
+        return ("bin", self.op, self.left.structure_key(), self.right.structure_key())
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """Built-in function invocation, e.g. ``SLEEP(5)`` or ``CONCAT(a, b)``."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    distinct: bool = False
+
+    def structure_key(self) -> tuple:
+        return (
+            "call",
+            self.name.lower(),
+            self.distinct,
+            tuple(a.structure_key() for a in self.args),
+        )
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (e1, e2, ...)`` or ``expr [NOT] IN (subquery)``."""
+
+    needle: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def structure_key(self) -> tuple:
+        return (
+            "in",
+            self.negated,
+            self.needle.structure_key(),
+            tuple(i.structure_key() for i in self.items),
+        )
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    needle: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def structure_key(self) -> tuple:
+        return (
+            "between",
+            self.negated,
+            self.needle.structure_key(),
+            self.low.structure_key(),
+            self.high.structure_key(),
+        )
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def structure_key(self) -> tuple:
+        return ("isnull", self.negated, self.operand.structure_key())
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def structure_key(self) -> tuple:
+        return (
+            "like",
+            self.negated,
+            self.operand.structure_key(),
+            self.pattern.structure_key(),
+        )
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: Expr | None
+    whens: tuple[tuple[Expr, Expr], ...]
+    default: Expr | None = None
+
+    def structure_key(self) -> tuple:
+        return (
+            "case",
+            self.operand.structure_key() if self.operand else None,
+            tuple((w.structure_key(), t.structure_key()) for w, t in self.whens),
+            self.default.structure_key() if self.default else None,
+        )
+
+
+@dataclass(frozen=True)
+class SubqueryExpr(Expr):
+    """A parenthesised SELECT used as a scalar or row expression."""
+
+    select: "Select | Union"
+
+    def structure_key(self) -> tuple:
+        return ("subq", self.select.structure_key())
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expr):
+    """``EXISTS (subquery)``."""
+
+    select: "Select | Union"
+
+    def structure_key(self) -> tuple:
+        return ("exists", self.select.structure_key())
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One projection item with optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+    def structure_key(self) -> tuple:
+        return ("item", self.expr.structure_key(), self.alias)
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """A table in the FROM clause (or a derived table)."""
+
+    name: str | None = None
+    alias: str | None = None
+    subquery: "Select | Union | None" = None
+
+    def structure_key(self) -> tuple:
+        return (
+            "table",
+            self.name.lower() if self.name else None,
+            self.alias,
+            self.subquery.structure_key() if self.subquery else None,
+        )
+
+
+@dataclass(frozen=True)
+class Join(Node):
+    """A join clause attached to the preceding table reference."""
+
+    kind: str  # "inner" | "left" | "right" | "cross"
+    table: TableRef
+    condition: Expr | None = None
+
+    def structure_key(self) -> tuple:
+        return (
+            "join",
+            self.kind,
+            self.table.structure_key(),
+            self.condition.structure_key() if self.condition else None,
+        )
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expr: Expr
+    descending: bool = False
+
+    def structure_key(self) -> tuple:
+        return ("order", self.expr.structure_key(), self.descending)
+
+
+class Statement(Node):
+    """Base class for executable statements."""
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A single SELECT block (no set operators)."""
+
+    items: tuple[SelectItem, ...]
+    table: TableRef | None = None
+    joins: tuple[Join, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Expr | None = None
+    offset: Expr | None = None
+    distinct: bool = False
+
+    def structure_key(self) -> tuple:
+        return (
+            "select",
+            self.distinct,
+            tuple(i.structure_key() for i in self.items),
+            self.table.structure_key() if self.table else None,
+            tuple(j.structure_key() for j in self.joins),
+            self.where.structure_key() if self.where else None,
+            tuple(g.structure_key() for g in self.group_by),
+            self.having.structure_key() if self.having else None,
+            tuple(o.structure_key() for o in self.order_by),
+            self.limit.structure_key() if self.limit else None,
+            self.offset.structure_key() if self.offset else None,
+        )
+
+
+@dataclass(frozen=True)
+class Union(Statement):
+    """``SELECT ... UNION [ALL] SELECT ...`` chains."""
+
+    selects: tuple[Select, ...]
+    all: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Expr | None = None
+    offset: Expr | None = None
+
+    def structure_key(self) -> tuple:
+        return (
+            "union",
+            self.all,
+            tuple(s.structure_key() for s in self.selects),
+            tuple(o.structure_key() for o in self.order_by),
+            self.limit.structure_key() if self.limit else None,
+            self.offset.structure_key() if self.offset else None,
+        )
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``INSERT INTO t (cols) VALUES (...), (...)`` or ``INSERT ... SELECT``."""
+
+    table: str
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    select: Select | Union | None = None
+    replace: bool = False
+
+    def structure_key(self) -> tuple:
+        return (
+            "insert",
+            self.replace,
+            self.table.lower(),
+            tuple(c.lower() for c in self.columns),
+            tuple(tuple(e.structure_key() for e in row) for row in self.rows),
+            self.select.structure_key() if self.select else None,
+        )
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE t SET col = expr, ... [WHERE ...] [LIMIT n]``."""
+
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+    limit: Expr | None = None
+
+    def structure_key(self) -> tuple:
+        return (
+            "update",
+            self.table.lower(),
+            tuple((c.lower(), e.structure_key()) for c, e in self.assignments),
+            self.where.structure_key() if self.where else None,
+            self.limit.structure_key() if self.limit else None,
+        )
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``DELETE FROM t [WHERE ...] [LIMIT n]``."""
+
+    table: str
+    where: Expr | None = None
+    limit: Expr | None = None
+
+    def structure_key(self) -> tuple:
+        return (
+            "delete",
+            self.table.lower(),
+            self.where.structure_key() if self.where else None,
+            self.limit.structure_key() if self.limit else None,
+        )

@@ -1,0 +1,273 @@
+"""Lexer for the MySQL-flavoured SQL subset.
+
+The lexer is shared by every analysis in the system: the parser builds ASTs
+from its token stream, NTI uses token spans to enforce the whole-token rule,
+PTI extracts the critical-token list, and fragment extraction uses it to
+decide which application string literals contain "at least one valid SQL
+token" (Section IV-A).
+
+Design points that matter for security analysis:
+
+- **Exact spans.**  Every token records its ``[start, end)`` offsets in the
+  original query string, so taint markings (which are character ranges) can
+  be intersected with tokens precisely.
+- **Comments are single tokens.**  ``/* ... */``, ``-- ...`` and ``# ...``
+  each lex to one :class:`~repro.sqlparser.tokens.Token` of type ``COMMENT``,
+  because the paper requires comments to be "fully contained in one
+  fragment" and to count as one critical token.
+- **Lossless.**  Concatenating the ``text`` of all tokens (including
+  whitespace tokens) reproduces the input exactly; a property test pins this
+  invariant.
+- **Error tolerance.**  Web applications emit malformed SQL under attack;
+  the lexer never raises on stray characters, it emits them as one-character
+  OPERATOR tokens so downstream analyses still see them as critical.
+"""
+
+from __future__ import annotations
+
+from .tokens import Token, TokenType, is_sql_keyword
+
+__all__ = ["tokenize", "tokenize_significant", "SqlLexError"]
+
+_OPERATOR_STARTS = set("=<>!+-*/%&|^~.")
+_TWO_CHAR_OPERATORS = {
+    "<=", ">=", "<>", "!=", ":=", "||", "&&", "<<", ">>", "->",
+}
+_PUNCTUATION = set("(),;")
+
+
+class SqlLexError(Exception):
+    """Raised only for internal invariant violations, never for bad SQL."""
+
+
+def _lex_line_comment(text: str, pos: int) -> int:
+    """Return the end offset of a comment running to end-of-line."""
+    end = text.find("\n", pos)
+    return len(text) if end < 0 else end
+
+
+def _lex_block_comment(text: str, pos: int) -> int:
+    """Return the end offset of a ``/* ... */`` comment (inclusive of ``*/``).
+
+    An unterminated block comment swallows the rest of the query, matching
+    MySQL's behaviour and keeping the "comment is one token" rule intact for
+    truncated attack payloads such as ``... /*``.
+    """
+    end = text.find("*/", pos + 2)
+    return len(text) if end < 0 else end + 2
+
+
+def _lex_quoted(text: str, pos: int, quote: str) -> int:
+    """Return end offset of a quoted region starting at ``pos``.
+
+    Handles backslash escapes and doubled-quote escapes (``''`` inside a
+    single-quoted string).  Unterminated strings run to end of input.
+    """
+    i = pos + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and quote != "`":
+            i += 2
+            continue
+        if ch == quote:
+            if i + 1 < n and text[i + 1] == quote:
+                i += 2
+                continue
+            return i + 1
+        i += 1
+    return n
+
+
+def _string_value(raw: str, quote: str) -> str:
+    """Decode the semantic value of a quoted literal."""
+    body = raw[1:]
+    if body.endswith(quote):
+        body = body[:-1]
+    if quote == "`":
+        return body.replace("``", "`")
+    out: list[str] = []
+    i = 0
+    n = len(body)
+    while i < n:
+        ch = body[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = body[i + 1]
+            out.append({"n": "\n", "t": "\t", "r": "\r", "0": "\0"}.get(nxt, nxt))
+            i += 2
+        elif ch == quote and i + 1 < n and body[i + 1] == quote:
+            out.append(quote)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+_ASCII_DIGITS = "0123456789"
+
+
+def _is_ascii_digit(ch: str) -> bool:
+    # str.isdigit() accepts Unicode digits (e.g. superscripts) that int()
+    # rejects; SQL numbers are ASCII only.
+    return ch in _ASCII_DIGITS
+
+
+def _lex_number(text: str, pos: int) -> tuple[int, object]:
+    """Lex a numeric literal; returns (end, value)."""
+    n = len(text)
+    i = pos
+    if text.startswith(("0x", "0X"), pos):
+        i = pos + 2
+        while i < n and text[i] in "0123456789abcdefABCDEF":
+            i += 1
+        if i > pos + 2:
+            return i, int(text[pos:i], 16)
+        i = pos  # bare "0x" -- treat as plain number 0 then identifier
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = text[i]
+        if _is_ascii_digit(ch):
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > pos and _is_ascii_digit(text[i - 1]):
+            if i + 1 < n and _is_ascii_digit(text[i + 1]):
+                seen_exp = True
+                i += 2
+            elif (
+                i + 2 < n
+                and text[i + 1] in "+-"
+                and _is_ascii_digit(text[i + 2])
+            ):
+                seen_exp = True
+                i += 3
+            else:
+                break
+        else:
+            break
+    raw = text[pos:i]
+    if seen_dot or seen_exp:
+        return i, float(raw)
+    return i, int(raw)
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_" or ch == "$" or ord(ch) > 127
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_" or ch == "$" or ord(ch) > 127
+
+
+def tokenize(query: str) -> list[Token]:
+    """Tokenize ``query`` into a lossless token list (whitespace included).
+
+    Never raises on malformed input; the final element is always an ``EOF``
+    token with an empty ``text``.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    n = len(query)
+    while pos < n:
+        ch = query[pos]
+        if ch.isspace():
+            end = pos + 1
+            while end < n and query[end].isspace():
+                end += 1
+            tokens.append(Token(TokenType.WHITESPACE, query[pos:end], pos, end))
+            pos = end
+            continue
+        if ch == "#":
+            end = _lex_line_comment(query, pos)
+            tokens.append(Token(TokenType.COMMENT, query[pos:end], pos, end))
+            pos = end
+            continue
+        if query.startswith("--", pos):
+            # MySQL requires whitespace (or end) after --, but attack payloads
+            # often use bare "--"; accept both.
+            end = _lex_line_comment(query, pos)
+            tokens.append(Token(TokenType.COMMENT, query[pos:end], pos, end))
+            pos = end
+            continue
+        if query.startswith("/*", pos):
+            end = _lex_block_comment(query, pos)
+            tokens.append(Token(TokenType.COMMENT, query[pos:end], pos, end))
+            pos = end
+            continue
+        if ch in "'\"`":
+            end = _lex_quoted(query, pos, ch)
+            raw = query[pos:end]
+            ttype = TokenType.IDENTIFIER if ch == "`" else TokenType.STRING
+            tokens.append(Token(ttype, raw, pos, end, value=_string_value(raw, ch)))
+            pos = end
+            continue
+        if _is_ascii_digit(ch) or (
+            ch == "." and pos + 1 < n and _is_ascii_digit(query[pos + 1])
+        ):
+            end, value = _lex_number(query, pos)
+            tokens.append(Token(TokenType.NUMBER, query[pos:end], pos, end, value=value))
+            pos = end
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PLACEHOLDER, "?", pos, pos + 1))
+            pos += 1
+            continue
+        if ch == ":" and pos + 1 < n and _is_ident_start(query[pos + 1]):
+            end = pos + 1
+            while end < n and _is_ident_char(query[end]):
+                end += 1
+            tokens.append(Token(TokenType.PLACEHOLDER, query[pos:end], pos, end))
+            pos = end
+            continue
+        if _is_ident_start(ch):
+            end = pos + 1
+            while end < n and _is_ident_char(query[end]):
+                end += 1
+            word = query[pos:end]
+            if is_sql_keyword(word):
+                tokens.append(
+                    Token(TokenType.KEYWORD, word, pos, end, value=word.lower())
+                )
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, pos, end))
+            pos = end
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, pos, pos + 1))
+            pos += 1
+            continue
+        if ch in _OPERATOR_STARTS or ch in "@:":
+            if query.startswith("<=>", pos):
+                tokens.append(Token(TokenType.OPERATOR, "<=>", pos, pos + 3))
+                pos += 3
+                continue
+            two = query[pos : pos + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, two, pos, pos + 2))
+                pos += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, ch, pos, pos + 1))
+                pos += 1
+            continue
+        # Unknown character: surface it as a critical one-char operator so
+        # attack payloads using exotic bytes remain visible to the analyses.
+        tokens.append(Token(TokenType.OPERATOR, ch, pos, pos + 1))
+        pos += 1
+    tokens.append(Token(TokenType.EOF, "", n, n))
+    return tokens
+
+
+def tokenize_significant(query: str) -> list[Token]:
+    """Tokenize and drop whitespace and EOF; comments are retained.
+
+    This is the stream consumed by the parser and by critical-token
+    extraction (comments matter -- they are critical tokens).
+    """
+    return [
+        t
+        for t in tokenize(query)
+        if t.type not in (TokenType.WHITESPACE, TokenType.EOF)
+    ]

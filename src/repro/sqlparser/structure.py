@@ -1,0 +1,108 @@
+"""Query structure signatures for the PTI structure cache.
+
+Paper Section VI-A introduces a second-level cache: *"The query structure
+cache caches the structure of the SQL query abstract-syntax-tree without the
+content of data nodes."*  Two queries that differ only in literal values --
+``... WHERE id = 1`` vs ``... WHERE id = 2`` -- share a signature and a
+cached safety verdict, while a structurally different (injected) query --
+``... WHERE id = 1 OR 1 = 1`` -- does not.
+
+Signatures are derived from ``Statement.structure_key()`` and hashed to a
+compact hex digest so cache keys stay small even for large queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .ast_nodes import Statement
+from .parser import SqlParseError, critical_tokens, parse_statement
+
+__all__ = [
+    "structure_signature",
+    "try_structure_signature",
+    "try_query_signature",
+    "token_signature",
+    "signature_and_tokens",
+]
+
+
+def _fold(key: object, hasher: "hashlib._Hash") -> None:
+    """Feed a nested structure-key tuple into a hash incrementally."""
+    if isinstance(key, tuple):
+        hasher.update(b"(")
+        for item in key:
+            _fold(item, hasher)
+        hasher.update(b")")
+    else:
+        hasher.update(repr(key).encode("utf-8", "replace"))
+        hasher.update(b",")
+
+
+def structure_signature(statement: Statement) -> str:
+    """Stable hex digest of an AST's structure with data-node contents erased."""
+    hasher = hashlib.sha256()
+    _fold(statement.structure_key(), hasher)
+    return hasher.hexdigest()
+
+
+def try_structure_signature(query: str) -> str | None:
+    """Parse ``query`` and return its structure signature, or ``None``.
+
+    Unparseable queries are not cacheable by structure (the paper's structure
+    cache only serves syntactically valid queries) -- callers fall back to
+    the exact-string query cache or a full analysis.
+    """
+    try:
+        statement = parse_statement(query)
+    except SqlParseError:
+        return None
+    return structure_signature(statement)
+
+
+def token_signature(stream: list) -> str:
+    """Structure signature from a significant-token stream.
+
+    The skeleton keeps every token's exact text *except* literal values
+    (strings and numbers), which collapse to a type marker.  Two
+    instantiations of one code-site template -- same SQL text, different
+    bound data -- share a signature; any change to non-literal text (an
+    injected keyword, a case or whitespace change inside injected SQL,
+    which PTI's matcher is sensitive to) does not.
+
+    This is the granularity the PTI verdict actually depends on, and it is
+    computable from the token stream the daemon lexes anyway -- the whole
+    point of the structure cache is to skip the *matching* stage, so its key
+    must be cheaper than matching (paper Section VI-A).
+    """
+    from .tokens import TokenType
+
+    hasher = hashlib.sha256()
+    for token in stream:
+        if token.type is TokenType.STRING:
+            hasher.update(b"\x01s")
+        elif token.type is TokenType.NUMBER:
+            hasher.update(b"\x01n")
+        else:
+            hasher.update(token.text.encode("utf-8", "replace"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def signature_and_tokens(query: str, strict: bool = False) -> tuple["str | None", list]:
+    """One-pass computation of (cache signature, critical tokens).
+
+    Lexes once and derives both the critical-token list and the
+    token-skeleton signature from the same stream.  ``strict`` selects the
+    identifier-critical token policy.
+    """
+    from .lexer import tokenize_significant
+
+    stream = tokenize_significant(query)
+    tokens = critical_tokens(query, stream, strict=strict)
+    return token_signature(stream), tokens
+
+
+def try_query_signature(query: str) -> str | None:
+    """Cache key for PTI's structure cache (see :func:`token_signature`)."""
+    return signature_and_tokens(query)[0]

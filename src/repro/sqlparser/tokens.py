@@ -1,0 +1,160 @@
+"""SQL token model and critical-token classification.
+
+Both taint inference components reason about *critical tokens* (paper
+Sections II and III): SQL keywords, built-in function names, operators and
+delimiters, and comments (treated as a single critical token).  An injection
+occurs when attacker-controlled input is interpreted as one of these, or
+changes the intended syntactic structure of a command.
+
+Identifiers and literals in *data positions* are deliberately **not**
+critical: the paper's pragmatic threat model (Section II) tolerates
+applications that pass field and table names through user input, so marking
+them critical would break common programs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "TokenType",
+    "Token",
+    "SQL_KEYWORDS",
+    "SQL_FUNCTIONS",
+    "is_sql_keyword",
+    "is_sql_function",
+]
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a SQL token."""
+
+    KEYWORD = "keyword"          # SELECT, UNION, OR, ...
+    IDENTIFIER = "identifier"    # table/column names, incl. `quoted`
+    NUMBER = "number"            # 42, 3.14, 0x1F
+    STRING = "string"            # 'abc', "abc"
+    OPERATOR = "operator"        # = <> <= || + - * / %
+    PUNCTUATION = "punct"        # ( ) , ; .
+    COMMENT = "comment"          # /* ... */, -- ..., # ...
+    PLACEHOLDER = "placeholder"  # ? or :name (prepared statements)
+    WHITESPACE = "whitespace"
+    EOF = "eof"
+
+
+#: Keywords of the MySQL-flavoured subset understood by the parser.  This set
+#: doubles as the critical-keyword list for taint analysis, and as the filter
+#: used during fragment extraction ("only fragments that contain at least one
+#: valid SQL token need to be retained", Section IV-A).
+SQL_KEYWORDS = frozenset(
+    """
+    select insert update delete replace from where and or not in is null like
+    between union all distinct as order by group having limit offset join
+    inner left right outer cross on using values set into create table drop
+    alter index primary key unique auto_increment default references foreign
+    asc desc case when then else end exists any some true false unknown
+    interval div mod xor regexp rlike binary collate escape prepare execute
+    deallocate begin commit rollback describe explain show grant revoke
+    """.split()
+)
+
+#: Built-in SQL functions treated as critical tokens when they appear in call
+#: position.  Includes the information-extraction and timing functions used
+#: by real exploits (``username()``/``user()``, ``sleep``, ``benchmark``).
+SQL_FUNCTIONS = frozenset(
+    """
+    count sum avg min max concat concat_ws substring substr length char
+    ascii ord hex unhex lower upper trim ltrim rtrim replace sleep benchmark
+    version user username current_user database schema now curdate curtime
+    if ifnull nullif coalesce cast convert group_concat load_file rand md5
+    sha1 floor ceil ceiling round abs greatest least instr locate mid left
+    right elt field find_in_set format lpad rpad repeat reverse space
+    strcmp make_set extractvalue updatexml
+    """.split()
+)
+
+
+def is_sql_keyword(word: str) -> bool:
+    """True when ``word`` (case-insensitive) is a keyword of our SQL subset."""
+    return word.lower() in SQL_KEYWORDS
+
+
+def is_sql_function(word: str) -> bool:
+    """True when ``word`` (case-insensitive) names a built-in SQL function."""
+    return word.lower() in SQL_FUNCTIONS
+
+
+#: Operators that count as security-critical.  Comparison and logical
+#: operators (and the projection star) can change what a query returns;
+#: arithmetic signs, the dot qualifier and grouping punctuation cannot, and
+#: the paper's own Figure 3B treats ``-1 UNION SELECT username()`` as having
+#: exactly three uncovered critical tokens (UNION, SELECT, username()) --
+#: the minus sign, parentheses and the comma are data-plumbing, not code.
+CRITICAL_OPERATORS = frozenset(
+    {"=", "<", ">", "<=", ">=", "<>", "!=", "<=>", "||", "&&", "!", "*", "@"}
+)
+
+#: Statement delimiter; the only critical punctuation (stacked queries).
+CRITICAL_PUNCTUATION = frozenset({";"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed SQL token with its exact source span.
+
+    Attributes:
+        type: lexical category.
+        text: the exact source text (including quotes for strings, comment
+            delimiters for comments).
+        start: offset of the first character in the query string.
+        end: offset one past the last character.
+        value: normalised semantic value -- unquoted string contents,
+            numeric value as ``int``/``float``, lowercased keyword, or the
+            raw text for other categories.
+    """
+
+    type: TokenType
+    text: str
+    start: int
+    end: int
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            object.__setattr__(self, "value", self.text)
+
+    @property
+    def upper(self) -> str:
+        """Uppercased token text, convenient for keyword comparisons."""
+        return self.text.upper()
+
+    def is_critical(self, *, next_is_call: bool = False, strict: bool = False) -> bool:
+        """Whether this token is security-critical per the paper's model.
+
+        Critical: SQL keywords, comparison/logical operators
+        (:data:`CRITICAL_OPERATORS`), the statement delimiter ``;``,
+        comments (each one whole token), and built-in function names in
+        call position (``next_is_call``), e.g. the ``username()`` of
+        Figure 3B.  Literals, placeholders, ordinary identifiers,
+        arithmetic signs and grouping punctuation are data.
+
+        ``strict`` switches to a Ray/Ligatti-style policy (paper Section
+        II): *identifiers* become critical too, so applications that pass
+        field or table names through user input are rejected.  The paper
+        deliberately does not use this ("many programs ... would break");
+        it is offered as the adjustable-policy knob Section II mentions.
+        """
+        if self.type in (TokenType.KEYWORD, TokenType.COMMENT):
+            return True
+        if self.type is TokenType.OPERATOR:
+            return self.text in CRITICAL_OPERATORS
+        if self.type is TokenType.PUNCTUATION:
+            return self.text in CRITICAL_PUNCTUATION
+        if self.type is TokenType.IDENTIFIER:
+            if strict:
+                return True
+            return next_is_call and is_sql_function(self.text)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}, {self.start}:{self.end})"

@@ -1,0 +1,127 @@
+"""Site crawler and benign-traffic driver for the false-positive study.
+
+Paper Section V-B: *"To evaluate false positives, we developed a script to
+perform a full crawl of the Wordpress application testbed, including posting
+random comments and performing random searches."*
+
+The crawler enumerates every core URL (home, every post, author pages),
+every plugin route with legitimate parameter values, and generates
+deterministic pseudo-random comments and searches -- deliberately salted
+with SQL-looking words (``union``, ``select``, ``or 1=1`` as *prose*) to
+stress the analyzers the way hostile-looking-but-benign user content does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phpapp.application import WebApplication
+from ..phpapp.request import HttpRequest
+from .exploits import benign_value, make_request
+from .plugin_defs import ALL_PLUGINS, PluginDef
+
+__all__ = ["CrawlReport", "crawl_requests", "full_crawl"]
+
+_COMMENT_WORDS = (
+    "great post thanks for sharing I think the union of ideas here is neat "
+    "you could select a better theme or 1=1 of the commenters will agree "
+    "don't drop the table of contents it's 100% useful -- regards o'brien"
+).split()
+
+_SEARCH_TERMS = (
+    "lorem", "security", "union select", "o'brien", "100%", "tempor",
+    "drop table", "1=1", "magna aliqua", "taint inference",
+)
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF or 1
+
+    def next_int(bound: int) -> int:
+        nonlocal state
+        state = (state * 48271) % 0x7FFFFFFF
+        return state % bound
+
+    return next_int
+
+
+def _random_comment(rand) -> str:
+    count = 6 + rand(12)
+    return " ".join(_COMMENT_WORDS[rand(len(_COMMENT_WORDS))] for __ in range(count))
+
+
+def crawl_requests(
+    num_posts: int,
+    plugins: list[PluginDef] | None = None,
+    comments: int = 10,
+    searches: int = 10,
+    seed: int = 2015,
+) -> list[HttpRequest]:
+    """The benign request stream of one full crawl."""
+    rand = _lcg(seed)
+    requests: list[HttpRequest] = [HttpRequest(path="/")]
+    for post_id in range(1, num_posts + 1):
+        requests.append(HttpRequest(path="/post", get={"id": str(post_id)}))
+    for author in (1, 2):
+        requests.append(HttpRequest(path="/author", get={"author": str(author)}))
+    for defn in plugins if plugins is not None else ALL_PLUGINS:
+        requests.append(make_request(defn, benign_value(defn)))
+    for __ in range(searches):
+        term = _SEARCH_TERMS[rand(len(_SEARCH_TERMS))]
+        requests.append(HttpRequest(path="/search", get={"s": term}))
+    for __ in range(comments):
+        requests.append(
+            HttpRequest(
+                method="POST",
+                path="/comment",
+                post={
+                    "post_id": str(1 + rand(num_posts)),
+                    "author": ("visitor", "o'malley", "-- dave", "100% bob")[rand(4)],
+                    "content": _random_comment(rand),
+                },
+            )
+        )
+    return requests
+
+
+@dataclass
+class CrawlReport:
+    """Outcome of a protected (or plain) full crawl."""
+
+    total_requests: int
+    blocked_requests: int
+    error_requests: int
+    total_queries: int
+
+    @property
+    def false_positives(self) -> int:
+        """Blocked benign requests (every crawl request is benign)."""
+        return self.blocked_requests
+
+
+def full_crawl(
+    app: WebApplication,
+    num_posts: int,
+    plugins: list[PluginDef] | None = None,
+    comments: int = 10,
+    searches: int = 10,
+    seed: int = 2015,
+) -> CrawlReport:
+    """Drive the whole benign stream through ``app`` and tally the outcome."""
+    blocked = 0
+    errors = 0
+    queries = 0
+    requests = crawl_requests(num_posts, plugins, comments, searches, seed)
+    for request in requests:
+        response = app.handle(request)
+        queries += response.query_count
+        if response.blocked:
+            blocked += 1
+        elif response.db_error or response.status >= 500:
+            errors += 1
+    return CrawlReport(
+        total_requests=len(requests),
+        blocked_requests=blocked,
+        error_requests=errors,
+        total_queries=queries,
+    )

@@ -1,0 +1,220 @@
+"""Security-evaluation harness: computes the paper's Tables II and IV.
+
+For every plugin the harness establishes:
+
+- the original exploit *works* against the unprotected testbed;
+- per-technique detection of the original exploit (Table II baseline);
+- the NTI-evasive mutant still works and whether NTI / Joza detect it;
+- whether Taintless can adapt the exploit (and, when it can, that the
+  adapted exploit works and whether PTI / Joza detect it);
+- Joza's verdict across everything (the last column of Table IV).
+
+The harness builds one protected application per configuration and streams
+all exploits through it, resetting nothing in between -- deliberately, since
+that is how a deployed Joza would see the traffic (and it exercises the
+caches under attack load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.engine import JozaEngine
+from ..core.policy import JozaConfig
+from ..phpapp.application import WebApplication
+from ..pti.fragments import FragmentStore
+from .exploits import Exploit, all_exploits, craft_exploit, run_exploit
+from .other_apps import ScenarioReport, all_scenarios
+from .plugin_defs import ALL_PLUGINS, AttackType, PluginDef, plugin_by_name
+from .plugins import build_testbed
+
+__all__ = [
+    "PluginReport",
+    "CorpusEvaluation",
+    "evaluate_corpus",
+    "evaluate_sqlgen_variants",
+    "SQLGEN_TARGETS",
+]
+
+#: The four plugins (one per attack class of Table I) the paper points
+#: SQLMap at, generating ~40 valid payloads each (Table II, second row).
+SQLGEN_TARGETS = ("commevents", "allowphp", "gdstarrating", "advertiser")
+
+
+@dataclass
+class PluginReport:
+    """One row of Table IV."""
+
+    plugin: PluginDef
+    original_works: bool
+    nti_original: bool       # NTI detected the original exploit
+    pti_original: bool       # PTI detected the original exploit
+    nti_mutant_works: bool   # the NTI-evasive mutant is still functional
+    nti_mutated: bool        # NTI detected the NTI-evasive mutant
+    taintless_adapted: bool  # Taintless produced a PTI-safe mutant
+    pti_mutant_works: bool   # that mutant is still functional
+    pti_mutated: bool        # PTI detected the Taintless mutant (False == evaded)
+    joza: bool               # Joza detected original + every existing mutant
+
+
+@dataclass
+class CorpusEvaluation:
+    """Aggregates for Tables II and IV."""
+
+    reports: list[PluginReport]
+    scenario_reports: list[ScenarioReport]
+
+    # -- Table II -------------------------------------------------------
+
+    @property
+    def nti_baseline(self) -> tuple[int, int]:
+        return sum(r.nti_original for r in self.reports), len(self.reports)
+
+    @property
+    def pti_baseline(self) -> tuple[int, int]:
+        return sum(r.pti_original for r in self.reports), len(self.reports)
+
+    # -- Section V-A evasion tallies -------------------------------------
+
+    @property
+    def nti_evasions(self) -> int:
+        """Mutants that work and bypass NTI (plugins only)."""
+        return sum(
+            r.nti_mutant_works and not r.nti_mutated for r in self.reports
+        )
+
+    @property
+    def taintless_successes(self) -> int:
+        """Exploits Taintless adapted into working, PTI-safe mutants."""
+        return sum(
+            r.taintless_adapted and r.pti_mutant_works and not r.pti_mutated
+            for r in self.reports
+        )
+
+    @property
+    def joza_detections(self) -> tuple[int, int]:
+        return sum(r.joza for r in self.reports), len(self.reports)
+
+
+def _detected_during(engine: JozaEngine, action) -> bool:
+    before = len(engine.attack_log)
+    action()
+    return len(engine.attack_log) > before
+
+
+def evaluate_corpus(
+    num_posts: int = 10,
+    plugins: list[PluginDef] | None = None,
+    include_scenarios: bool = True,
+) -> CorpusEvaluation:
+    """Run the full security evaluation over the plugin corpus."""
+    # Imported here, not at module top: repro.attacks imports testbed types,
+    # so a module-level import would be circular.
+    from ..attacks.nti_evasion import mutate_exploit_for_nti
+    from ..attacks.taintless import query_builder_for, taintless_mutate
+
+    corpus = plugins if plugins is not None else ALL_PLUGINS
+    app_plain = build_testbed(num_posts, corpus)
+    app_nti = build_testbed(num_posts, corpus)
+    app_pti = build_testbed(num_posts, corpus)
+    app_joza = build_testbed(num_posts, corpus)
+    eng_nti = JozaEngine.protect(app_nti, JozaConfig(enable_pti=False))
+    eng_pti = JozaEngine.protect(app_pti, JozaConfig(enable_nti=False))
+    eng_joza = JozaEngine.protect(app_joza)
+    store = FragmentStore.from_sources(app_plain.all_sources())
+
+    reports: list[PluginReport] = []
+    for defn in corpus:
+        exploit = craft_exploit(defn)
+        original_works = run_exploit(app_plain, exploit).success
+        nti_original = _detected_during(
+            eng_nti, lambda: run_exploit(app_nti, exploit)
+        )
+        pti_original = _detected_during(
+            eng_pti, lambda: run_exploit(app_pti, exploit)
+        )
+        joza_original = _detected_during(
+            eng_joza, lambda: run_exploit(app_joza, exploit)
+        )
+
+        nti_mutant = mutate_exploit_for_nti(exploit)
+        nti_mutant_works = run_exploit(app_plain, exploit, payloads=nti_mutant).success
+        nti_mutated = _detected_during(
+            eng_nti, lambda: run_exploit(app_nti, exploit, payloads=nti_mutant)
+        )
+        joza_nti_mutant = _detected_during(
+            eng_joza, lambda: run_exploit(app_joza, exploit, payloads=nti_mutant)
+        )
+
+        builder = query_builder_for(app_plain, defn)
+        taintless = [taintless_mutate(p, builder, store) for p in exploit.payloads]
+        taintless_adapted = all(t.succeeded for t in taintless)
+        pti_mutant_works = False
+        pti_mutated = False
+        joza_pti_mutant = True
+        if taintless_adapted:
+            pti_mutant = tuple(t.payload for t in taintless)
+            pti_mutant_works = run_exploit(
+                app_plain, exploit, payloads=pti_mutant
+            ).success
+            pti_mutated = _detected_during(
+                eng_pti, lambda: run_exploit(app_pti, exploit, payloads=pti_mutant)
+            )
+            joza_pti_mutant = _detected_during(
+                eng_joza, lambda: run_exploit(app_joza, exploit, payloads=pti_mutant)
+            )
+        reports.append(
+            PluginReport(
+                plugin=defn,
+                original_works=original_works,
+                nti_original=nti_original,
+                pti_original=pti_original,
+                nti_mutant_works=nti_mutant_works,
+                nti_mutated=nti_mutated,
+                taintless_adapted=taintless_adapted,
+                pti_mutant_works=pti_mutant_works,
+                pti_mutated=pti_mutated,
+                joza=joza_original and joza_nti_mutant and joza_pti_mutant,
+            )
+        )
+    scenario_reports = (
+        [scenario.evaluate() for scenario in all_scenarios()]
+        if include_scenarios
+        else []
+    )
+    return CorpusEvaluation(reports=reports, scenario_reports=scenario_reports)
+
+
+def evaluate_sqlgen_variants(
+    count_per_plugin: int = 40,
+    num_posts: int = 5,
+    targets: tuple[str, ...] = SQLGEN_TARGETS,
+) -> dict[str, tuple[int, int]]:
+    """Detection of SQLMap-style variants (Table II, second row).
+
+    Returns ``{"nti": (detected, total), "pti": (detected, total)}``.
+    """
+    from ..attacks.sqlgen import generate_variants
+
+    results: dict[str, tuple[int, int]] = {}
+    for technique, config in (
+        ("nti", JozaConfig(enable_pti=False)),
+        ("pti", JozaConfig(enable_nti=False)),
+    ):
+        app = build_testbed(num_posts)
+        engine = JozaEngine.protect(app, config)
+        detected = 0
+        total = 0
+        for name in targets:
+            defn = plugin_by_name(name)
+            exploit = craft_exploit(defn)
+            for variant in generate_variants(defn, count_per_plugin):
+                total += 1
+                payloads = (variant,) * len(exploit.payloads)
+                if _detected_during(
+                    engine,
+                    lambda: run_exploit(app, exploit, payloads=payloads),
+                ):
+                    detected += 1
+        results[technique] = (detected, total)
+    return results

@@ -1,0 +1,394 @@
+"""The three non-WordPress case studies of paper Section V-B.
+
+- **Drupal** (CVE-2014-3704, "Drupageddon"): user-supplied *array keys*
+  become placeholder names while the query is expanded for preparation, so
+  a crafted key injects SQL even though the values go through placeholders.
+  Union-based.
+- **Joomla** (CVE-2013-1453): encoded cookie input is unserialized into an
+  object whose member variables are attacker-controlled; the object builds
+  a SQL query from them on destruction.  Double-blind (and invisible to NTI
+  even unmutated, because the input is serialized+encoded).
+- **osCommerce** (OSVDB-103365, ``geo_zones.php`` ``zID`` parameter):
+  straightforward tautology.  Its source vocabulary contains the spaced
+  ``OR``/``=`` fragments, so the exploit written with matching whitespace
+  evades PTI from the start -- the 14th PTI evasion of the paper's 14/53.
+
+Each scenario builds a small application on the shared framework plus an
+``evaluate()`` that produces the per-technique detection row of Table IV.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.engine import JozaEngine
+from ..core.policy import JozaConfig
+from ..database import Column, ColumnType, Database, TableSchema
+from ..phpapp.application import WebApplication
+from ..phpapp.php_serialize import PhpObject, php_serialize, php_unserialize
+from ..phpapp.request import HttpRequest, HttpResponse
+from .plugin_defs import AttackType
+from .wordpress import ADMIN_PASSWORD_HASH
+
+__all__ = ["Scenario", "ScenarioReport", "drupal_scenario", "joomla_scenario",
+           "oscommerce_scenario", "all_scenarios"]
+
+
+@dataclass
+class ScenarioReport:
+    """One bottom row of Table IV."""
+
+    name: str
+    version: str
+    advisory: str
+    attack_type: str
+    nti_original: bool
+    nti_mutated: bool   # detection of the NTI-evasive mutant
+    pti_original: bool
+    pti_mutated: bool   # detection of the PTI-evasive mutant (if one exists)
+    joza: bool          # Joza detected original and both mutants
+
+
+@dataclass
+class Scenario:
+    """A case-study application with original and mutated exploits."""
+
+    name: str
+    version: str
+    advisory: str
+    attack_type: str
+    build_app: Callable[[], WebApplication]
+    make_request: Callable[[str], HttpRequest]
+    original_payloads: tuple
+    nti_mutated_payloads: tuple
+    pti_mutated_payloads: tuple | None  # None when no PTI evasion exists
+    oracle: Callable[[WebApplication, list[HttpResponse]], bool]
+
+    # ------------------------------------------------------------------
+
+    def run(self, app: WebApplication, payloads: tuple) -> tuple[bool, bool]:
+        """(success, blocked) of firing ``payloads`` at ``app``."""
+        responses = [app.handle(self.make_request(p)) for p in payloads]
+        if any(r.blocked for r in responses):
+            return False, True
+        return self.oracle(app, responses), False
+
+    def _detected(self, config: JozaConfig, payloads: tuple) -> bool:
+        app = self.build_app()
+        engine = JozaEngine.protect(app, config)
+        self.run(app, payloads)
+        return bool(engine.attack_log)
+
+    def evaluate(self) -> ScenarioReport:
+        """Compute the Table IV row for this application."""
+        nti_cfg = JozaConfig(enable_pti=False)
+        pti_cfg = JozaConfig(enable_nti=False)
+        full_cfg = JozaConfig()
+        pti_mut = self.pti_mutated_payloads
+        joza = (
+            self._detected(full_cfg, self.original_payloads)
+            and self._detected(full_cfg, self.nti_mutated_payloads)
+            and (pti_mut is None or self._detected(full_cfg, pti_mut))
+        )
+        return ScenarioReport(
+            name=self.name,
+            version=self.version,
+            advisory=self.advisory,
+            attack_type=self.attack_type,
+            nti_original=self._detected(nti_cfg, self.original_payloads),
+            nti_mutated=self._detected(nti_cfg, self.nti_mutated_payloads),
+            pti_original=self._detected(pti_cfg, self.original_payloads),
+            pti_mutated=(
+                self._detected(pti_cfg, pti_mut) if pti_mut is not None else True
+            ),
+            joza=joza,
+        )
+
+
+# ----------------------------------------------------------------------
+# Drupal -- placeholder-name injection in prepared-statement expansion
+# ----------------------------------------------------------------------
+
+_DRUPAL_SOURCE = r'''<?php
+// includes/database/database.inc (expandArguments, simplified)
+$query = "SELECT uid, name, pass FROM d_users WHERE uid IN (:ids) AND status = 1";
+$placeholder = ":ids_";
+$login_query = "SELECT uid FROM d_users WHERE name = :name AND pass = :pass";
+$or_helper = " OR ";
+$eq_helper = " = ";
+?>'''
+
+
+def _build_drupal() -> WebApplication:
+    db = Database("drupal")
+    db.create_table(
+        TableSchema(
+            "d_users",
+            [
+                Column("uid", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("name", ColumnType.TEXT),
+                Column("pass", ColumnType.TEXT),
+                Column("status", ColumnType.INTEGER, default=1),
+            ],
+        )
+    )
+    db.execute(
+        "INSERT INTO d_users (name, pass, status) VALUES "
+        f"('admin', '{ADMIN_PASSWORD_HASH}', 1), ('guest', 'x', 1)"
+    )
+
+    def login(app: WebApplication, request: HttpRequest) -> str:
+        # Drupal's expandArguments: one placeholder per *array key* of the
+        # user-supplied id list.  Keys are attacker-controlled text.
+        keys = [k for k in request.post.get("ids", "0").split("&") if k]
+        placeholders = ", ".join(f":ids_{key}" for key in keys)
+        query = (
+            "SELECT uid, name, pass FROM d_users WHERE uid IN "
+            f"({placeholders}) AND status = 1"
+        )
+        # "Prepare" then bind values.  A placeholder *name* ends at the
+        # first non-word character, so a malicious key contributes only its
+        # leading word to the placeholder -- the rest lands in the query as
+        # raw SQL.  That is exactly CVE-2014-3704.  The bound value is the
+        # id the caller asked for (its leading digits).
+        query = re.sub(
+            r":ids_(\d*)\w*", lambda m: m.group(1) or "0", query
+        )
+        result = app.wrapper.query(query)
+        return "\n".join(" | ".join(str(v) for v in row) for row in result.rows)
+
+    # Drupal does not apply magic quotes.
+    app = WebApplication(
+        "drupal-7.31-sim",
+        db,
+        core_source=_DRUPAL_SOURCE,
+        core_routes={"/drupal/login": login},
+        magic_quotes=False,
+        trim_authenticated=False,
+    )
+    return app
+
+
+def drupal_scenario() -> Scenario:
+    # Injected through the array *key*; the value of the key text lands
+    # verbatim in the expanded query.
+    original = "0) UNION SELECT 1, name, pass FROM d_users -- "
+    # NTI evasion: the placeholder expansion is itself the exploitable
+    # transformation.  The key's leading word becomes the placeholder name
+    # and is *replaced wholesale* by the bound value during preparation, so
+    # a long junk prefix disappears from the final query -- a "large block
+    # of transformable data" that inflates the edit distance past any
+    # threshold.
+    nti_evading = "0" + "x" * 40 + ") UNION SELECT 1, name, pass FROM d_users -- "
+
+    def make_request(payload) -> HttpRequest:
+        value = str(payload)
+        request = HttpRequest(method="POST", path="/drupal/login")
+        request.post["ids"] = value
+        request.post["k0"] = value  # each array key is also its own input
+        return request
+
+    def oracle(app: WebApplication, responses: list[HttpResponse]) -> bool:
+        return ADMIN_PASSWORD_HASH in responses[0].body
+
+    return Scenario(
+        name="Drupal",
+        version="7.31",
+        advisory="CVE-2014-3704",
+        attack_type=AttackType.UNION,
+        build_app=_build_drupal,
+        make_request=make_request,
+        original_payloads=(original,),
+        nti_mutated_payloads=(nti_evading,),
+        pti_mutated_payloads=None,  # FROM/comment not in Drupal's fragments
+        oracle=oracle,
+    )
+
+
+# ----------------------------------------------------------------------
+# Joomla -- object injection via an encoded cookie
+# ----------------------------------------------------------------------
+
+_JOOMLA_SOURCE = r'''<?php
+// plugins/system/remember (simplified): the session cookie is
+// base64-encoded serialized data; JTableSession::restore() later builds a
+// query from the object's member variables.
+$restore_query = "SELECT session_id, userid FROM j_session WHERE userid = $userid ORDER BY time DESC";
+$touch_query = "UPDATE j_session SET time = $now WHERE session_id = $sid";
+?>'''
+
+
+def _build_joomla() -> WebApplication:
+    db = Database("joomla")
+    db.create_table(
+        TableSchema(
+            "j_session",
+            [
+                Column("session_id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("userid", ColumnType.INTEGER),
+                Column("time", ColumnType.INTEGER),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "j_users",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("username", ColumnType.TEXT),
+                Column("password", ColumnType.TEXT),
+            ],
+        )
+    )
+    db.execute("INSERT INTO j_session (userid, time) VALUES (42, 100), (7, 90)")
+    db.execute(
+        "INSERT INTO j_users (username, password) VALUES "
+        f"('admin', '{ADMIN_PASSWORD_HASH}')"
+    )
+
+    def restore(app: WebApplication, request: HttpRequest) -> str:
+        cookie = request.cookies.get("joomla_remember", "")
+        try:
+            decoded = base64.b64decode(cookie.encode("ascii")).decode("utf-8")
+            obj = php_unserialize(decoded)
+        except Exception:
+            return "<p>Invalid session.</p>"
+        userid = str(obj.get("userid", "0")) if isinstance(obj, PhpObject) else "0"
+        # The object's member variable is interpolated unescaped -- the
+        # destructor-built query of CVE-2013-1453.
+        query = (
+            "SELECT session_id, userid FROM j_session WHERE userid = "
+            f"{userid} ORDER BY time DESC"
+        )
+        result = app.wrapper.query(query)
+        return f"<p>Sessions: {len(result.rows)}</p>"
+
+    return WebApplication(
+        "joomla-3.0.1-sim",
+        db,
+        core_source=_JOOMLA_SOURCE,
+        core_routes={"/joomla/session": restore},
+        magic_quotes=True,
+        trim_authenticated=False,
+    )
+
+
+def _joomla_cookie(userid_payload: str) -> str:
+    obj = PhpObject("JTableSession", {"userid": userid_payload})
+    return base64.b64encode(php_serialize(obj).encode("utf-8")).decode("ascii")
+
+
+def joomla_scenario() -> Scenario:
+    cond_true = "(SELECT LENGTH(password) FROM j_users LIMIT 1)=32"
+    cond_false = "(SELECT LENGTH(password) FROM j_users LIMIT 1)=31"
+    originals = (
+        _joomla_cookie(f"42 AND IF({cond_true},SLEEP(3),0)"),
+        _joomla_cookie(f"42 AND IF({cond_false},SLEEP(3),0)"),
+    )
+
+    def make_request(payload: str) -> HttpRequest:
+        request = HttpRequest(path="/joomla/session")
+        request.cookies["joomla_remember"] = payload
+        return request
+
+    def oracle(app: WebApplication, responses: list[HttpResponse]) -> bool:
+        return responses[0].elapsed >= 2.4 and responses[1].elapsed < 2.4
+
+    return Scenario(
+        name="Joomla",
+        version="3.0.1",
+        advisory="CVE-2013-1453",
+        attack_type=AttackType.DOUBLE_BLIND,
+        build_app=_build_joomla,
+        make_request=make_request,
+        original_payloads=originals,
+        # The input is already encoded: the original *is* the NTI evasion.
+        nti_mutated_payloads=originals,
+        pti_mutated_payloads=None,  # IF/SLEEP are not in Joomla's fragments
+        oracle=oracle,
+    )
+
+
+# ----------------------------------------------------------------------
+# osCommerce -- geo_zones.php tautology
+# ----------------------------------------------------------------------
+
+_OSCOMMERCE_SOURCE = r'''<?php
+// admin/geo_zones.php (simplified)
+$zones_query = "SELECT zone_id, zone_name, zone_notes FROM geo_zones WHERE zone_id = $zID ORDER BY zone_name";
+$filter = " OR ";
+$assign = " = ";
+$count_query = "SELECT COUNT(*) FROM geo_zones";
+?>'''
+
+
+def _build_oscommerce() -> WebApplication:
+    db = Database("oscommerce")
+    db.create_table(
+        TableSchema(
+            "geo_zones",
+            [
+                Column("zone_id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("zone_name", ColumnType.TEXT),
+                Column("zone_notes", ColumnType.TEXT),
+            ],
+        )
+    )
+    db.execute(
+        "INSERT INTO geo_zones (zone_name, zone_notes) VALUES "
+        "('Florida', 'FL sales tax'), ('Texas', 'TX sales tax'), "
+        "('Internal', 'HIDDEN-oscommerce-fraud-rules')"
+    )
+
+    def zones(app: WebApplication, request: HttpRequest) -> str:
+        zid = request.get.get("zID", "0")
+        query = (
+            "SELECT zone_id, zone_name, zone_notes FROM geo_zones "
+            f"WHERE zone_id = {zid} ORDER BY zone_name"
+        )
+        result = app.wrapper.query(query)
+        return "\n".join(" | ".join(str(v) for v in row) for row in result.rows)
+
+    return WebApplication(
+        "oscommerce-2.3.3.4-sim",
+        db,
+        core_source=_OSCOMMERCE_SOURCE,
+        core_routes={"/oscommerce/geo_zones": zones},
+        magic_quotes=True,
+        trim_authenticated=False,
+    )
+
+
+def oscommerce_scenario() -> Scenario:
+    # Written with the spacing present in osCommerce's own fragments, the
+    # tautology evades PTI *as-is*: the paper's 14th PTI evasion.
+    pti_evading = "0 OR 1 = 1"
+    # NTI evasion: magic-quotes quote stuffing.
+    nti_evading = "0 /*" + "'" * 24 + "*/ OR 1 = 1"
+
+    def make_request(payload: str) -> HttpRequest:
+        return HttpRequest(path="/oscommerce/geo_zones", get={"zID": payload})
+
+    def oracle(app: WebApplication, responses: list[HttpResponse]) -> bool:
+        return "HIDDEN-oscommerce" in responses[0].body
+
+    return Scenario(
+        name="osCommerce",
+        version="2.3.3.4",
+        advisory="OSVDB-103365",
+        attack_type=AttackType.TAUTOLOGY,
+        build_app=_build_oscommerce,
+        make_request=make_request,
+        original_payloads=(pti_evading,),
+        nti_mutated_payloads=(nti_evading,),
+        pti_mutated_payloads=(pti_evading,),
+        oracle=oracle,
+    )
+
+
+def all_scenarios() -> list[Scenario]:
+    """Drupal, Joomla and osCommerce, in Table IV order."""
+    return [joomla_scenario(), drupal_scenario(), oscommerce_scenario()]

@@ -1,0 +1,941 @@
+"""Declarative definitions of the 50 vulnerable plugins of WP-SQLI-LAB.
+
+Each :class:`PluginDef` describes one synthetic plugin modelled on a row of
+the paper's Table IV: its vulnerable parameter and channel, the injection
+context (numeric / quoted / LIKE / ORDER BY / IN-list / multi-parameter
+concatenation), the per-parameter transform chain (which determines the NTI
+evasion vector available to an attacker), the plugin's own PHP string
+literals (which determine its PTI attack surface), and its backing table.
+
+The attack-type census matches Table I exactly:
+15 union-based, 17 standard blind, 14 double blind, 4 tautology.
+
+``taintless_expected`` records the *designed* outcome of the Taintless PTI
+evasion: 4 tautologies + 9 union-based = 13 of 50, matching Section V-A
+("we successfully adapted 13 out of 50 exploits in the testbed to evade PTI
+detection").  ``nti_vector`` names the application transformation an
+attacker leverages to evade NTI -- every plugin has one, matching the
+paper's complete NTI bypass of the mutated exploits.  AdRotate decodes its
+input from Base64, reproducing the single NTI miss on *original* exploits
+(Table II's 49/50).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AttackType",
+    "PluginDef",
+    "ALL_PLUGINS",
+    "plugin_by_name",
+]
+
+
+class AttackType:
+    """Exploit classes of Table I."""
+
+    UNION = "union"
+    BLIND = "blind"              # "Standard Blind" in the paper
+    DOUBLE_BLIND = "double_blind"
+    TAUTOLOGY = "tautology"
+
+    ALL = (UNION, BLIND, DOUBLE_BLIND, TAUTOLOGY)
+
+
+class NtiVector:
+    """Application transformation an NTI evasion can leverage."""
+
+    MAGIC_QUOTES = "magic_quotes"  # quote-stuffed comment blocks (Fig. 6C)
+    URLDECODE = "urldecode"        # %27-stuffed comment blocks
+    TRIM = "trim"                  # trailing-whitespace padding (auth routes)
+    BASE64 = "base64"              # input is decoded; NTI blind even to originals
+    SPLIT = "split"                # payload construction across parameters
+
+
+@dataclass(frozen=True)
+class PluginDef:
+    """One synthetic vulnerable plugin.
+
+    ``query_template`` contains ``{value}`` where the (transformed) input is
+    spliced; the same template appears (with ``${param}``) in the generated
+    PHP source so the plugin's own fragments cover its benign queries.
+    ``columns`` excludes the implicit ``id INTEGER PRIMARY KEY
+    AUTO_INCREMENT``; ``seed_rows`` align with ``columns``.
+    """
+
+    name: str
+    title: str
+    version: str
+    advisory: str
+    attack_type: str
+    param: str
+    query_template: str
+    table: str
+    columns: tuple[tuple[str, str], ...]
+    seed_rows: tuple[tuple, ...]
+    select_cols: int
+    channel: str = "get"
+    context: str = "numeric"  # numeric|quoted|like|order_by|in_list|multi
+    render: str = "list"      # list|count|first
+    transforms: tuple[str, ...] = ()
+    source_extra: str = ""
+    nti_vector: str = NtiVector.MAGIC_QUOTES
+    taintless_expected: bool = False
+    requires_auth: bool = False
+    marker: str = ""
+    leak_function: str = ""   # for FROM-free union leaks: user/version/database
+
+    @property
+    def route(self) -> str:
+        return f"/plugin/{self.name}"
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        """Parameter names; multiple for the multi-concatenation context."""
+        return tuple(p.strip() for p in self.param.split(","))
+
+
+def _rows(*rows: tuple) -> tuple[tuple, ...]:
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tautology-based plugins (4) -- all Taintless-evadable: their mutated
+# payloads need only OR and = plus whitespace styles present in the
+# WordPress core fragments (Table III).
+# ----------------------------------------------------------------------
+
+_TAUTOLOGY_PLUGINS = [
+    PluginDef(
+        name="atoz",
+        title="A to Z Category Listing",
+        version="1.3",
+        advisory="OSVDB-86069",
+        attack_type=AttackType.TAUTOLOGY,
+        param="letter",
+        channel="get",
+        context="quoted",
+        render="list",
+        transforms=("stripslashes", "urldecode"),
+        nti_vector=NtiVector.URLDECODE,
+        taintless_expected=True,
+        table="wp_atoz_categories",
+        columns=(("letter", "text"), ("category_name", "text")),
+        seed_rows=_rows(
+            ("a", "Apples"), ("b", "Bees"), ("c", "Cats"),
+            ("zz", "HIDDEN-atoz-unlisted-category"),
+        ),
+        select_cols=3,
+        query_template=(
+            "SELECT id, letter, category_name FROM wp_atoz_categories "
+            "WHERE letter = '{value}' ORDER BY category_name"
+        ),
+        marker="HIDDEN-atoz",
+    ),
+    PluginDef(
+        name="commevents",
+        title="Community Events",
+        version="1.2.1",
+        advisory="OSVDB-74573",
+        attack_type=AttackType.TAUTOLOGY,
+        param="event_id",
+        channel="get",
+        context="numeric",
+        render="list",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        table="wp_community_events",
+        columns=(("title", "text"), ("event_date", "text")),
+        seed_rows=_rows(
+            ("Town picnic", "2015-07-01"),
+            ("Board meeting", "2015-07-15"),
+            ("HIDDEN-commevents-private-gala", "2015-08-01"),
+        ),
+        select_cols=3,
+        query_template=(
+            "SELECT id, title, event_date FROM wp_community_events "
+            "WHERE id = {value}"
+        ),
+        marker="HIDDEN-commevents",
+    ),
+    PluginDef(
+        name="easycontact",
+        title="Easy Contact Form Lite",
+        version="1.0.7",
+        advisory="",
+        attack_type=AttackType.TAUTOLOGY,
+        param="form_id",
+        channel="post",
+        context="numeric",
+        render="list",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        table="wp_easy_contact_forms",
+        columns=(("label", "text"), ("recipient", "text")),
+        seed_rows=_rows(
+            ("Support", "support@example.test"),
+            ("Sales", "sales@example.test"),
+            ("Internal", "HIDDEN-easycontact-internal@example.test"),
+        ),
+        select_cols=3,
+        query_template=(
+            "SELECT id, label, recipient FROM wp_easy_contact_forms "
+            "WHERE id = {value}"
+        ),
+        marker="HIDDEN-easycontact",
+    ),
+    PluginDef(
+        name="wpecommerce",
+        title="WP eCommerce",
+        version="3.8.6",
+        advisory="OSVDB-75590",
+        attack_type=AttackType.TAUTOLOGY,
+        param="coupon",
+        channel="get",
+        context="quoted",
+        render="list",
+        transforms=("stripslashes", "urldecode"),
+        nti_vector=NtiVector.URLDECODE,
+        taintless_expected=True,
+        table="wp_wpsc_coupons",
+        columns=(("code", "text"), ("discount", "integer")),
+        seed_rows=_rows(
+            ("SUMMER15", 15), ("WELCOME5", 5),
+            ("HIDDEN-wpecommerce-STAFF100", 100),
+        ),
+        select_cols=3,
+        query_template=(
+            "SELECT id, code, discount FROM wp_wpsc_coupons "
+            "WHERE code = '{value}'"
+        ),
+        marker="HIDDEN-wpecommerce",
+    ),
+]
+
+# ----------------------------------------------------------------------
+# Union-based plugins (15).
+#
+# The first nine are Taintless-evadable by design: their injection point
+# sits at the end of the query (or before a union-compatible tail), and
+# their own source supplies the lowercase function-name fragment that lets
+# a FROM-free information leak (user()/version()/database()) be rebuilt
+# entirely from application fragments.  The remaining six require FROM-based
+# exfiltration or leave a hostile tail, which Taintless cannot cover.
+# ----------------------------------------------------------------------
+
+_UNION_PLUGINS = [
+    PluginDef(
+        name="allowphp",
+        title="Allow PHP in posts and pages",
+        version="2.0.0",
+        advisory="OSVDB-75252",
+        attack_type=AttackType.UNION,
+        param="snippet_id",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        leak_function="user",
+        source_extra="$who = $_GET['user'];\n$label = 'user';",
+        table="wp_allowphp_snippets",
+        columns=(("title", "text"), ("body", "text")),
+        seed_rows=_rows(("hello", "echo 1;"), ("footer", "echo 2;")),
+        select_cols=3,
+        query_template=(
+            "SELECT id, title, body FROM wp_allowphp_snippets WHERE id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="contus",
+        title="Contus HD FLV Player",
+        version="1.3",
+        advisory="",
+        attack_type=AttackType.UNION,
+        param="playerid",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        leak_function="version",
+        source_extra="$opt = get_option('contus_version');\n$v = 'version';",
+        table="wp_contus_players",
+        columns=(("name", "text"), ("video_url", "text")),
+        seed_rows=_rows(("intro", "/v/intro.flv"), ("demo", "/v/demo.flv")),
+        select_cols=3,
+        query_template=(
+            "SELECT id, name, video_url FROM wp_contus_players WHERE id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="countperday",
+        title="Count per Day",
+        version="2.17",
+        advisory="OSVDB-75598",
+        attack_type=AttackType.UNION,
+        param="page",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        leak_function="database",
+        source_extra="$key = 'database';\n$tbl = $_GET['database'];",
+        table="wp_cpd_counter",
+        columns=(("page_id", "integer"), ("visits", "integer")),
+        seed_rows=_rows((1, 120), (2, 45), (3, 9)),
+        select_cols=3,
+        query_template=(
+            "SELECT id, page_id, visits FROM wp_cpd_counter WHERE page_id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="crawlrate",
+        title="Crawl Rate Tracker",
+        version="2.0.2",
+        advisory="",
+        attack_type=AttackType.UNION,
+        param="bot_id",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        leak_function="user",
+        source_extra="$agent = $_GET['user'];\n$ua = 'user';",
+        table="wp_crawltracker_stats",
+        columns=(("bot_name", "text"), ("hits", "integer")),
+        seed_rows=_rows(("googlebot", 911), ("bingbot", 204)),
+        select_cols=3,
+        query_template=(
+            "SELECT id, bot_name, hits FROM wp_crawltracker_stats WHERE id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="eventify",
+        title="Eventify",
+        version="1.7.1",
+        advisory="OSVDB-86245",
+        attack_type=AttackType.UNION,
+        param="eid",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        leak_function="version",
+        source_extra="$ver = 'version';\n$opt = $_GET['version'];",
+        table="wp_eventify_events",
+        columns=(("title", "text"), ("venue", "text"), ("event_date", "text")),
+        seed_rows=_rows(
+            ("Meetup", "Hall A", "2015-06-30"),
+            ("Concert", "Main stage", "2015-07-04"),
+        ),
+        select_cols=4,
+        query_template=(
+            "SELECT id, title, venue, event_date FROM wp_eventify_events "
+            "WHERE id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="filegroups",
+        title="File Groups",
+        version="1.1.2",
+        advisory="OSVDB-74572",
+        attack_type=AttackType.UNION,
+        param="group_id",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        leak_function="user",
+        source_extra="$owner = $_GET['user'];\n$who = 'user';",
+        table="wp_file_groups",
+        columns=(("group_name", "text"), ("file_count", "integer")),
+        seed_rows=_rows(("docs", 12), ("images", 73)),
+        select_cols=3,
+        query_template=(
+            "SELECT id, group_name, file_count FROM wp_file_groups WHERE id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="posthighlights",
+        title="post highlights",
+        version="2.2",
+        advisory="",
+        attack_type=AttackType.UNION,
+        param="ph_id",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        leak_function="database",
+        source_extra="$store = 'database';\n$db = $_GET['database'];",
+        table="wp_post_highlights",
+        columns=(("post_id", "integer"), ("color", "text")),
+        seed_rows=_rows((1, "yellow"), (2, "green")),
+        select_cols=3,
+        query_template=(
+            "SELECT id, post_id, color FROM wp_post_highlights WHERE id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="proplayer",
+        title="ProPlayer",
+        version="4.7.7",
+        advisory="",
+        attack_type=AttackType.UNION,
+        param="playlist_id",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        taintless_expected=True,
+        leak_function="version",
+        source_extra="$v = 'version';\n$pv = $_GET['version'];",
+        table="wp_proplayer_playlists",
+        columns=(("title", "text"), ("url", "text")),
+        seed_rows=_rows(("rock", "/pl/rock.xml"), ("jazz", "/pl/jazz.xml")),
+        select_cols=3,
+        query_template=(
+            "SELECT id, title, url FROM wp_proplayer_playlists WHERE id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="searchautocomplete",
+        title="SearchAutocomplete",
+        version="1.0.8",
+        advisory="",
+        attack_type=AttackType.UNION,
+        param="q",
+        context="like",
+        transforms=("stripslashes", "urldecode"),
+        nti_vector=NtiVector.URLDECODE,
+        taintless_expected=True,
+        leak_function="user",
+        source_extra="$u = 'user';\n$uid = $_GET['user'];",
+        table="wp_autocomplete_terms",
+        columns=(("term", "text"), ("hits", "integer")),
+        seed_rows=_rows(("wordpress", 31), ("security", 18)),
+        select_cols=3,
+        query_template=(
+            "SELECT id, term, hits FROM wp_autocomplete_terms "
+            "WHERE term LIKE '%{value}%'"
+        ),
+    ),
+    # -- six union plugins Taintless cannot adapt ------------------------
+    PluginDef(
+        name="eventreg",
+        title="Event Registration",
+        version="5.43",
+        advisory="",
+        attack_type=AttackType.UNION,
+        param="ev,evx,evy,evz,evw",
+        channel="multi",
+        context="numeric",
+        nti_vector=NtiVector.SPLIT,
+        table="wp_event_registrations",
+        columns=(("event_id", "integer"), ("attendee", "text"), ("email", "text")),
+        seed_rows=_rows(
+            (1, "alice", "alice@example.test"), (1, "bob", "bob@example.test")
+        ),
+        select_cols=3,
+        query_template=(
+            "SELECT id, attendee, email FROM wp_event_registrations "
+            "WHERE event_id = {value}"
+        ),
+    ),
+    PluginDef(
+        name="iplogger",
+        title="IP-Logger",
+        version="3.0",
+        advisory="",
+        attack_type=AttackType.UNION,
+        param="X-Forwarded-For",
+        channel="header",
+        context="quoted",
+        transforms=("urldecode",),
+        nti_vector=NtiVector.URLDECODE,
+        table="wp_iplogger_log",
+        columns=(("ip", "text"), ("hits", "integer")),
+        seed_rows=_rows(("10.0.0.1", 4), ("10.0.0.2", 9)),
+        select_cols=3,
+        query_template=(
+            "SELECT id, ip, hits FROM wp_iplogger_log WHERE ip = '{value}' "
+            "ORDER BY hits DESC"
+        ),
+    ),
+    PluginDef(
+        name="linklibrary",
+        title="Link Library",
+        version="5.2.1",
+        advisory="OSVDB-84579",
+        attack_type=AttackType.UNION,
+        param="cat_id",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        table="wp_link_library",
+        columns=(
+            ("cat_id", "integer"),
+            ("link_name", "text"),
+            ("link_url", "text"),
+            ("visible", "integer"),
+        ),
+        seed_rows=_rows(
+            (1, "Home", "http://example.test", 1),
+            (1, "Docs", "http://docs.example.test", 1),
+        ),
+        select_cols=3,
+        query_template=(
+            "SELECT id, link_name, link_url FROM wp_link_library "
+            "WHERE cat_id = {value} AND visible = 1"
+        ),
+    ),
+    PluginDef(
+        name="medialib",
+        title="Media Library Categories",
+        version="1.0.6",
+        advisory="",
+        attack_type=AttackType.UNION,
+        param="cat",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        table="wp_media_categories",
+        columns=(("file_name", "text"), ("cat_id", "integer")),
+        seed_rows=_rows(("a.png", 1), ("b.png", 1), ("c.pdf", 2)),
+        select_cols=3,
+        query_template=(
+            "SELECT id, file_name, cat_id FROM wp_media_categories "
+            "WHERE cat_id = {value} AND cat_id > 0"
+        ),
+    ),
+    PluginDef(
+        name="oddhost",
+        title="OddHost Newsletter",
+        version="1.0",
+        advisory="OSVDB-74575",
+        attack_type=AttackType.UNION,
+        param="newsletter_id",
+        channel="post",
+        context="numeric",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+        table="wp_oddhost_newsletters",
+        columns=(("subject", "text"), ("body", "text"), ("status", "integer")),
+        seed_rows=_rows(("Welcome", "Hi there", 1), ("Promo", "Sale now", 1)),
+        select_cols=3,
+        query_template=(
+            "SELECT id, subject, body FROM wp_oddhost_newsletters "
+            "WHERE id = {value} AND status = 1"
+        ),
+    ),
+    PluginDef(
+        name="paiddownloads",
+        title="Paid Downloads",
+        version="2.01",
+        advisory="OSVDB-86247",
+        attack_type=AttackType.UNION,
+        param="download",
+        context="quoted",
+        transforms=("stripslashes",),
+        nti_vector=NtiVector.TRIM,
+        requires_auth=True,
+        table="wp_paid_downloads",
+        columns=(("token", "text"), ("file_path", "text"), ("active", "integer")),
+        seed_rows=_rows(
+            ("tok-aaa", "/files/report.pdf", 1),
+            ("tok-bbb", "/files/ebook.pdf", 1),
+        ),
+        select_cols=3,
+        query_template=(
+            "SELECT id, token, file_path FROM wp_paid_downloads "
+            "WHERE token = '{value}' AND active = 1"
+        ),
+    ),
+]
+
+# ----------------------------------------------------------------------
+# Standard-blind plugins (17).  The page is a boolean/error oracle; their
+# payloads need scalar subqueries and string functions no application
+# fragment supplies, so none are Taintless-evadable.
+# ----------------------------------------------------------------------
+
+
+def _blind(
+    name: str,
+    title: str,
+    version: str,
+    advisory: str,
+    param: str,
+    table: str,
+    columns: tuple[tuple[str, str], ...],
+    seed_rows: tuple[tuple, ...],
+    select_cols: int,
+    query_template: str,
+    **overrides,
+) -> PluginDef:
+    base = dict(
+        attack_type=AttackType.BLIND,
+        channel="get",
+        context="numeric",
+        render="count",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+    )
+    base.update(overrides)
+    return PluginDef(
+        name=name,
+        title=title,
+        version=version,
+        advisory=advisory,
+        param=param,
+        table=table,
+        columns=columns,
+        seed_rows=seed_rows,
+        select_cols=select_cols,
+        query_template=query_template,
+        **base,
+    )
+
+
+_BLIND_PLUGINS = [
+    _blind(
+        "gdstarrating", "GD Star Rating", "1.9.10", "OSVDB-83466",
+        "post_id", "wp_gdsr_votes",
+        (("post_id", "integer"), ("stars", "integer")),
+        _rows((1, 5), (1, 4), (2, 3)),
+        2,
+        "SELECT id, stars FROM wp_gdsr_votes WHERE post_id = {value}",
+    ),
+    _blind(
+        "icopyright", "iCopyright", "1.1.4", "",
+        "article", "wp_icopyright_tags",
+        (("article_id", "integer"), ("tag", "text")),
+        _rows((1, "reprint"), (2, "syndicate")),
+        2,
+        "SELECT id, tag FROM wp_icopyright_tags WHERE article_id = {value}",
+        render="first",
+    ),
+    _blind(
+        "knrauthors", "KNR Author List Widget", "2.0.0", "",
+        "author_id", "wp_knr_authors",
+        (("display_name", "text"), ("post_count", "integer")),
+        _rows(("Alice", 12), ("Bob", 7)),
+        2,
+        "SELECT id, display_name FROM wp_knr_authors WHERE id = {value}",
+        render="first",
+    ),
+    _blind(
+        "mmduplicate", "MM Duplicate", "1.2", "",
+        "source_id", "wp_mm_duplicates",
+        (("source_id", "integer"), ("copy_id", "integer")),
+        _rows((1, 101), (2, 102)),
+        2,
+        "SELECT id, copy_id FROM wp_mm_duplicates WHERE source_id = {value}",
+    ),
+    _blind(
+        "profiles", "Profiles", "2.0.RC1", "",
+        "uid", "wp_profile_fields",
+        (("user_id", "integer"), ("field_name", "text"), ("field_value", "text")),
+        _rows((1, "twitter", "@alice"), (2, "twitter", "@bob")),
+        3,
+        "SELECT id, field_name, field_value FROM wp_profile_fields "
+        "WHERE user_id = {value}",
+    ),
+    _blind(
+        "shslideshow", "SH Slideshow", "3.1.4", "OSVDB-74813",
+        "slide", "wp_sh_slides",
+        (("caption", "text"), ("image_url", "text")),
+        _rows(("First", "/img/1.jpg"), ("Second", "/img/2.jpg")),
+        2,
+        "SELECT id, caption FROM wp_sh_slides WHERE id = {value}",
+        render="first",
+    ),
+    _blind(
+        "socialslider", "Social Slider", "5.6.5", "OSVDB-74421",
+        "icon", "wp_social_icons",
+        (("network", "text"), ("url", "text"), ("position", "integer")),
+        _rows(("twitter", "http://t.example", 1), ("rss", "/feed", 2)),
+        2,
+        "SELECT id, network FROM wp_social_icons WHERE position = {value}",
+    ),
+    _blind(
+        "umppolls", "UMP Polls", "1.0.3", "",
+        "poll_id", "wp_ump_polls",
+        (("question", "text"), ("votes", "integer")),
+        _rows(("Best CMS?", 42), ("Tabs or spaces?", 1337)),
+        2,
+        "SELECT id, votes FROM wp_ump_polls WHERE id = {value}",
+        render="count",
+    ),
+    _blind(
+        "videowhisper", "VideoWhisper Video Presentation", "1.1", "",
+        "vw_room", "wp_vw_rooms",
+        (("room_name", "text"), ("owner_id", "integer")),
+        _rows(("lobby", 1), ("studio", 2)),
+        2,
+        "SELECT id, room_name FROM wp_vw_rooms WHERE owner_id = {value}",
+    ),
+    _blind(
+        "paypaldonation", "Paypal Donation Plugin", "0.12", "",
+        "donation", "wp_paypal_donations",
+        (("donor", "text"), ("amount", "integer"), ("visible", "integer")),
+        _rows(("alice", 50, 1), ("bob", 20, 1)),
+        2,
+        "SELECT id, donor FROM wp_paypal_donations WHERE id = {value} "
+        "AND visible = 1",
+    ),
+    _blind(
+        "wpbannerize", "WP Bannerize", "2.8.7", "OSVDB-76658",
+        "banner_group", "wp_bannerize",
+        (("group_name", "text"), ("clicks", "integer")),
+        _rows(("header", 210), ("sidebar", 87)),
+        2,
+        "SELECT id, clicks FROM wp_bannerize WHERE group_name = '{value}'",
+        context="quoted",
+        transforms=("stripslashes", "urldecode"),
+        nti_vector=NtiVector.URLDECODE,
+    ),
+    _blind(
+        "wpfilebase", "WP FileBase", "0.2.9", "OSVDB-75308",
+        "file_id", "wp_filebase_files",
+        (("file_name", "text"), ("downloads", "integer")),
+        _rows(("manual.pdf", 33), ("setup.zip", 12)),
+        2,
+        "SELECT id, file_name FROM wp_filebase_files WHERE id IN ({value})",
+        context="in_list",
+    ),
+    _blind(
+        "wpforum", "WP Forum Server", "1.7.8", "CVE-2012-6625",
+        "topic", "wp_forum_topics",
+        (("topic_title", "text"), ("replies", "integer")),
+        _rows(("Welcome", 12), ("Rules", 2)),
+        2,
+        "SELECT id, topic_title FROM wp_forum_topics WHERE id = {value}",
+        channel="post",
+    ),
+    _blind(
+        "wpmenucreator", "WP Menu Creator", "1.1.7", "OSVDB-74578",
+        "menu", "wp_menu_items",
+        (("menu_id", "integer"), ("label", "text"), ("sort_key", "text")),
+        _rows((1, "Home", "a"), (1, "About", "b"), (2, "Blog", "a")),
+        2,
+        "SELECT id, label FROM wp_menu_items WHERE menu_id = 1 "
+        "ORDER BY {value}",
+        context="order_by",
+        render="list",
+    ),
+    _blind(
+        "yolink", "yolink Search for WordPress", "1.1.4", "OSVDB-74832",
+        "offset", "wp_yolink_index",
+        (("keyword", "text"), ("weight", "integer")),
+        _rows(("alpha", 3), ("beta", 2), ("gamma", 1)),
+        2,
+        "SELECT id, keyword FROM wp_yolink_index ORDER BY weight DESC "
+        "LIMIT 2 OFFSET {value}",
+        context="numeric",
+        render="list",
+    ),
+    _blind(
+        "zotpress", "Zotpress", "4.4", "",
+        "zp_session", "wp_zotpress_sessions",
+        (("session_key", "text"), ("account_id", "integer")),
+        _rows(("sess-1", 1), ("sess-2", 2)),
+        2,
+        "SELECT id, account_id FROM wp_zotpress_sessions WHERE id = {value}",
+        channel="cookie",
+    ),
+    _blind(
+        "firestorm", "FireStorm Professional Real Estate", "2.06.01", "",
+        "listing", "wp_firestorm_listings",
+        (("address", "text"), ("price", "integer"), ("sold", "integer")),
+        _rows(("1 Main St", 250000, 0), ("2 Oak Ave", 410000, 0)),
+        2,
+        "SELECT id, address FROM wp_firestorm_listings WHERE id = {value} "
+        "AND sold = 0",
+    ),
+]
+
+# ----------------------------------------------------------------------
+# Double-blind plugins (14).  The oracle is response time (SLEEP/BENCHMARK
+# behind a condition); payloads need IF/SLEEP which no fragment supplies, so
+# none are Taintless-evadable.  AdRotate decodes Base64 input, which blinds
+# NTI even to the original exploit (the 49/50 of Table II).
+# ----------------------------------------------------------------------
+
+
+def _double_blind(
+    name: str,
+    title: str,
+    version: str,
+    advisory: str,
+    param: str,
+    table: str,
+    columns: tuple[tuple[str, str], ...],
+    seed_rows: tuple[tuple, ...],
+    select_cols: int,
+    query_template: str,
+    **overrides,
+) -> PluginDef:
+    base = dict(
+        attack_type=AttackType.DOUBLE_BLIND,
+        channel="get",
+        context="numeric",
+        render="count",
+        nti_vector=NtiVector.MAGIC_QUOTES,
+    )
+    base.update(overrides)
+    return PluginDef(
+        name=name,
+        title=title,
+        version=version,
+        advisory=advisory,
+        param=param,
+        table=table,
+        columns=columns,
+        seed_rows=seed_rows,
+        select_cols=select_cols,
+        query_template=query_template,
+        **base,
+    )
+
+
+_DOUBLE_BLIND_PLUGINS = [
+    _double_blind(
+        "adrotate", "AdRotate", "3.6.6", "CVE-2011-4671",
+        "track", "wp_adrotate_tracker",
+        (("ad_id", "integer"), ("impressions", "integer")),
+        _rows((1, 900), (2, 450)),
+        2,
+        "SELECT id, impressions FROM wp_adrotate_tracker WHERE ad_id = {value}",
+        transforms=("base64_decode",),
+        nti_vector=NtiVector.BASE64,
+    ),
+    _double_blind(
+        "advertiser", "Advertiser", "1.0", "",
+        "aid", "wp_advertiser_ads",
+        (("campaign", "text"), ("clicks", "integer")),
+        _rows(("spring", 52), ("summer", 31)),
+        2,
+        "SELECT id, clicks FROM wp_advertiser_ads WHERE id = {value}",
+    ),
+    _double_blind(
+        "ajaxgallery", "Ajax Gallery", "3.0", "",
+        "gallery", "wp_ajax_galleries",
+        (("gallery_name", "text"), ("image_count", "integer")),
+        _rows(("vacation", 24), ("pets", 11)),
+        2,
+        "SELECT id, gallery_name FROM wp_ajax_galleries WHERE id = {value}",
+        render="first",
+    ),
+    _double_blind(
+        "couponer", "Couponer", "1.2", "",
+        "cid", "wp_couponer_coupons",
+        (("coupon_code", "text"), ("uses_left", "integer")),
+        _rows(("SAVE10", 100), ("FREESHIP", 20)),
+        2,
+        "SELECT id, uses_left FROM wp_couponer_coupons WHERE id = {value}",
+    ),
+    _double_blind(
+        "fbpromotions", "Facebook Promotions", "1.3.3", "",
+        "promo", "wp_fb_promotions",
+        (("promo_name", "text"), ("entries", "integer")),
+        _rows(("giveaway", 312), ("contest", 88)),
+        2,
+        "SELECT id, entries FROM wp_fb_promotions WHERE id = {value}",
+    ),
+    _double_blind(
+        "globalcontent", "Global Content Blocks", "1.2", "OSVDB-74577",
+        "block", "wp_gcb_blocks",
+        (("block_name", "text"), ("content", "text")),
+        _rows(("header-cta", "Buy now"), ("footer-note", "Thanks")),
+        2,
+        "SELECT id, content FROM wp_gcb_blocks WHERE id = {value}",
+        render="first",
+    ),
+    _double_blind(
+        "jsappointment", "Js-appointment", "1.5", "OSVDB-74804",
+        "slot", "wp_js_appointments",
+        (("slot_time", "text"), ("booked", "integer")),
+        _rows(("09:00", 1), ("10:00", 0)),
+        2,
+        "SELECT id, booked FROM wp_js_appointments WHERE id = {value}",
+        channel="post",
+    ),
+    _double_blind(
+        "mingleforum", "Mingle Forum", "1.0.31", "OSVDB-75791",
+        "thread", "wp_mingle_threads",
+        (("thread_title", "text"), ("post_count", "integer")),
+        _rows(("Intro", 14), ("Support", 40)),
+        2,
+        "SELECT id, post_count FROM wp_mingle_threads WHERE id = {value}",
+    ),
+    _double_blind(
+        "mystat", "MyStat", "2.6", "",
+        "visitor", "wp_mystat_visits",
+        (("visitor_ip", "text"), ("pageviews", "integer")),
+        _rows(("10.1.1.1", 7), ("10.1.1.2", 3)),
+        2,
+        "SELECT id, pageviews FROM wp_mystat_visits WHERE id = {value}",
+    ),
+    _double_blind(
+        "purehtml", "PureHTML", "1.0.0", "",
+        "widget", "wp_purehtml_widgets",
+        (("widget_name", "text"), ("markup", "text")),
+        _rows(("badge", "<b>hi</b>"), ("banner", "<i>yo</i>")),
+        2,
+        "SELECT id, markup FROM wp_purehtml_widgets WHERE id = {value}",
+        render="first",
+    ),
+    _double_blind(
+        "scormcloud", "SCORM Cloud", "1.0.6.6", "OSVDB-74804",
+        "course", "wp_scorm_courses",
+        (("course_name", "text"), ("enrolled", "integer")),
+        _rows(("Safety 101", 25), ("Onboarding", 14)),
+        2,
+        "SELECT id, enrolled FROM wp_scorm_courses WHERE id = {value}",
+    ),
+    _double_blind(
+        "wpdsfaq", "WP DS FAQ", "1.3.2", "OSVDB-74574",
+        "faq", "wp_dsfaq_entries",
+        (("question", "text"), ("answer", "text")),
+        _rows(("What is this?", "A FAQ"), ("How?", "Like so")),
+        2,
+        "SELECT id, question FROM wp_dsfaq_entries WHERE id = {value}",
+        render="first",
+    ),
+    _double_blind(
+        "fbopengraph", "Facebook Opengraph Meta", "1.0", "",
+        "og_post", "wp_fb_og_meta",
+        (("post_id", "integer"), ("og_title", "text")),
+        _rows((1, "Post one"), (2, "Post two")),
+        2,
+        "SELECT id, og_title FROM wp_fb_og_meta WHERE post_id = {value}",
+    ),
+    _double_blind(
+        "wpaudiogallery", "WP Audio Gallery Playlist", "0.12", "",
+        "audio_post", "wp_audio_playlist",
+        (("post_id", "integer"), ("track_url", "text")),
+        _rows((1, "/a/one.mp3"), (2, "/a/two.mp3")),
+        2,
+        "SELECT id, track_url FROM wp_audio_playlist WHERE post_id = {value}",
+    ),
+]
+
+
+#: The full WP-SQLI-LAB plugin corpus, ordered by attack type.
+ALL_PLUGINS: list[PluginDef] = (
+    _TAUTOLOGY_PLUGINS + _UNION_PLUGINS + _BLIND_PLUGINS + _DOUBLE_BLIND_PLUGINS
+)
+
+_BY_NAME = {p.name: p for p in ALL_PLUGINS}
+
+
+def plugin_by_name(name: str) -> PluginDef:
+    """Look up a plugin definition by slug; raises KeyError when unknown."""
+    return _BY_NAME[name]
+
+
+def _census() -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for plugin in ALL_PLUGINS:
+        counts[plugin.attack_type] = counts.get(plugin.attack_type, 0) + 1
+    return counts
+
+
+# Table I invariant, kept as an import-time assertion so a drifting corpus
+# fails loudly rather than silently skewing every experiment.
+_COUNTS = _census()
+assert len(ALL_PLUGINS) == 50, f"expected 50 plugins, found {len(ALL_PLUGINS)}"
+assert _COUNTS == {
+    AttackType.TAUTOLOGY: 4,
+    AttackType.UNION: 15,
+    AttackType.BLIND: 17,
+    AttackType.DOUBLE_BLIND: 14,
+}, f"Table I census mismatch: {_COUNTS}"

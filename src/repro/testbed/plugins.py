@@ -1,0 +1,166 @@
+"""Materialise :mod:`plugin_defs` into installable plugins.
+
+For each :class:`~repro.testbed.plugin_defs.PluginDef` this module:
+
+- creates and seeds the plugin's backing table;
+- generates the plugin's PHP source (header comment, input handling with the
+  declared transform chain, the query template with ``$input`` interpolation,
+  plus any extra literals) -- the text Joza's installer scans for fragments;
+- builds the route handler that performs the *same* logic in Python: fetch
+  the parameter, run the transforms, splice into the template, query through
+  the (interceptable) database wrapper, render.
+
+The handler and the source are generated from the same template string, so
+the plugin's benign queries are always covered by its own fragments -- the
+property real PHP code has and PTI depends on.
+"""
+
+from __future__ import annotations
+
+from ..database import Column, ColumnType, TableSchema
+from ..phpapp.application import Handler, Plugin, WebApplication
+from ..phpapp.request import HttpRequest
+from ..phpapp.transforms import named as transform_named
+from .plugin_defs import ALL_PLUGINS, PluginDef
+from .wordpress import build_wordpress
+
+__all__ = [
+    "generate_php_source",
+    "make_handler",
+    "build_plugin",
+    "install_plugin",
+    "build_testbed",
+]
+
+_CHANNEL_SUPERGLOBAL = {
+    "get": "$_GET",
+    "post": "$_POST",
+    "cookie": "$_COOKIE",
+    "header": "$_SERVER",
+    "multi": "$_GET",
+}
+
+_COLUMN_TYPES = {"integer": ColumnType.INTEGER, "text": ColumnType.TEXT}
+
+
+def generate_php_source(defn: PluginDef) -> str:
+    """Emit the plugin's PHP source text (the fragment-extraction input)."""
+    superglobal = _CHANNEL_SUPERGLOBAL[defn.channel]
+    lines = [
+        "<?php",
+        "/*",
+        f"Plugin Name: {defn.title}",
+        f"Version: {defn.version}",
+        "*/",
+    ]
+    if defn.channel == "multi":
+        parts = " . ".join(f"$_GET['{p}']" for p in defn.params)
+        lines.append(f"$input = {parts};")
+    else:
+        lines.append(f"$input = {superglobal}['{defn.param}'];")
+    for transform in defn.transforms:
+        lines.append(f"$input = {transform}($input);")
+    php_template = defn.query_template.replace("{value}", "$input")
+    lines.append(f'$query = "{php_template}";')
+    lines.append("$result = mysql_query($query);")
+    if defn.source_extra:
+        lines.append(defn.source_extra)
+    lines.append("?>")
+    return "\n".join(lines)
+
+
+def _raw_value(defn: PluginDef, request: HttpRequest) -> str:
+    if defn.channel == "get":
+        return request.get.get(defn.param, "")
+    if defn.channel == "post":
+        return request.post.get(defn.param, "")
+    if defn.channel == "cookie":
+        return request.cookies.get(defn.param, "")
+    if defn.channel == "header":
+        return request.headers.get(defn.param, "")
+    if defn.channel == "multi":
+        return "".join(request.get.get(p, "") for p in defn.params)
+    raise ValueError(f"unknown channel {defn.channel!r}")
+
+
+def _render(defn: PluginDef, rows: list[tuple]) -> str:
+    heading = f"<h2>{defn.title}</h2>"
+    if defn.render == "count":
+        if rows:
+            return f"{heading}\n<p>Found {len(rows)} result(s).</p>"
+        return f"{heading}\n<p>No results.</p>"
+    if defn.render == "first":
+        if rows:
+            return f"{heading}\n<div>{' | '.join(str(v) for v in rows[0])}</div>"
+        return f"{heading}\n<p>No results.</p>"
+    lines = [heading]
+    lines.extend(f"<div>{' | '.join(str(v) for v in row)}</div>" for row in rows)
+    if not rows:
+        lines.append("<p>No results.</p>")
+    return "\n".join(lines)
+
+
+def make_handler(defn: PluginDef) -> Handler:
+    """Build the route handler mirroring the generated PHP logic."""
+    pipeline = [transform_named(name) for name in defn.transforms]
+
+    def handler(app: WebApplication, request: HttpRequest) -> str:
+        value = _raw_value(defn, request)
+        for transform in pipeline:
+            value = transform(value)
+        query = defn.query_template.replace("{value}", value)
+        result = app.wrapper.query(query)
+        return _render(defn, result.rows)
+
+    return handler
+
+
+def build_plugin(defn: PluginDef) -> Plugin:
+    """Construct the :class:`~repro.phpapp.application.Plugin` object."""
+    return Plugin(
+        name=defn.name,
+        version=defn.version,
+        source=generate_php_source(defn),
+        routes={defn.route: make_handler(defn)},
+    )
+
+
+def _sql_literal(value: object) -> str:
+    if isinstance(value, (int, float)):
+        return str(value)
+    text = str(value).replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{text}'"
+
+
+def install_plugin(app: WebApplication, defn: PluginDef) -> None:
+    """Create/seed the plugin table and register the plugin on the app."""
+    columns = [
+        Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True)
+    ]
+    columns.extend(
+        Column(name, _COLUMN_TYPES[kind]) for name, kind in defn.columns
+    )
+    app.db.create_table(TableSchema(defn.table, columns))
+    col_names = ", ".join(name for name, __ in defn.columns)
+    for row in defn.seed_rows:
+        values = ", ".join(_sql_literal(v) for v in row)
+        app.db.execute(
+            f"INSERT INTO {defn.table} ({col_names}) VALUES ({values})"
+        )
+    app.register_plugin(build_plugin(defn))
+
+
+def build_testbed(
+    num_posts: int = 30,
+    plugins: list[PluginDef] | None = None,
+    render_cost: int = 0,
+) -> WebApplication:
+    """WordPress + the vulnerable plugin corpus (WP-SQLI-LAB), unprotected.
+
+    Callers attach Joza with ``JozaEngine.protect(app)`` when they want the
+    guarded configuration.
+    """
+    app = build_wordpress(num_posts, render_cost)
+    for defn in plugins if plugins is not None else ALL_PLUGINS:
+        install_plugin(app, defn)
+    return app

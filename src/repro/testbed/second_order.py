@@ -1,0 +1,241 @@
+"""Second-order and mixed-source injection scenarios (paper Section III-B).
+
+The paper claims two PTI strengths that the main evaluation never
+exercises:
+
+- *"PTI is resistant to second order attacks, such as when the injection
+  payload is cached into a file, and then retrieved by the application and
+  fed into a query."*  NTI cannot see these at all: at the moment the
+  malicious query runs, the triggering request carries no matching input.
+- *"PTI is also resistant to mixed input-source attacks, such as when an
+  injection payload is constructed inside the application by concatenating
+  harmless inputs from different sources."*  NTI never combines markings
+  across inputs, so each source's share covers no whole critical token.
+
+This module contributes two additional vulnerable plugins implementing
+exactly those patterns, plus helpers that run the two-phase /
+multi-channel attacks, so the claims become executable experiments
+(``tests/integration/test_second_order.py``).
+
+These plugins are *extensions*: they are not part of the 50-plugin Table I
+census and must be installed explicitly with :func:`install_extensions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..database import Column, ColumnType, TableSchema
+from ..phpapp.application import Plugin, WebApplication
+from ..phpapp.request import HttpRequest, HttpResponse
+from .wordpress import ADMIN_PASSWORD_HASH
+
+__all__ = [
+    "GUESTBOOK_SOURCE",
+    "BANNER_SOURCE",
+    "install_extensions",
+    "SecondOrderAttack",
+    "MixedSourceAttack",
+]
+
+# ----------------------------------------------------------------------
+# Second-order: a guestbook that stores the visitor's website verbatim and
+# later splices the *stored* value into an analytics query.
+# ----------------------------------------------------------------------
+
+GUESTBOOK_SOURCE = r'''<?php
+/*
+Plugin Name: Guestbook Deluxe
+Version: 1.4
+*/
+$name = $_POST['name'];
+$website = $_POST['website'];
+$insert = "INSERT INTO wp_guestbook (visitor_name, website) VALUES ('$name', '$website')";
+mysql_query($insert);
+// ---- later, on display ----
+$entry = $_GET['entry'];
+$fetch = "SELECT website FROM wp_guestbook WHERE id = $entry";
+$row = mysql_query($fetch);
+$site = $row['website']; // trusted? it came from OUR database...
+$stats = "SELECT id, hits FROM wp_guestbook_stats WHERE site = '$site' ORDER BY hits DESC";
+mysql_query($stats);
+?>'''
+
+
+def _guestbook_sign(app: WebApplication, request: HttpRequest) -> str:
+    name = request.post.get("name", "anonymous")
+    website = request.post.get("website", "")
+    app.wrapper.query(
+        "INSERT INTO wp_guestbook (visitor_name, website) VALUES "
+        f"('{name}', '{website}')"
+    )
+    return "<p>Thanks for signing!</p>"
+
+
+def _guestbook_view(app: WebApplication, request: HttpRequest) -> str:
+    entry = request.get.get("entry", "1")
+    fetched = app.wrapper.query(
+        f"SELECT website FROM wp_guestbook WHERE id = {entry}"
+    )
+    site = fetched.scalar()
+    if site is None:
+        return "<p>No such entry.</p>"
+    # The stored value is spliced unescaped: the second-order sink.
+    stats = app.wrapper.query(
+        "SELECT id, hits FROM wp_guestbook_stats WHERE site = "
+        f"'{site}' ORDER BY hits DESC"
+    )
+    lines = [f"<h2>Guestbook entry</h2>", f"<div>site: {site}</div>"]
+    lines.extend(f"<div>{' | '.join(str(v) for v in row)}</div>" for row in stats.rows)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Mixed-source: a banner plugin that concatenates a GET parameter, a
+# cookie and a header into one zone expression.
+# ----------------------------------------------------------------------
+
+BANNER_SOURCE = r'''<?php
+/*
+Plugin Name: Banner Zones
+Version: 0.9
+*/
+$zone = $_GET['zone'] . $_COOKIE['bz_region'] . $_SERVER['X-Banner-Slot'];
+$query = "SELECT id, banner_url FROM wp_banner_zones WHERE zone_id = $zone";
+mysql_query($query);
+?>'''
+
+
+def _banner_zone(app: WebApplication, request: HttpRequest) -> str:
+    zone = (
+        request.get.get("zone", "")
+        + request.cookies.get("bz_region", "")
+        + request.headers.get("X-Banner-Slot", "")
+    ) or "1"
+    result = app.wrapper.query(
+        f"SELECT id, banner_url FROM wp_banner_zones WHERE zone_id = {zone}"
+    )
+    return "\n".join(" | ".join(str(v) for v in row) for row in result.rows)
+
+
+def install_extensions(app: WebApplication) -> None:
+    """Install the second-order and mixed-source plugins on a testbed app."""
+    app.db.create_table(
+        TableSchema(
+            "wp_guestbook",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("visitor_name", ColumnType.TEXT),
+                Column("website", ColumnType.TEXT),
+            ],
+        )
+    )
+    app.db.create_table(
+        TableSchema(
+            "wp_guestbook_stats",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("site", ColumnType.TEXT),
+                Column("hits", ColumnType.INTEGER),
+            ],
+        )
+    )
+    app.db.execute(
+        "INSERT INTO wp_guestbook_stats (site, hits) VALUES "
+        "('http://example.test', 12), ('http://blog.example.test', 4)"
+    )
+    app.db.create_table(
+        TableSchema(
+            "wp_banner_zones",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("zone_id", ColumnType.INTEGER),
+                Column("banner_url", ColumnType.TEXT),
+            ],
+        )
+    )
+    app.db.execute(
+        "INSERT INTO wp_banner_zones (zone_id, banner_url) VALUES "
+        "(1, '/b/top.png'), (2, '/b/side.png')"
+    )
+    app.register_plugin(
+        Plugin(
+            name="guestbook",
+            version="1.4",
+            source=GUESTBOOK_SOURCE,
+            routes={
+                "/plugin/guestbook/sign": _guestbook_sign,
+                "/plugin/guestbook": _guestbook_view,
+            },
+        )
+    )
+    app.register_plugin(
+        Plugin(
+            name="bannerzones",
+            version="0.9",
+            source=BANNER_SOURCE,
+            routes={"/plugin/bannerzones": _banner_zone},
+        )
+    )
+
+
+@dataclass
+class SecondOrderAttack:
+    """Two-phase attack driver for the guestbook plugin.
+
+    Phase 1 (plant): POST a malicious ``website`` value; WordPress's magic
+    quotes escape it on the wire, the INSERT's string parsing un-escapes it,
+    and the raw payload lands in the database.
+    Phase 2 (trigger): GET the entry; the stored payload is spliced into the
+    stats query.  The triggering request carries only the benign entry id.
+    """
+
+    payload: str = (
+        "no-such-site' UNION SELECT 1, user_pass FROM wp_users ORDER BY hits DESC-- -"
+    )
+
+    def plant(self, app: WebApplication) -> HttpResponse:
+        return app.handle(
+            HttpRequest(
+                method="POST",
+                path="/plugin/guestbook/sign",
+                post={"name": "mallory", "website": self.payload},
+            )
+        )
+
+    def trigger(self, app: WebApplication, entry: int = 1) -> HttpResponse:
+        return app.handle(
+            HttpRequest(path="/plugin/guestbook", get={"entry": str(entry)})
+        )
+
+    def succeeded(self, response: HttpResponse) -> bool:
+        return ADMIN_PASSWORD_HASH in response.body
+
+
+@dataclass
+class MixedSourceAttack:
+    """Single-request attack assembling its payload from three channels.
+
+    The tautology ``0 OR TRUE`` (the paper's own Section III-A example) is
+    cut inside each of its two critical tokens, one share per input source,
+    so no single input's NTI marking covers a whole critical token --
+    payload construction across *sources* rather than parameters.
+    """
+
+    get_part: str = "0 O"
+    cookie_part: str = "R TR"
+    header_part: str = "UE"
+
+    def fire(self, app: WebApplication) -> HttpResponse:
+        return app.handle(
+            HttpRequest(
+                path="/plugin/bannerzones",
+                get={"zone": self.get_part},
+                cookies={"bz_region": self.cookie_part},
+                headers={"X-Banner-Slot": self.header_part},
+            )
+        )
+
+    def succeeded(self, response: HttpResponse) -> bool:
+        # The tautology dumps every banner zone, not just the requested one.
+        return "/b/top.png" in response.body and "/b/side.png" in response.body

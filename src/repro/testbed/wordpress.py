@@ -1,0 +1,296 @@
+"""Simulated WordPress core for the WP-SQLI-LAB testbed.
+
+A faithful-in-the-relevant-dimensions miniature of WordPress 3.8: the
+database schema the exploits target (``wp_users`` holds the secrets union
+exploits exfiltrate), the core routes the performance workloads exercise
+(read a post, post a comment, search), the global input behaviour the NTI
+evasions rely on (magic quotes everywhere, whitespace trimming for
+authenticated users), and a core source corpus whose extracted fragments
+include the dangerous short literals of the paper's Table III.
+
+The core's own query paths are *safe* (integer casts and ``esc_sql``), as in
+real WordPress -- all vulnerabilities live in plugins.
+"""
+
+from __future__ import annotations
+
+from ..database import Column, ColumnType, Database, TableSchema
+from ..phpapp.application import Handler, WebApplication
+from ..phpapp.request import HttpRequest
+from ..phpapp.transforms import intval, sanitize_text_field
+
+__all__ = [
+    "ADMIN_PASSWORD_HASH",
+    "ADMIN_EMAIL",
+    "SECRET_OPTION_VALUE",
+    "WORDPRESS_CORE_SOURCE",
+    "build_wordpress",
+    "seed_content",
+]
+
+#: The secret union-based exploits exfiltrate (MD5 of "password", as a real
+#: 2014-era WordPress hash stub).
+ADMIN_PASSWORD_HASH = "5f4dcc3b5aa765d61d8327deb882cf99"
+ADMIN_EMAIL = "admin@wp-sqli-lab.test"
+SECRET_OPTION_VALUE = "secret_api_key_0xJOZA"
+
+#: PHP source of the simulated core.  Fragment extraction over this text
+#: yields, among longer templates, the Table III sample fragments
+#: (UNION, AND, OR, SELECT, CHAR, #, quotes, backtick, GROUP BY, ORDER BY,
+#: CAST, WHERE 1) -- each literal below exists in some form in real
+#: WordPress source.
+WORDPRESS_CORE_SOURCE = r'''<?php
+// ---- wp-includes/post.php (excerpt) ----
+function get_posts_query($limit) {
+    return "SELECT * FROM wp_posts WHERE post_status = 'publish' ORDER BY ID DESC LIMIT $limit";
+}
+function get_post_query($id) {
+    return "SELECT * FROM wp_posts WHERE ID = $id LIMIT 1";
+}
+function get_comments_query($post_id) {
+    return "SELECT * FROM wp_comments WHERE comment_post_ID = $post_id AND comment_approved = 1 ORDER BY comment_ID";
+}
+function count_comments_query($post_id) {
+    return "SELECT COUNT(*) FROM wp_comments WHERE comment_post_ID = $post_id GROUP BY comment_approved";
+}
+// ---- wp-includes/query.php (excerpt) ----
+$where = " WHERE 1 ";
+$search_query = "SELECT * FROM wp_posts WHERE post_status = 'publish' AND (post_title LIKE '%$term%' OR post_content LIKE '%$term%') ORDER BY ID DESC LIMIT 10";
+// Short literals below correspond to the Table III sample fragments the
+// paper reports extracting from WordPress and its plugins.
+$union_clause = " UNION ";
+$cast_helper = "CAST";
+$char_helper = "CHAR";
+$group_helper = " GROUP BY ";
+$order_helper = " ORDER BY ";
+$and_helper = " AND ";
+$or_helper = " OR ";
+$select_helper = "SELECT ";
+$comment_marker = "#";
+$sql_quote = "'";
+$sql_dquote = "\"";
+$sql_backtick = "`";
+$eq_helper = " = ";
+// ---- wp-includes/comment.php (excerpt) ----
+$insert_comment = "INSERT INTO wp_comments (comment_post_ID, comment_author, comment_content, comment_approved) VALUES ($post_id, '$author', '$content', 1)";
+$update_count = "UPDATE wp_posts SET comment_count = comment_count + 1 WHERE ID = $post_id";
+// ---- wp-includes/option.php (excerpt) ----
+$get_option = "SELECT option_value FROM wp_options WHERE option_name = '$name' LIMIT 1";
+$update_option = "UPDATE wp_options SET option_value = '$value' WHERE option_name = '$name'";
+// ---- wp-includes/user.php (excerpt) ----
+$get_user = "SELECT ID, user_login FROM wp_users WHERE user_login = '$login' LIMIT 1";
+$count_users = "SELECT COUNT(*) AS total_users FROM wp_users";
+$get_author_posts = "SELECT ID, post_title FROM wp_posts WHERE post_author = $author_id AND post_status = 'publish' ORDER BY ID DESC";
+// ---- wp-admin/includes/upgrade.php (excerpt) ----
+$create_marker = "DELETE FROM wp_options WHERE option_name = '$name'";
+?>'''
+
+
+def wordpress_schema() -> list[TableSchema]:
+    """The subset of the WordPress 3.8 schema the testbed touches."""
+    return [
+        TableSchema(
+            "wp_users",
+            [
+                Column("ID", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("user_login", ColumnType.TEXT, unique=True),
+                Column("user_pass", ColumnType.TEXT),
+                Column("user_email", ColumnType.TEXT),
+            ],
+        ),
+        TableSchema(
+            "wp_posts",
+            [
+                Column("ID", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("post_author", ColumnType.INTEGER, default=1),
+                Column("post_title", ColumnType.TEXT),
+                Column("post_content", ColumnType.TEXT),
+                Column("post_status", ColumnType.TEXT, default="publish"),
+                Column("comment_count", ColumnType.INTEGER, default=0),
+            ],
+        ),
+        TableSchema(
+            "wp_comments",
+            [
+                Column("comment_ID", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("comment_post_ID", ColumnType.INTEGER),
+                Column("comment_author", ColumnType.TEXT),
+                Column("comment_content", ColumnType.TEXT),
+                Column("comment_approved", ColumnType.INTEGER, default=1),
+            ],
+        ),
+        TableSchema(
+            "wp_options",
+            [
+                Column("option_id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("option_name", ColumnType.TEXT, unique=True),
+                Column("option_value", ColumnType.TEXT),
+            ],
+        ),
+        TableSchema(
+            "wp_terms",
+            [
+                Column("term_id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("name", ColumnType.TEXT),
+                Column("slug", ColumnType.TEXT),
+            ],
+        ),
+    ]
+
+
+_LOREM_WORDS = (
+    "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod "
+    "tempor incididunt ut labore et dolore magna aliqua enim minim veniam "
+    "quis nostrud exercitation ullamco laboris nisi aliquip commodo consequat"
+).split()
+
+
+def _lorem(index: int, words: int) -> str:
+    chosen = [
+        _LOREM_WORDS[(index * 7 + k * 13) % len(_LOREM_WORDS)] for k in range(words)
+    ]
+    return " ".join(chosen)
+
+
+def seed_content(db: Database, num_posts: int = 50) -> None:
+    """Populate the database with deterministic content.
+
+    ``num_posts=1001`` recreates the paper's "1001 unique URLs" performance
+    site; tests use smaller sites.
+    """
+    db.execute(
+        "INSERT INTO wp_users (user_login, user_pass, user_email) VALUES "
+        f"('admin', '{ADMIN_PASSWORD_HASH}', '{ADMIN_EMAIL}'), "
+        "('editor', '912ec803b2ce49e4a541068d495ab570', 'editor@wp-sqli-lab.test')"
+    )
+    for i in range(1, num_posts + 1):
+        title = f"Post {i}: {_lorem(i, 4)}"
+        content = _lorem(i, 40)
+        db.execute(
+            "INSERT INTO wp_posts (post_author, post_title, post_content, post_status)"
+            f" VALUES ({1 + i % 2}, '{title}', '{content}', 'publish')"
+        )
+    for i in range(1, min(num_posts, 25) + 1):
+        db.execute(
+            "INSERT INTO wp_comments (comment_post_ID, comment_author, "
+            f"comment_content, comment_approved) VALUES ({i}, 'visitor{i}', "
+            f"'{_lorem(i + 3, 12)}', 1)"
+        )
+    db.execute(
+        "INSERT INTO wp_options (option_name, option_value) VALUES "
+        "('siteurl', 'http://wp-sqli-lab.test'), "
+        "('blogname', 'WP-SQLI-LAB'), "
+        f"('secret_api_key', '{SECRET_OPTION_VALUE}')"
+    )
+    for i, term in enumerate(("news", "security", "research", "misc"), start=1):
+        db.execute(f"INSERT INTO wp_terms (name, slug) VALUES ('{term}', 'term-{i}')")
+
+
+# ----------------------------------------------------------------------
+# Core route handlers (all written safely, like real WordPress core)
+# ----------------------------------------------------------------------
+
+
+def _render_rows(rows: list[tuple], heading: str) -> str:
+    lines = [f"<h1>{heading}</h1>"]
+    lines.extend(f"<div>{' | '.join(str(v) for v in row)}</div>" for row in rows)
+    if not rows:
+        lines.append("<p>Nothing found.</p>")
+    return "\n".join(lines)
+
+
+def _home(app: WebApplication, request: HttpRequest) -> str:
+    result = app.wrapper.query(
+        "SELECT * FROM wp_posts WHERE post_status = 'publish' "
+        "ORDER BY ID DESC LIMIT 10"
+    )
+    return _render_rows(result.rows, "Recent posts")
+
+
+def _view_post(app: WebApplication, request: HttpRequest) -> str:
+    post_id = intval(request.get.get("id", "0"))
+    post = app.wrapper.query(
+        f"SELECT * FROM wp_posts WHERE ID = {post_id} LIMIT 1"
+    )
+    comments = app.wrapper.query(
+        f"SELECT * FROM wp_comments WHERE comment_post_ID = {post_id} "
+        "AND comment_approved = 1 ORDER BY comment_ID"
+    )
+    option = app.wrapper.query(
+        "SELECT option_value FROM wp_options WHERE option_name = 'blogname' LIMIT 1"
+    )
+    body = _render_rows(post.rows, f"Post {post_id}")
+    body += "\n" + _render_rows(comments.rows, "Comments")
+    body += f"\n<footer>{option.scalar()}</footer>"
+    return body
+
+
+def _search(app: WebApplication, request: HttpRequest) -> str:
+    # Magic quotes already escaped quotes/backslashes in the term; embedding
+    # it in a quoted LIKE is the canonical safe WordPress pattern.
+    term = sanitize_text_field(request.get.get("s", ""))
+    result = app.wrapper.query(
+        "SELECT * FROM wp_posts WHERE post_status = 'publish' AND "
+        f"(post_title LIKE '%{term}%' OR post_content LIKE '%{term}%') "
+        "ORDER BY ID DESC LIMIT 10"
+    )
+    return _render_rows(result.rows, f"Search: {term}")
+
+
+def _post_comment(app: WebApplication, request: HttpRequest) -> str:
+    post_id = intval(request.post.get("post_id", "0"))
+    author = request.post.get("author", "anonymous")
+    content = request.post.get("content", "")
+    app.wrapper.query(
+        "INSERT INTO wp_comments (comment_post_ID, comment_author, "
+        f"comment_content, comment_approved) VALUES ({post_id}, '{author}', "
+        f"'{content}', 1)"
+    )
+    app.wrapper.query(
+        "UPDATE wp_posts SET comment_count = comment_count + 1 "
+        f"WHERE ID = {post_id}"
+    )
+    app.wrapper.query(
+        f"SELECT COUNT(*) FROM wp_comments WHERE comment_post_ID = {post_id}"
+    )
+    return "<p>Comment submitted.</p>"
+
+
+def _author(app: WebApplication, request: HttpRequest) -> str:
+    author_id = intval(request.get.get("author", "1"))
+    result = app.wrapper.query(
+        "SELECT ID, post_title FROM wp_posts WHERE post_author = "
+        f"{author_id} AND post_status = 'publish' ORDER BY ID DESC"
+    )
+    return _render_rows(result.rows, f"Author {author_id}")
+
+
+CORE_ROUTES: dict[str, Handler] = {
+    "/": _home,
+    "/post": _view_post,
+    "/search": _search,
+    "/comment": _post_comment,
+    "/author": _author,
+}
+
+
+def build_wordpress(num_posts: int = 50, render_cost: int = 0) -> WebApplication:
+    """Construct a fresh simulated WordPress site (no plugins, no guard).
+
+    ``render_cost`` adds synthetic per-request templating work; the
+    performance benchmarks use it to restore a WordPress-like ratio of
+    application work to analysis work (see ``WebApplication.render_cost``).
+    """
+    db = Database("wordpress")
+    for schema in wordpress_schema():
+        db.create_table(schema)
+    seed_content(db, num_posts)
+    return WebApplication(
+        "wordpress-3.8-sim",
+        db,
+        core_source=WORDPRESS_CORE_SOURCE,
+        core_routes=dict(CORE_ROUTES),
+        magic_quotes=True,
+        trim_authenticated=True,
+        render_cost=render_cost,
+    )

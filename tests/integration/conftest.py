@@ -1,0 +1,23 @@
+"""Shared fixtures for the integration suite.
+
+Testbed construction and the full corpus evaluation are expensive enough to
+share at session scope; tests that need mutable protected apps build their
+own.
+"""
+
+import pytest
+
+from repro.testbed import build_testbed
+from repro.testbed.evaluation import evaluate_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus_eval():
+    """Full 50-plugin + 3-application security evaluation."""
+    return evaluate_corpus(num_posts=8)
+
+
+@pytest.fixture()
+def plain_app():
+    """A fresh unprotected testbed."""
+    return build_testbed(num_posts=8)

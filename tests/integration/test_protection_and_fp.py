@@ -1,0 +1,120 @@
+"""Integration tests: enforcement behaviour and the false-positive study."""
+
+import pytest
+
+from repro.core import JozaConfig, JozaEngine, RecoveryPolicy
+from repro.phpapp import HttpRequest
+from repro.testbed import (
+    ALL_PLUGINS,
+    all_exploits,
+    benign_value,
+    build_testbed,
+    craft_exploit,
+    full_crawl,
+    make_request,
+    plugin_by_name,
+    run_exploit,
+)
+
+
+@pytest.fixture()
+def protected_app():
+    app = build_testbed(num_posts=8)
+    engine = JozaEngine.protect(app)
+    return app, engine
+
+
+def test_blocked_exploits_never_succeed(protected_app):
+    app, engine = protected_app
+    for exploit in all_exploits():
+        outcome = run_exploit(app, exploit)
+        assert not outcome.success, exploit.plugin.name
+        assert outcome.blocked, exploit.plugin.name
+
+
+def test_termination_policy_returns_blank_500(protected_app):
+    app, __ = protected_app
+    defn = plugin_by_name("commevents")
+    response = app.handle(make_request(defn, "0 OR 1=1"))
+    assert response.blocked and response.status == 500 and response.body == ""
+
+
+def test_error_virtualization_lets_application_respond():
+    app = build_testbed(num_posts=5)
+    JozaEngine.protect(
+        app, JozaConfig(policy=RecoveryPolicy.ERROR_VIRTUALIZATION)
+    )
+    defn = plugin_by_name("commevents")
+    response = app.handle(make_request(defn, "0 OR 1=1"))
+    assert not response.blocked
+    assert response.status == 200
+    assert response.db_error is not None  # looks like a failed query
+
+
+def test_attack_log_records_flagging_technique(protected_app):
+    app, engine = protected_app
+    run_exploit(app, craft_exploit(plugin_by_name("linklibrary")))
+    assert engine.attack_log
+    record = engine.attack_log[-1]
+    assert "wp_link_library" in record.query
+    assert record.verdict.detected_by()
+    assert record.request_path == "/plugin/linklibrary"
+
+
+def test_full_crawl_zero_false_positives(protected_app):
+    app, engine = protected_app
+    report = full_crawl(app, num_posts=8, comments=15, searches=15)
+    assert report.false_positives == 0
+    assert report.error_requests == 0
+    assert report.total_queries > report.total_requests  # multi-query pages
+
+
+def test_crawl_after_attacks_still_clean(protected_app):
+    # Attack traffic must not poison caches into blocking benign requests.
+    app, engine = protected_app
+    for exploit in all_exploits()[:10]:
+        run_exploit(app, exploit)
+    report = full_crawl(app, num_posts=8, comments=10, searches=10)
+    assert report.false_positives == 0
+
+
+def test_benign_hostile_looking_content_passes(protected_app):
+    app, __ = protected_app
+    response = app.handle(
+        HttpRequest(
+            method="POST", path="/comment",
+            post={
+                "post_id": "1",
+                "author": "Robert'); DROP TABLE wp_posts;--",
+                "content": "I'd SELECT this post as a UNION of great ideas OR 1=1",
+            },
+        )
+    )
+    assert response.ok(), response.body
+    # The data really landed in the database.
+    assert app.db.execute(
+        "SELECT COUNT(*) FROM wp_comments WHERE comment_author LIKE 'Robert%'"
+    ).scalar() == 1
+
+
+def test_search_for_sql_keywords_passes(protected_app):
+    app, __ = protected_app
+    for term in ("union select", "or 1=1", "drop table"):
+        response = app.handle(HttpRequest(path="/search", get={"s": term}))
+        assert response.ok(), term
+
+
+def test_repeated_attacks_stay_blocked_through_caches(protected_app):
+    app, engine = protected_app
+    exploit = craft_exploit(plugin_by_name("linklibrary"))
+    first = run_exploit(app, exploit)
+    second = run_exploit(app, exploit)  # served via the query cache
+    assert first.blocked and second.blocked
+    assert engine.stats.attacks_blocked >= 2
+
+
+def test_benign_traffic_for_all_plugins_under_protection(protected_app):
+    app, __ = protected_app
+    for defn in ALL_PLUGINS:
+        response = app.handle(make_request(defn, benign_value(defn)))
+        assert not response.blocked, defn.name

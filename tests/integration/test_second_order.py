@@ -1,0 +1,129 @@
+"""Integration tests: second-order and mixed-source scenarios (paper III-B).
+
+These pin the two PTI-strength claims the paper states but never evaluates:
+NTI is structurally blind to second-order and cross-source payloads, PTI
+(and therefore Joza) catches them.
+"""
+
+import pytest
+
+from repro.core import JozaConfig, JozaEngine
+from repro.testbed import build_testbed
+from repro.testbed.second_order import (
+    MixedSourceAttack,
+    SecondOrderAttack,
+    install_extensions,
+)
+
+
+def build(protect=None):
+    app = build_testbed(num_posts=4)
+    install_extensions(app)
+    engine = JozaEngine.protect(app, protect) if protect is not None else None
+    return app, engine
+
+
+def test_second_order_attack_works_unprotected():
+    app, __ = build()
+    attack = SecondOrderAttack()
+    assert "Thanks" in attack.plant(app).body
+    response = attack.trigger(app)
+    assert attack.succeeded(response)
+
+
+def test_second_order_payload_stored_raw():
+    # Magic quotes escape the POST value; the INSERT's string parsing
+    # un-escapes it; the database holds the raw payload.
+    app, __ = build()
+    attack = SecondOrderAttack()
+    attack.plant(app)
+    stored = app.db.execute(
+        "SELECT website FROM wp_guestbook WHERE visitor_name = 'mallory'"
+    ).scalar()
+    assert stored == attack.payload
+
+
+def test_second_order_invisible_to_nti():
+    app, engine = build(JozaConfig(enable_pti=False))
+    attack = SecondOrderAttack()
+    attack.plant(app)
+    engine.attack_log.clear()  # the plant itself is benign-shaped anyway
+    response = attack.trigger(app)
+    assert not engine.attack_log          # NTI saw nothing suspicious
+    assert attack.succeeded(response)     # and the attack went through
+
+
+def test_second_order_caught_by_pti():
+    app, engine = build(JozaConfig(enable_nti=False))
+    attack = SecondOrderAttack()
+    attack.plant(app)
+    response = attack.trigger(app)
+    assert engine.attack_log
+    assert not attack.succeeded(response)
+
+
+def test_second_order_blocked_by_joza():
+    app, engine = build(JozaConfig())
+    attack = SecondOrderAttack()
+    attack.plant(app)
+    response = attack.trigger(app)
+    assert response.blocked
+    assert engine.stats.attacks_blocked >= 1
+
+
+def test_benign_guestbook_flow_passes_protected():
+    from repro.phpapp import HttpRequest
+
+    app, __ = build(JozaConfig())
+    signed = app.handle(
+        HttpRequest(
+            method="POST", path="/plugin/guestbook/sign",
+            post={"name": "alice", "website": "http://example.test"},
+        )
+    )
+    assert signed.ok()
+    viewed = app.handle(HttpRequest(path="/plugin/guestbook", get={"entry": "1"}))
+    assert viewed.ok()
+    assert "example.test" in viewed.body
+
+
+def test_mixed_source_attack_works_unprotected():
+    app, __ = build()
+    attack = MixedSourceAttack()
+    assert attack.succeeded(attack.fire(app))
+
+
+def test_mixed_source_invisible_to_nti():
+    app, engine = build(JozaConfig(enable_pti=False))
+    attack = MixedSourceAttack()
+    response = attack.fire(app)
+    assert not engine.attack_log
+    assert attack.succeeded(response)
+
+
+def test_mixed_source_whole_payload_in_one_source_is_caught():
+    app, engine = build(JozaConfig(enable_pti=False))
+    attack = MixedSourceAttack(get_part="0 OR TRUE", cookie_part="", header_part="")
+    response = attack.fire(app)
+    assert engine.attack_log
+    assert not attack.succeeded(response)
+
+
+def test_mixed_source_caught_by_pti_and_joza():
+    app, engine = build(JozaConfig(enable_nti=False))
+    attack = MixedSourceAttack()
+    assert not attack.succeeded(attack.fire(app))
+    assert engine.attack_log
+    app, engine = build(JozaConfig())
+    assert attack.fire(app).blocked
+
+
+def test_benign_banner_request_passes_protected():
+    from repro.phpapp import HttpRequest
+
+    app, __ = build(JozaConfig())
+    response = app.handle(
+        HttpRequest(path="/plugin/bannerzones", get={"zone": "1"})
+    )
+    assert response.ok()
+    assert "/b/top.png" in response.body and "/b/side.png" not in response.body

@@ -1,0 +1,91 @@
+"""Integration tests: the paper's security results (Tables II and IV)."""
+
+from repro.testbed import AttackType
+from repro.testbed.evaluation import evaluate_sqlgen_variants
+
+
+def test_table2_nti_baseline(corpus_eval):
+    assert corpus_eval.nti_baseline == (49, 50)
+
+
+def test_table2_nti_miss_is_the_base64_plugin(corpus_eval):
+    missed = [r.plugin.name for r in corpus_eval.reports if not r.nti_original]
+    assert missed == ["adrotate"]
+
+
+def test_table2_pti_baseline(corpus_eval):
+    assert corpus_eval.pti_baseline == (50, 50)
+
+
+def test_table2_sqlmap_variants_all_detected():
+    results = evaluate_sqlgen_variants(count_per_plugin=40, num_posts=4)
+    assert results["nti"] == (160, 160)
+    assert results["pti"] == (160, 160)
+
+
+def test_every_nti_mutant_works_and_evades(corpus_eval):
+    for report in corpus_eval.reports:
+        assert report.nti_mutant_works, report.plugin.name
+        assert not report.nti_mutated, report.plugin.name
+    assert corpus_eval.nti_evasions == 50
+
+
+def test_taintless_succeeds_on_exactly_thirteen(corpus_eval):
+    assert corpus_eval.taintless_successes == 13
+    adapted = {
+        r.plugin.name
+        for r in corpus_eval.reports
+        if r.taintless_adapted and r.pti_mutant_works and not r.pti_mutated
+    }
+    expected = {r.plugin.name for r in corpus_eval.reports if r.plugin.taintless_expected}
+    assert adapted == expected
+
+
+def test_taintless_profile_by_attack_type(corpus_eval):
+    by_type = {}
+    for report in corpus_eval.reports:
+        if report.taintless_adapted:
+            by_type.setdefault(report.plugin.attack_type, 0)
+            by_type[report.plugin.attack_type] += 1
+    # All 4 tautologies and 9 of the unions; no blind exploit is adaptable.
+    assert by_type == {AttackType.TAUTOLOGY: 4, AttackType.UNION: 9}
+
+
+def test_joza_detects_everything(corpus_eval):
+    assert corpus_eval.joza_detections == (50, 50)
+    assert all(r.joza for r in corpus_eval.reports)
+
+
+def test_scenario_joomla(corpus_eval):
+    joomla = next(s for s in corpus_eval.scenario_reports if s.name == "Joomla")
+    # The encoded object-injection cookie is invisible to NTI even unmutated,
+    # but PTI catches it and so does Joza.
+    assert not joomla.nti_original
+    assert joomla.pti_original
+    assert joomla.joza
+
+
+def test_scenario_drupal(corpus_eval):
+    drupal = next(s for s in corpus_eval.scenario_reports if s.name == "Drupal")
+    assert drupal.nti_original          # original key text appears verbatim
+    assert not drupal.nti_mutated       # long-prefix binding evades NTI
+    assert drupal.pti_original
+    assert drupal.joza
+
+
+def test_scenario_oscommerce_is_the_fourteenth_pti_evasion(corpus_eval):
+    osc = next(s for s in corpus_eval.scenario_reports if s.name == "osCommerce")
+    assert not osc.pti_original        # spaced tautology is PTI-safe as-is
+    assert not osc.pti_mutated
+    assert osc.nti_original            # but NTI sees it verbatim
+    assert not osc.nti_mutated         # quote stuffing evades NTI
+    assert osc.joza                    # the hybrid still wins
+
+
+def test_abstract_pti_evasion_tally(corpus_eval):
+    # 13 plugins + osCommerce = 14 of 53 targets (the abstract's number).
+    oscommerce = next(
+        s for s in corpus_eval.scenario_reports if s.name == "osCommerce"
+    )
+    total = corpus_eval.taintless_successes + (0 if oscommerce.pti_mutated else 1)
+    assert total == 14

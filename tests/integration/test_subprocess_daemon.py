@@ -1,0 +1,69 @@
+"""Integration tests: the real subprocess PTI daemon over pipes."""
+
+import pytest
+
+from repro.core import JozaConfig, JozaEngine
+from repro.phpapp import HttpRequest
+from repro.pti import DaemonConfig, FragmentStore, SubprocessPTIDaemon
+from repro.testbed import build_testbed, make_request, plugin_by_name
+
+FRAGMENTS = ["SELECT a FROM t WHERE id = ", " OR ", " LIMIT 5"]
+
+
+def test_persistent_daemon_roundtrip():
+    with SubprocessPTIDaemon(FragmentStore(FRAGMENTS)) as daemon:
+        safe = daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+        assert safe.safe
+        unsafe = daemon.analyze_query("SELECT a FROM t WHERE id = 1 UNION SELECT 2")
+        assert not unsafe.safe
+        assert unsafe.tokens is not None
+
+
+def test_persistent_daemon_uses_child_caches():
+    with SubprocessPTIDaemon(FragmentStore(FRAGMENTS)) as daemon:
+        first = daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+        second = daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+        assert first.from_cache is None
+        assert second.from_cache == "query"
+
+
+def test_persistent_daemon_single_spawn():
+    with SubprocessPTIDaemon(FragmentStore(FRAGMENTS)) as daemon:
+        for i in range(5):
+            daemon.analyze_query(f"SELECT a FROM t WHERE id = {i}")
+        # Spawn happened once; IPC happened five times.
+        assert daemon.timings.seconds["spawn"] > 0
+        assert daemon.timings.seconds["ipc"] > 0
+
+
+def test_spawn_per_query_mode():
+    daemon = SubprocessPTIDaemon(FragmentStore(FRAGMENTS), persistent=False)
+    a = daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+    b = daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+    assert a.safe and b.safe
+    # Every query pays its own spawn -> no cross-query cache hits.
+    assert b.from_cache is None
+
+
+def test_daemon_restarts_after_close():
+    daemon = SubprocessPTIDaemon(FragmentStore(FRAGMENTS))
+    assert daemon.analyze_query("SELECT a FROM t WHERE id = 1").safe
+    daemon.close()
+    assert daemon.analyze_query("SELECT a FROM t WHERE id = 2").safe
+    daemon.close()
+
+
+def test_engine_with_subprocess_daemon_blocks_attacks():
+    app = build_testbed(num_posts=4)
+    store = FragmentStore.from_sources(app.all_sources())
+    with SubprocessPTIDaemon(store, DaemonConfig()) as daemon:
+        engine = JozaEngine(store, JozaConfig(), daemon=daemon)
+        app.install_guard(engine)
+        benign = app.handle(HttpRequest(path="/post", get={"id": "1"}))
+        assert benign.ok()
+        defn = plugin_by_name("linklibrary")
+        attack = app.handle(
+            make_request(defn, "-1 UNION SELECT 1, user_pass, 3 FROM wp_users#")
+        )
+        assert attack.blocked
+        assert engine.stats.attacks_blocked == 1

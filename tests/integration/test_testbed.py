@@ -1,0 +1,84 @@
+"""Integration tests: testbed construction and basic behaviour."""
+
+from repro.phpapp import HttpRequest
+from repro.testbed import (
+    ADMIN_PASSWORD_HASH,
+    ALL_PLUGINS,
+    AttackType,
+    benign_value,
+    build_testbed,
+    generate_php_source,
+    make_request,
+)
+
+
+def test_corpus_census_matches_table1():
+    counts = {}
+    for plugin in ALL_PLUGINS:
+        counts[plugin.attack_type] = counts.get(plugin.attack_type, 0) + 1
+    assert counts == {
+        AttackType.UNION: 15,
+        AttackType.BLIND: 17,
+        AttackType.DOUBLE_BLIND: 14,
+        AttackType.TAUTOLOGY: 4,
+    }
+
+
+def test_plugin_definitions_are_distinct():
+    assert len({p.name for p in ALL_PLUGINS}) == 50
+    assert len({p.route for p in ALL_PLUGINS}) == 50
+    assert len({p.table for p in ALL_PLUGINS}) == 50
+    # Query templates are individually authored, not copy-pasted.
+    assert len({p.query_template for p in ALL_PLUGINS}) == 50
+
+
+def test_generated_php_source_contains_template_and_transforms():
+    for plugin in ALL_PLUGINS:
+        source = generate_php_source(plugin)
+        assert plugin.title in source
+        assert "$query" in source
+        for transform in plugin.transforms:
+            assert f"{transform}($input)" in source
+
+
+def test_testbed_builds_with_all_tables(plain_app):
+    for plugin in ALL_PLUGINS:
+        table = plain_app.db.table(plugin.table)
+        assert len(table) == len(plugin.seed_rows)
+
+
+def test_wordpress_core_routes_work(plain_app):
+    assert "Recent posts" in plain_app.handle(HttpRequest(path="/")).body
+    post = plain_app.handle(HttpRequest(path="/post", get={"id": "1"}))
+    assert "Post 1" in post.body
+    search = plain_app.handle(HttpRequest(path="/search", get={"s": "lorem"}))
+    assert search.ok()
+    comment = plain_app.handle(
+        HttpRequest(
+            method="POST", path="/comment",
+            post={"post_id": "1", "author": "it", "content": "integration"},
+        )
+    )
+    assert "Comment submitted" in comment.body
+    assert comment.query_count == 3  # insert + counter update + count read
+
+
+def test_every_plugin_benign_request_works(plain_app):
+    for plugin in ALL_PLUGINS:
+        response = plain_app.handle(make_request(plugin, benign_value(plugin)))
+        assert response.status == 200, plugin.name
+        assert response.db_error is None, (plugin.name, response.db_error)
+
+
+def test_admin_secret_is_seeded(plain_app):
+    row = plain_app.db.execute(
+        "SELECT user_pass FROM wp_users WHERE user_login = 'admin'"
+    )
+    assert row.scalar() == ADMIN_PASSWORD_HASH
+
+
+def test_testbed_instances_are_independent():
+    a = build_testbed(num_posts=3)
+    b = build_testbed(num_posts=3)
+    a.db.execute("DELETE FROM wp_posts")
+    assert b.db.execute("SELECT COUNT(*) FROM wp_posts").scalar() == 3

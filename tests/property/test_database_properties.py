@@ -1,0 +1,125 @@
+"""Property-based tests for the in-memory database engine."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import Column, ColumnType, Database, TableSchema
+
+names = st.text(alphabet=st.sampled_from("abcdefgh xyz"), min_size=1, max_size=10)
+prices = st.integers(min_value=-1000, max_value=1000)
+rows_strategy = st.lists(st.tuples(names, prices), min_size=0, max_size=12)
+
+
+def fresh_db(rows):
+    db = Database("prop")
+    db.create_table(
+        TableSchema(
+            "items",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("name", ColumnType.TEXT),
+                Column("price", ColumnType.INTEGER),
+            ],
+        )
+    )
+    for name, price in rows:
+        escaped = name.replace("\\", "\\\\").replace("'", "\\'")
+        db.execute(f"INSERT INTO items (name, price) VALUES ('{escaped}', {price})")
+    return db
+
+
+@given(rows_strategy)
+@settings(max_examples=40)
+def test_select_star_returns_all_inserted_rows(rows):
+    db = fresh_db(rows)
+    assert db.execute("SELECT COUNT(*) FROM items").scalar() == len(rows)
+    assert db.execute("SELECT * FROM items").rowcount == len(rows)
+
+
+@given(rows_strategy, prices)
+@settings(max_examples=40)
+def test_where_partitions_rows(rows, pivot):
+    db = fresh_db(rows)
+    below = db.execute(f"SELECT COUNT(*) FROM items WHERE price < {pivot}").scalar()
+    at_or_above = db.execute(
+        f"SELECT COUNT(*) FROM items WHERE price >= {pivot}"
+    ).scalar()
+    assert below + at_or_above == len(rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=40)
+def test_order_by_sorts(rows):
+    db = fresh_db(rows)
+    result = db.execute("SELECT price FROM items ORDER BY price")
+    values = [r[0] for r in result.rows]
+    assert values == sorted(values)
+    result = db.execute("SELECT price FROM items ORDER BY price DESC")
+    values = [r[0] for r in result.rows]
+    assert values == sorted(values, reverse=True)
+
+
+@given(rows_strategy, st.integers(min_value=0, max_value=15))
+@settings(max_examples=40)
+def test_limit_truncates(rows, limit):
+    db = fresh_db(rows)
+    result = db.execute(f"SELECT * FROM items LIMIT {limit}")
+    assert result.rowcount == min(limit, len(rows))
+
+
+@given(rows_strategy)
+@settings(max_examples=40)
+def test_tautology_returns_everything(rows):
+    db = fresh_db(rows)
+    result = db.execute("SELECT * FROM items WHERE id = -999 OR 1=1")
+    assert result.rowcount == len(rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=40)
+def test_union_all_adds_counts(rows):
+    db = fresh_db(rows)
+    result = db.execute(
+        "SELECT name FROM items UNION ALL SELECT name FROM items"
+    )
+    assert result.rowcount == 2 * len(rows)
+
+
+@given(rows_strategy, prices)
+@settings(max_examples=40)
+def test_delete_then_count(rows, pivot):
+    db = fresh_db(rows)
+    deleted = db.execute(f"DELETE FROM items WHERE price < {pivot}").rowcount
+    remaining = db.execute("SELECT COUNT(*) FROM items").scalar()
+    assert deleted + remaining == len(rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=40)
+def test_update_preserves_row_count(rows):
+    db = fresh_db(rows)
+    db.execute("UPDATE items SET price = price + 1")
+    assert db.execute("SELECT COUNT(*) FROM items").scalar() == len(rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=30)
+def test_aggregates_consistent(rows):
+    db = fresh_db(rows)
+    if not rows:
+        assert db.execute("SELECT SUM(price) FROM items").scalar() is None
+        return
+    total = db.execute("SELECT SUM(price) FROM items").scalar()
+    avg = db.execute("SELECT AVG(price) FROM items").scalar()
+    assert total == sum(p for __, p in rows)
+    assert avg * len(rows) == pytest.approx(total)
+
+
+@given(names)
+@settings(max_examples=40)
+def test_string_roundtrip_through_insert(name):
+    db = fresh_db([(name, 1)])
+    stored = db.execute("SELECT name FROM items WHERE id = 1").scalar()
+    assert stored == name

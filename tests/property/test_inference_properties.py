@@ -1,0 +1,131 @@
+"""Property-based tests for the taint-inference components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nti import NTIAnalyzer, NTIConfig
+from repro.phpapp.context import CapturedInput, RequestContext
+from repro.phpapp.php_serialize import php_serialize, php_unserialize
+from repro.phpapp.source import extract_fragments
+from repro.phpapp.transforms import addslashes, stripslashes
+from repro.pti import FragmentStore, PTIAnalyzer, PTIConfig
+
+fragment_texts = st.lists(
+    st.sampled_from(
+        ["SELECT ", " FROM t", " OR ", " = ", " UNION ", "WHERE ", "id",
+         "#", " LIMIT ", "' AND x = 1", "user"]
+    ),
+    min_size=0,
+    max_size=8,
+)
+queries = st.sampled_from(
+    [
+        "SELECT id FROM t WHERE id = 1",
+        "SELECT id FROM t WHERE id = 1 OR 1 = 1",
+        "SELECT id FROM t WHERE id = -1 UNION SELECT user()",
+        "INSERT INTO t (a) VALUES (1)",
+        "SELECT 1 # tail",
+        "garbage (( OR 1=1",
+    ]
+)
+
+
+@given(fragment_texts, queries)
+@settings(max_examples=80)
+def test_pti_verdict_independent_of_fragment_order(fragments, query):
+    forward = PTIAnalyzer(FragmentStore(fragments)).analyze(query)
+    backward = PTIAnalyzer(FragmentStore(reversed(fragments))).analyze(query)
+    assert forward.safe == backward.safe
+    assert {d.token_text for d in forward.detections} == {
+        d.token_text for d in backward.detections
+    }
+
+
+@given(fragment_texts, queries)
+@settings(max_examples=60)
+def test_pti_monotone_in_vocabulary(fragments, query):
+    """Adding fragments can only remove detections, never add them."""
+    small = PTIAnalyzer(FragmentStore(fragments)).analyze(query)
+    bigger = PTIAnalyzer(FragmentStore(fragments + [" OR ", " = ", "SELECT "]))
+    big = bigger.analyze(query)
+    small_texts = {d.token_text for d in small.detections}
+    big_texts = {d.token_text for d in big.detections}
+    assert big_texts <= small_texts
+
+
+@given(fragment_texts, queries)
+@settings(max_examples=60)
+def test_pti_optimizations_never_change_verdicts(fragments, query):
+    store = FragmentStore(fragments)
+    fast = PTIAnalyzer(store, PTIConfig()).analyze(query)
+    slow = PTIAnalyzer(
+        FragmentStore(fragments), PTIConfig(use_mru=False, use_token_index=False)
+    ).analyze(query)
+    assert fast.safe == slow.safe
+
+
+payloads = st.sampled_from(
+    ["1", "0 OR 1=1", "-1 UNION SELECT 2", "abc", "x' OR '1'='1", "", "999"]
+)
+
+
+@given(payloads, st.floats(min_value=0.0, max_value=0.45))
+@settings(max_examples=80)
+def test_nti_detection_monotone_in_threshold(payload, threshold):
+    """If a payload is caught at threshold t, it is caught at any t' > t."""
+    query = f"SELECT a FROM t WHERE id = {payload}"
+    context = RequestContext(inputs=[CapturedInput("get", "p", payload)])
+    low = NTIAnalyzer(NTIConfig(threshold=threshold)).analyze(query, context)
+    high = NTIAnalyzer(NTIConfig(threshold=min(threshold + 0.2, 0.49))).analyze(
+        query, context
+    )
+    if not low.safe:
+        assert not high.safe
+
+
+@given(payloads)
+@settings(max_examples=40)
+def test_nti_verbatim_input_always_marked(payload):
+    if not payload:
+        return
+    query = f"SELECT a FROM t WHERE id = {payload}"
+    context = RequestContext(inputs=[CapturedInput("get", "p", payload)])
+    result = NTIAnalyzer().analyze(query, context)
+    assert any(m.ratio == 0.0 for m in result.markings)
+
+
+@given(st.text(max_size=30))
+@settings(max_examples=60)
+def test_addslashes_roundtrip(text):
+    assert stripslashes(addslashes(text)) == text
+
+
+@given(st.text(max_size=30))
+@settings(max_examples=60)
+def test_addslashes_only_adds(text):
+    assert len(addslashes(text)) >= len(text)
+
+
+php_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-10**6, max_value=10**6)
+    | st.text(max_size=15),
+    lambda children: st.dictionaries(
+        st.text(max_size=6), children, max_size=4
+    ),
+    max_leaves=12,
+)
+
+
+@given(php_values)
+@settings(max_examples=80)
+def test_php_serialize_roundtrip(value):
+    assert php_unserialize(php_serialize(value)) == value
+
+
+@given(st.text(alphabet=st.sampled_from("abc'\"$ {}=SELECT\n"), max_size=60))
+@settings(max_examples=60)
+def test_fragment_extraction_never_raises(source):
+    for fragment in extract_fragments(source):
+        assert fragment  # never empty

@@ -1,0 +1,106 @@
+"""Property-based tests for the string-matching substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import (
+    best_substring_match,
+    levenshtein_banded,
+    levenshtein_full,
+    levenshtein_two_row,
+    substring_distance,
+)
+
+short_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=24
+)
+tiny_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=12
+)
+
+
+@given(short_text, short_text)
+def test_implementations_agree(a, b):
+    assert levenshtein_full(a, b) == levenshtein_two_row(a, b)
+
+
+@given(short_text, short_text)
+def test_banded_agrees_within_budget(a, b):
+    exact = levenshtein_full(a, b)
+    assert levenshtein_banded(a, b, exact) == exact
+    if exact > 0:
+        assert levenshtein_banded(a, b, exact - 1) == exact  # budget + 1
+
+
+@given(short_text, short_text)
+def test_metric_symmetry(a, b):
+    assert levenshtein_two_row(a, b) == levenshtein_two_row(b, a)
+
+
+@given(short_text)
+def test_metric_identity(a):
+    assert levenshtein_two_row(a, a) == 0
+
+
+@given(short_text, short_text)
+def test_metric_positivity(a, b):
+    d = levenshtein_two_row(a, b)
+    assert d >= 0
+    assert (d == 0) == (a == b)
+
+
+@given(tiny_text, tiny_text, tiny_text)
+@settings(max_examples=50)
+def test_triangle_inequality(a, b, c):
+    assert levenshtein_two_row(a, c) <= (
+        levenshtein_two_row(a, b) + levenshtein_two_row(b, c)
+    )
+
+
+@given(short_text, short_text)
+def test_distance_bounded_by_longer_length(a, b):
+    assert levenshtein_two_row(a, b) <= max(len(a), len(b))
+
+
+@given(tiny_text, short_text)
+def test_substring_distance_le_full_distance(pattern, text):
+    assert substring_distance(pattern, text) <= levenshtein_full(pattern, text)
+
+
+@given(tiny_text, short_text)
+def test_substring_distance_bounded_by_pattern_length(pattern, text):
+    assert substring_distance(pattern, text) <= len(pattern)
+
+
+@given(tiny_text, tiny_text, tiny_text)
+@settings(max_examples=60)
+def test_exact_containment_gives_zero(prefix, pattern, suffix):
+    if pattern:
+        assert substring_distance(pattern, prefix + pattern + suffix) == 0
+
+
+@given(tiny_text, short_text)
+@settings(max_examples=60)
+def test_reported_region_achieves_distance(pattern, text):
+    match = best_substring_match(pattern, text)
+    region = text[match.start : match.end]
+    assert levenshtein_full(pattern, region) == match.distance
+
+
+@given(tiny_text, short_text, st.integers(min_value=0, max_value=6))
+@settings(max_examples=80)
+def test_budget_pruning_is_sound(pattern, text, budget):
+    """Pruned out => the true distance really exceeds the budget."""
+    result = best_substring_match(pattern, text, max_distance=budget)
+    true_distance = substring_distance(pattern, text)
+    if result is None:
+        assert true_distance > budget
+    else:
+        assert result.distance == true_distance
+
+
+@given(st.text(max_size=20), st.text(max_size=20))
+@settings(max_examples=60)
+def test_unicode_operands_no_crash(a, b):
+    levenshtein_two_row(a, b)
+    best_substring_match(a, b)

@@ -1,0 +1,86 @@
+"""Property-based tests: prepared-statement binding is injection-proof."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import (
+    Column,
+    ColumnType,
+    Database,
+    PreparedStatement,
+    TableSchema,
+    quote_literal,
+)
+
+# Exclude newlines: a raw newline inside a quoted literal is legal here,
+# but the engine's identity is the property under test, not formatting.
+texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF), max_size=40
+)
+
+
+def fresh_db():
+    db = Database("prop")
+    db.create_table(
+        TableSchema(
+            "kv",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("v", ColumnType.TEXT),
+            ],
+        )
+    )
+    return db
+
+
+@given(texts)
+@settings(max_examples=80)
+def test_bound_string_roundtrips_exactly(value):
+    """SELECT ? returns exactly the parameter -- no interpretation as SQL."""
+    db = fresh_db()
+    statement = PreparedStatement(db, "SELECT ?")
+    assert statement.execute([value]).scalar() == value
+
+
+@given(texts)
+@settings(max_examples=60)
+def test_bound_insert_then_read_back(value):
+    db = fresh_db()
+    PreparedStatement(db, "INSERT INTO kv (v) VALUES (?)").execute([value])
+    stored = PreparedStatement(db, "SELECT v FROM kv WHERE id = ?").execute([1])
+    assert stored.scalar() == value
+
+
+@given(texts)
+@settings(max_examples=60)
+def test_hostile_parameter_never_widens_result(value):
+    """A WHERE ? = 'constant' comparison can never be satisfied by SQL text.
+
+    Whatever the parameter, a query selecting rows where it equals a value
+    no row contains must return nothing -- a tautology injected through the
+    parameter would violate this.
+    """
+    db = fresh_db()
+    db.execute("INSERT INTO kv (v) VALUES ('only-row')")
+    statement = PreparedStatement(db, "SELECT v FROM kv WHERE v = ?")
+    result = statement.execute([value])
+    if value == "only-row":
+        assert result.rowcount == 1
+    else:
+        assert result.rowcount == 0
+
+
+@given(st.one_of(st.none(), st.booleans(), st.integers(-10**9, 10**9), texts))
+@settings(max_examples=80)
+def test_quote_literal_is_one_literal_token(value):
+    """quote_literal output always lexes to exactly one data token."""
+    from repro.sqlparser import TokenType, tokenize_significant
+
+    tokens = tokenize_significant(quote_literal(value))
+    data_types = {TokenType.STRING, TokenType.NUMBER, TokenType.KEYWORD}
+    if isinstance(value, (int, bool)) and not isinstance(value, bool) and value < 0:
+        # Negative numbers lex as sign + number: two tokens, still data.
+        assert len(tokens) == 2
+    else:
+        assert len(tokens) == 1, tokens
+        assert tokens[0].type in data_types  # NULL is the keyword case

@@ -1,0 +1,144 @@
+"""Property-based tests for the SQL lexer/parser/signature layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlparser import (
+    SqlParseError,
+    critical_tokens,
+    parse_statement,
+    structure_signature,
+    token_signature,
+    tokenize,
+    tokenize_significant,
+    try_query_signature,
+)
+from repro.sqlparser.tokens import TokenType
+
+any_text = st.text(max_size=60)
+sqlish = st.lists(
+    st.sampled_from(
+        list("abcdefgXYZ0123456789 '\"`()=<>,;#*-/%_.") + ["SELECT ", " OR "]
+    ),
+    max_size=30,
+).map("".join)
+
+
+@given(any_text)
+def test_lexing_is_lossless(text):
+    assert "".join(t.text for t in tokenize(text)) == text
+
+
+@given(any_text)
+def test_token_spans_partition_the_input(text):
+    tokens = tokenize(text)
+    pos = 0
+    for token in tokens[:-1]:
+        assert token.start == pos
+        assert token.end > token.start
+        pos = token.end
+    assert tokens[-1].type is TokenType.EOF
+    assert tokens[-1].start == len(text)
+
+
+@given(sqlish)
+def test_lexer_never_raises(text):
+    tokenize(text)
+    tokenize_significant(text)
+
+
+@given(sqlish)
+def test_critical_tokens_subset_of_stream(text):
+    stream = tokenize_significant(text)
+    spans = {(t.start, t.end) for t in stream}
+    for token in critical_tokens(text):
+        assert (token.start, token.end) in spans
+
+
+@given(sqlish)
+def test_critical_tokens_text_matches_source(text):
+    for token in critical_tokens(text):
+        assert text[token.start : token.end] == token.text
+
+
+# -- parser round-trips over generated statements ---------------------------
+
+identifiers = st.sampled_from(["a", "b", "col", "t1", "name"])
+numbers = st.integers(min_value=-999, max_value=999)
+strings = st.text(alphabet=st.sampled_from("abc xyz"), max_size=8)
+
+
+@st.composite
+def where_clause(draw):
+    column = draw(identifiers)
+    op = draw(st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]))
+    if draw(st.booleans()):
+        value = str(draw(numbers))
+    else:
+        value = "'" + draw(strings) + "'"
+    clause = f"{column} {op} {value}"
+    if draw(st.booleans()):
+        clause += f" {draw(st.sampled_from(['AND', 'OR']))} {draw(identifiers)} = {draw(numbers)}"
+    return clause
+
+
+@st.composite
+def select_statement(draw):
+    cols = draw(st.lists(identifiers, min_size=1, max_size=3, unique=True))
+    query = f"SELECT {', '.join(cols)} FROM {draw(identifiers)}"
+    if draw(st.booleans()):
+        query += f" WHERE {draw(where_clause())}"
+    if draw(st.booleans()):
+        query += f" ORDER BY {draw(identifiers)}"
+        if draw(st.booleans()):
+            query += " DESC"
+    if draw(st.booleans()):
+        query += f" LIMIT {draw(st.integers(min_value=0, max_value=50))}"
+    return query
+
+
+@given(select_statement())
+@settings(max_examples=80)
+def test_generated_selects_parse(query):
+    parse_statement(query)
+
+
+@given(select_statement())
+@settings(max_examples=80)
+def test_parse_is_deterministic(query):
+    assert structure_signature(parse_statement(query)) == structure_signature(
+        parse_statement(query)
+    )
+
+
+@given(select_statement(), numbers, numbers)
+@settings(max_examples=60)
+def test_signature_stable_under_literal_renaming(query, n1, n2):
+    """Replacing one number literal with another preserves both signatures."""
+    import re
+
+    match = re.search(r"\b\d+\b", query)
+    if match is None:
+        return
+    v1 = query[: match.start()] + str(abs(n1)) + query[match.end():]
+    v2 = query[: match.start()] + str(abs(n2)) + query[match.end():]
+    try:
+        s1 = structure_signature(parse_statement(v1))
+        s2 = structure_signature(parse_statement(v2))
+    except SqlParseError:
+        return
+    assert s1 == s2
+    assert try_query_signature(v1) == try_query_signature(v2)
+
+
+@given(select_statement())
+@settings(max_examples=60)
+def test_injection_always_changes_token_signature(query):
+    base = token_signature(tokenize_significant(query))
+    injected = token_signature(tokenize_significant(query + " OR 1=1"))
+    assert base != injected
+
+
+@given(sqlish)
+def test_try_query_signature_never_raises(text):
+    try_query_signature(text)

@@ -1,0 +1,204 @@
+"""Unit tests for the web-application framework and query interception."""
+
+import pytest
+
+from repro.database import Column, ColumnType, Database, DatabaseError, TableSchema
+from repro.phpapp import (
+    HttpRequest,
+    Plugin,
+    QueryBlockedError,
+    RequestContext,
+    WebApplication,
+)
+
+
+def make_app(**kwargs) -> WebApplication:
+    db = Database("t")
+    db.create_table(
+        TableSchema(
+            "rows",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("v", ColumnType.TEXT),
+            ],
+        )
+    )
+    db.execute("INSERT INTO rows (v) VALUES ('a'), ('b')")
+
+    def handler(app, request):
+        rid = request.get.get("id", "1")
+        result = app.wrapper.query(f"SELECT v FROM rows WHERE id = {rid}")
+        return str(result.scalar())
+
+    return WebApplication(
+        "t", db, core_routes={"/show": handler}, **kwargs
+    )
+
+
+class RecordingGuard:
+    def __init__(self, block=False, terminate=True):
+        self.block = block
+        self.terminate = terminate
+        self.seen = []
+
+    def check_query(self, query, context):
+        self.seen.append((query, context))
+        if self.block:
+            raise QueryBlockedError("blocked", terminate=self.terminate)
+
+
+def test_basic_request_flow():
+    app = make_app()
+    response = app.handle(HttpRequest(path="/show", get={"id": "2"}))
+    assert response.ok()
+    assert response.body == "b"
+    assert response.query_count == 1
+
+
+def test_unknown_route_404():
+    assert make_app().handle(HttpRequest(path="/nope")).status == 404
+
+
+def test_guard_sees_every_query_with_context():
+    app = make_app()
+    guard = RecordingGuard()
+    app.install_guard(guard)
+    app.handle(HttpRequest(path="/show", get={"id": "1"}, cookies={"s": "xyz"}))
+    assert len(guard.seen) == 1
+    query, context = guard.seen[0]
+    assert "SELECT v FROM rows" in query
+    values = context.values()
+    assert "1" in values and "xyz" in values
+
+
+def test_guard_termination_blanks_the_page():
+    app = make_app()
+    app.install_guard(RecordingGuard(block=True, terminate=True))
+    response = app.handle(HttpRequest(path="/show", get={"id": "1"}))
+    assert response.blocked
+    assert response.status == 500
+    assert response.body == ""
+
+
+def test_guard_error_virtualization_surfaces_as_db_error():
+    app = make_app()
+    app.install_guard(RecordingGuard(block=True, terminate=False))
+    response = app.handle(HttpRequest(path="/show", get={"id": "1"}))
+    assert not response.blocked
+    assert response.db_error is not None
+
+
+def test_magic_quotes_applied_to_get_post_cookie_not_headers():
+    app = make_app(magic_quotes=True)
+    seen = {}
+
+    def probe(app_, request):
+        seen.update(
+            get=request.get["q"], post=request.post.get("p", ""),
+            cookie=request.cookies.get("c", ""), header=request.headers.get("h", ""),
+        )
+        return "ok"
+
+    app.routes["/probe"] = probe
+    app.handle(
+        HttpRequest(
+            method="POST", path="/probe",
+            get={"q": "a'b"}, post={"p": "c'd"}, cookies={"c": "e'f"},
+            headers={"h": "g'h"},
+        )
+    )
+    assert seen["get"] == "a\\'b"
+    assert seen["post"] == "c\\'d"
+    assert seen["cookie"] == "e\\'f"
+    assert seen["header"] == "g'h"  # headers bypass magic quotes
+
+
+def test_trim_applies_only_to_authenticated():
+    app = make_app(trim_authenticated=True)
+    captured = {}
+
+    def probe(app_, request):
+        captured["q"] = request.get["q"]
+        return "ok"
+
+    app.routes["/probe"] = probe
+    app.handle(HttpRequest(path="/probe", get={"q": "  x  "}, authenticated=False))
+    anon = captured["q"]
+    app.handle(HttpRequest(path="/probe", get={"q": "  x  "}, authenticated=True))
+    auth = captured["q"]
+    assert anon == "  x  "
+    assert auth == "x"
+
+
+def test_raw_inputs_captured_before_transforms():
+    app = make_app(magic_quotes=True)
+    guard = RecordingGuard()
+    app.install_guard(guard)
+    app.handle(HttpRequest(path="/show", get={"id": "1"}, cookies={"k": "a'b"}))
+    __, context = guard.seen[0]
+    # The snapshot holds the *raw* value, pre-magic-quotes.
+    assert "a'b" in context.values()
+    assert "a\\'b" not in context.values()
+
+
+def test_uncaught_database_error_shown_on_page():
+    app = make_app()
+    response = app.handle(HttpRequest(path="/show", get={"id": "no_such_col"}))
+    assert response.db_error is not None
+    assert "Database error" in response.body
+
+
+def test_plugin_registration_and_conflicts():
+    app = make_app()
+    plugin = Plugin(name="p1", source="$x = 'SELECT';", routes={"/p1": lambda a, r: "hi"})
+    app.register_plugin(plugin)
+    assert app.handle(HttpRequest(path="/p1")).body == "hi"
+    with pytest.raises(ValueError):
+        app.register_plugin(Plugin(name="p1"))
+    with pytest.raises(ValueError):
+        app.register_plugin(Plugin(name="p2", routes={"/p1": lambda a, r: ""}))
+
+
+def test_source_change_listener_fires_on_install():
+    app = make_app()
+    events = []
+    app.on_source_change(lambda: events.append(1))
+    app.register_plugin(Plugin(name="px", source="'SELECT'"))
+    assert events == [1]
+    assert "'SELECT'" in app.all_sources()[-1]
+
+
+def test_elapsed_accumulates_virtual_time():
+    app = make_app()
+
+    def slow(app_, request):
+        app_.wrapper.query("SELECT SLEEP(2)")
+        app_.wrapper.query("SELECT SLEEP(1)")
+        return "done"
+
+    app.routes["/slow"] = slow
+    response = app.handle(HttpRequest(path="/slow"))
+    assert response.elapsed == pytest.approx(3.0)
+    assert response.query_count == 2
+
+
+def test_render_cost_is_deterministic_work():
+    app = make_app()
+    app.render_cost = 50
+    response = app.handle(HttpRequest(path="/show", get={"id": "1"}))
+    assert response.ok()
+    assert app._last_render_digest
+
+
+def test_request_context_capture_classifies_sources():
+    request = HttpRequest(
+        method="POST", path="/x",
+        get={"g": "1"}, post={"p": "2"}, cookies={"c": "3"},
+        headers={"H": "4"}, files={"f": "5"},
+    )
+    context = RequestContext.capture(request)
+    assert {(i.source, i.value) for i in context.inputs} == {
+        ("get", "1"), ("post", "2"), ("cookie", "3"), ("header", "4"), ("file", "5"),
+    }
+    assert context.is_write
+    assert context.non_empty_values()

@@ -1,0 +1,199 @@
+"""Unit tests for the attack/evasion tooling."""
+
+import pytest
+
+from repro.attacks import (
+    evasion_insertion_point,
+    generate_variants,
+    mutate_payload_for_nti,
+    payload_critical_tokens,
+    quote_comment_block,
+    encoded_quote_comment_block,
+    split_inside_critical_tokens,
+    taintless_mutate,
+)
+from repro.matching import match_with_ratio
+from repro.phpapp.transforms import addslashes, urldecode
+from repro.pti import FragmentStore, PTIAnalyzer
+from repro.testbed.plugin_defs import AttackType, NtiVector, plugin_by_name
+
+
+# -- payload utilities ---------------------------------------------------
+
+
+def test_payload_critical_tokens():
+    assert [t.text for t in payload_critical_tokens("-1 UNION SELECT 2")] == [
+        "UNION", "SELECT",
+    ]
+
+
+def test_quote_comment_blocks():
+    assert quote_comment_block(3) == "/*'''*/ "
+    assert encoded_quote_comment_block(2) == "/*%27%27*/ "
+
+
+def test_insertion_point_numeric_is_start():
+    assert evasion_insertion_point("-1 UNION SELECT 1", "numeric") == 0
+
+
+def test_insertion_point_quoted_after_breakout():
+    payload = "x' OR 1=1-- -"
+    at = evasion_insertion_point(payload, "quoted")
+    assert payload[:at].endswith("'") or payload[:at].endswith("' ")
+
+
+def test_split_cuts_every_critical_token():
+    payload = "-1 UNION SELECT 1, col FROM t"
+    parts = split_inside_critical_tokens(payload, 8)
+    assert "".join(parts) == payload
+    for part in parts:
+        covered = [t.text for t in payload_critical_tokens(part)]
+        assert not set(covered) & {"UNION", "SELECT", "FROM"}
+
+
+def test_split_rejects_one_char_tokens():
+    with pytest.raises(ValueError):
+        split_inside_critical_tokens("1=1 OR 2", 8)
+
+
+def test_split_rejects_too_few_parts():
+    with pytest.raises(ValueError):
+        split_inside_critical_tokens("UNION SELECT FROM WHERE", 2)
+
+
+# -- NTI mutation ---------------------------------------------------------
+
+
+def test_magic_quotes_mutation_beats_threshold():
+    payload = "-1 UNION SELECT 1, USER(), 3"
+    mutated = mutate_payload_for_nti(payload, NtiVector.MAGIC_QUOTES, "numeric")
+    transformed = addslashes(mutated)
+    assert match_with_ratio(mutated, f"WHERE id = {transformed}") is None
+    # The original would have matched trivially.
+    assert match_with_ratio(payload, f"WHERE id = {payload}") is not None
+
+
+def test_urldecode_mutation_beats_threshold():
+    payload = "z' OR '1'='1"
+    mutated = mutate_payload_for_nti(payload, NtiVector.URLDECODE, "quoted")
+    decoded = urldecode(mutated)
+    assert "%27" in mutated and "'" in decoded
+    assert match_with_ratio(mutated, f"WHERE a = '{decoded}'") is None
+
+
+def test_trim_mutation_appends_whitespace():
+    payload = "x' UNION SELECT 1-- -"
+    mutated = mutate_payload_for_nti(payload, NtiVector.TRIM, "quoted")
+    assert mutated.startswith(payload)
+    assert mutated != payload and mutated.strip() == payload
+    assert match_with_ratio(mutated, f"WHERE a = {payload}") is None
+
+
+def test_base64_mutation_is_identity():
+    assert mutate_payload_for_nti("abc", NtiVector.BASE64, "numeric") == "abc"
+
+
+def test_split_mutation_returns_parts():
+    parts = mutate_payload_for_nti(
+        "-1 UNION SELECT 1", NtiVector.SPLIT, "numeric", max_parts=4
+    )
+    assert isinstance(parts, tuple)
+    assert "".join(parts) == "-1 UNION SELECT 1"
+
+
+def test_unknown_vector_raises():
+    with pytest.raises(ValueError):
+        mutate_payload_for_nti("x", "nope", "numeric")
+
+
+def test_comment_block_remains_valid_sql():
+    # The stuffed comment must not break the query.
+    from repro.database import Database
+
+    db = Database()
+    mutated = mutate_payload_for_nti("1", NtiVector.MAGIC_QUOTES, "numeric")
+    result = db.execute(f"SELECT {addslashes(mutated)}")
+    assert result.rows == [(1,)]
+
+
+# -- Taintless -------------------------------------------------------------
+
+
+def build_query_numeric(payload: str) -> str:
+    return f"SELECT id, a FROM t WHERE id = {payload}"
+
+
+def test_taintless_whitespace_graft():
+    store = FragmentStore(["SELECT id, a FROM t WHERE id = ", " OR ", " = "])
+    result = taintless_mutate("0 OR 1=1", build_query_numeric, store)
+    assert result.succeeded
+    assert result.payload == "0 OR 1 = 1"
+    assert PTIAnalyzer(store).analyze(build_query_numeric(result.payload)).safe
+
+
+def test_taintless_case_matching():
+    store = FragmentStore(["SELECT id, a FROM t WHERE id = ", " UNION ", "SELECT ", "user"])
+    result = taintless_mutate(
+        "-1 UNION SELECT USER()", build_query_numeric, store
+    )
+    assert result.succeeded
+    assert "user()" in result.payload
+
+
+def test_taintless_fails_without_vocabulary():
+    store = FragmentStore(["SELECT id, a FROM t WHERE id = "])
+    result = taintless_mutate("0 OR 1=1", build_query_numeric, store)
+    assert not result.succeeded
+    assert result.payload is None
+    assert result.uncovered_history  # explains what was missing
+
+
+def test_taintless_comment_alternatives():
+    store = FragmentStore(
+        ["SELECT id, a FROM t WHERE id = ", " OR ", " = ", "#"]
+    )
+    # The -- - comment cannot be covered, but swapping to # (or dropping it)
+    # can, because nothing follows the injection point.
+    result = taintless_mutate("0 OR 1=1-- -", build_query_numeric, store)
+    assert result.succeeded
+    assert "-- -" not in result.payload
+
+
+def test_taintless_records_rounds():
+    store = FragmentStore(["SELECT id, a FROM t WHERE id = ", " OR ", " = "])
+    result = taintless_mutate("0 OR 1=1", build_query_numeric, store)
+    assert result.rounds >= 1
+
+
+# -- SQLMap-style generator -------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name", ["commevents", "allowphp", "gdstarrating", "advertiser"]
+)
+def test_generate_variants_count_and_uniqueness(name):
+    defn = plugin_by_name(name)
+    variants = generate_variants(defn, count=40)
+    assert len(variants) == 40
+    assert len(set(variants)) == 40
+
+
+def test_generate_variants_deterministic():
+    defn = plugin_by_name("allowphp")
+    assert generate_variants(defn, 10, seed=5) == generate_variants(defn, 10, seed=5)
+    assert generate_variants(defn, 10, seed=5) != generate_variants(defn, 10, seed=6)
+
+
+def test_variants_match_attack_class():
+    union = generate_variants(plugin_by_name("allowphp"), 20)
+    assert any("UNION" in v for v in union)
+    timed = generate_variants(plugin_by_name("advertiser"), 20)
+    assert any("SLEEP" in v or "BENCHMARK" in v for v in timed)
+    tautology = generate_variants(plugin_by_name("commevents"), 20)
+    assert any("OR" in v for v in tautology)
+
+
+def test_variants_all_carry_critical_tokens():
+    for name in ("commevents", "allowphp", "gdstarrating", "advertiser"):
+        for variant in generate_variants(plugin_by_name(name), 40):
+            assert payload_critical_tokens(variant), variant

@@ -1,0 +1,136 @@
+"""Unit tests for the crawler and the three case-study applications."""
+
+import pytest
+
+from repro.phpapp import HttpRequest
+from repro.testbed import build_testbed
+from repro.testbed.crawler import CrawlReport, crawl_requests, full_crawl
+from repro.testbed.other_apps import (
+    drupal_scenario,
+    joomla_scenario,
+    oscommerce_scenario,
+)
+
+
+# -- crawler ---------------------------------------------------------------
+
+
+def test_crawl_requests_cover_core_and_plugins():
+    requests = crawl_requests(num_posts=5, comments=3, searches=3)
+    paths = {r.path for r in requests}
+    assert "/" in paths and "/post" in paths and "/search" in paths
+    assert any(p.startswith("/plugin/") for p in paths)
+    # one benign request per plugin
+    assert sum(1 for p in paths if p.startswith("/plugin/")) == 50
+
+
+def test_crawl_requests_deterministic():
+    a = crawl_requests(5, comments=4, searches=4, seed=1)
+    b = crawl_requests(5, comments=4, searches=4, seed=1)
+    assert [(r.path, r.get, r.post) for r in a] == [(r.path, r.get, r.post) for r in b]
+    c = crawl_requests(5, comments=4, searches=4, seed=2)
+    assert [(r.path, r.get, r.post) for r in a] != [(r.path, r.get, r.post) for r in c]
+
+
+def test_crawl_comments_include_hostile_looking_text():
+    requests = crawl_requests(5, comments=20, searches=0, seed=3)
+    bodies = " ".join(r.post.get("content", "") for r in requests if r.is_write)
+    assert "union" in bodies or "1=1" in bodies or "--" in bodies
+
+
+def test_full_crawl_on_unprotected_app_counts():
+    app = build_testbed(num_posts=5)
+    report = full_crawl(app, num_posts=5, comments=5, searches=5)
+    assert isinstance(report, CrawlReport)
+    assert report.total_requests == len(crawl_requests(5, comments=5, searches=5))
+    assert report.blocked_requests == 0
+    assert report.error_requests == 0
+    assert report.false_positives == 0
+
+
+# -- Drupal ------------------------------------------------------------------
+
+
+def test_drupal_benign_login_lookup():
+    scenario = drupal_scenario()
+    app = scenario.build_app()
+    response = app.handle(
+        HttpRequest(method="POST", path="/drupal/login", post={"ids": "1", "k0": "1"})
+    )
+    assert response.ok()
+    assert "admin" in response.body
+
+
+def test_drupal_placeholder_names_are_the_sink():
+    scenario = drupal_scenario()
+    app = scenario.build_app()
+    success, blocked = scenario.run(app, scenario.original_payloads)
+    assert success and not blocked
+
+
+def test_drupal_mutant_still_works():
+    scenario = drupal_scenario()
+    app = scenario.build_app()
+    success, __ = scenario.run(app, scenario.nti_mutated_payloads)
+    assert success
+
+
+# -- Joomla ------------------------------------------------------------------
+
+
+def test_joomla_benign_cookie_restores_session():
+    import base64
+
+    from repro.phpapp.php_serialize import PhpObject, php_serialize
+
+    scenario = joomla_scenario()
+    app = scenario.build_app()
+    cookie = base64.b64encode(
+        php_serialize(PhpObject("JTableSession", {"userid": "42"})).encode()
+    ).decode()
+    request = scenario.make_request(cookie)
+    response = app.handle(request)
+    assert response.ok()
+    assert "Sessions: 1" in response.body
+
+
+def test_joomla_invalid_cookie_handled_gracefully():
+    scenario = joomla_scenario()
+    app = scenario.build_app()
+    response = app.handle(scenario.make_request("not base64!!"))
+    assert response.ok()
+    assert "Invalid session" in response.body
+
+
+def test_joomla_timing_attack_works():
+    scenario = joomla_scenario()
+    app = scenario.build_app()
+    success, blocked = scenario.run(app, scenario.original_payloads)
+    assert success and not blocked
+
+
+# -- osCommerce ---------------------------------------------------------------
+
+
+def test_oscommerce_benign_zone_lookup():
+    scenario = oscommerce_scenario()
+    app = scenario.build_app()
+    response = app.handle(scenario.make_request("1"))
+    assert response.ok()
+    assert "Florida" in response.body
+    assert "HIDDEN" not in response.body
+
+
+def test_oscommerce_tautology_reveals_internal_zone():
+    scenario = oscommerce_scenario()
+    app = scenario.build_app()
+    success, __ = scenario.run(app, scenario.original_payloads)
+    assert success
+
+
+def test_scenario_reports_have_table_iv_fields():
+    for scenario in (drupal_scenario(), joomla_scenario(), oscommerce_scenario()):
+        report = scenario.evaluate()
+        assert report.name and report.version
+        assert report.attack_type
+        assert isinstance(report.joza, bool)

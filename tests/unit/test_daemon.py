@@ -1,0 +1,113 @@
+"""Unit tests for the in-process PTI daemon (pipeline + caches)."""
+
+from repro.pti import DaemonConfig, FragmentStore, PTIConfig, PTIDaemon
+
+
+def make_daemon(fragments=("SELECT a FROM t WHERE id = ", " OR "), **cfg):
+    return PTIDaemon(FragmentStore(fragments), DaemonConfig(**cfg))
+
+
+def test_safe_query_analyzed_and_cached():
+    daemon = make_daemon()
+    query = "SELECT a FROM t WHERE id = 5"
+    first = daemon.analyze_query(query)
+    assert first.safe and first.from_cache is None
+    assert first.tokens is not None
+    second = daemon.analyze_query(query)
+    assert second.safe and second.from_cache == "query"
+    # Query-cache hits return the cached token list (NTI reuse, IV-D).
+    assert second.tokens is not None
+    assert [t.text for t in second.tokens] == [t.text for t in first.tokens]
+
+
+def test_structure_cache_serves_literal_variants():
+    daemon = make_daemon()
+    daemon.analyze_query("SELECT a FROM t WHERE id = 5")
+    reply = daemon.analyze_query("SELECT a FROM t WHERE id = 777")
+    assert reply.safe and reply.from_cache == "structure"
+    assert reply.tokens is not None
+
+
+def test_unsafe_verdicts_not_structure_cached():
+    daemon = make_daemon(fragments=("SELECT a FROM t WHERE id = ",))
+    attack = "SELECT a FROM t WHERE id = 1 UNION SELECT 2"
+    reply = daemon.analyze_query(attack)
+    assert not reply.safe
+    # A literal variant of the same attack re-analyzes (no structure hit)...
+    variant = "SELECT a FROM t WHERE id = 9 UNION SELECT 8"
+    reply2 = daemon.analyze_query(variant)
+    assert reply2.from_cache is None
+    assert not reply2.safe
+    # ...but the exact string is query-cached.
+    reply3 = daemon.analyze_query(attack)
+    assert reply3.from_cache == "query" and not reply3.safe
+
+
+def test_caches_disabled():
+    daemon = make_daemon(use_query_cache=False, use_structure_cache=False)
+    query = "SELECT a FROM t WHERE id = 5"
+    daemon.analyze_query(query)
+    assert daemon.analyze_query(query).from_cache is None
+    assert len(daemon.query_cache) == 0
+    assert len(daemon.structure_cache) == 0
+
+
+def test_structure_cache_only():
+    daemon = make_daemon(use_query_cache=False, use_structure_cache=True)
+    daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+    reply = daemon.analyze_query("SELECT a FROM t WHERE id = 2")
+    assert reply.from_cache == "structure"
+
+
+def test_refresh_fragments_invalidates_caches():
+    daemon = make_daemon()
+    query = "SELECT a FROM t WHERE id = 5"
+    daemon.analyze_query(query)
+    assert len(daemon.query_cache) == 1
+    daemon.refresh_fragments(FragmentStore([" UNION "]))
+    assert len(daemon.query_cache) == 0
+    # New vocabulary no longer covers the query.
+    assert not daemon.analyze_query(query).safe
+
+
+def test_timings_accumulate():
+    daemon = make_daemon()
+    daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+    snapshot = daemon.timings.snapshot()
+    assert snapshot["parse"] > 0
+    assert snapshot["match"] >= 0
+    assert daemon.timings.total() >= snapshot["parse"]
+    assert daemon.timings.total(exclude=("parse",)) < daemon.timings.total()
+    daemon.timings.reset()
+    assert daemon.timings.total() == 0.0
+
+
+def test_queries_analyzed_counter():
+    daemon = make_daemon()
+    daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+    daemon.analyze_query("SELECT a FROM t WHERE id = 1")
+    assert daemon.queries_analyzed == 2
+
+
+def test_unparseable_query_still_analyzed():
+    daemon = make_daemon()
+    reply = daemon.analyze_query("garbage OR 1=1 ((")
+    assert not reply.safe
+
+
+def test_unoptimized_config_same_verdicts():
+    optimized = make_daemon()
+    unoptimized = PTIDaemon(
+        FragmentStore(("SELECT a FROM t WHERE id = ", " OR ")),
+        DaemonConfig(
+            use_query_cache=False,
+            use_structure_cache=False,
+            pti=PTIConfig(use_mru=False, use_token_index=False),
+        ),
+    )
+    for query in (
+        "SELECT a FROM t WHERE id = 1",
+        "SELECT a FROM t WHERE id = 1 OR 2",
+        "SELECT a FROM t WHERE id = 1 UNION SELECT 2",
+    ):
+        assert optimized.analyze_query(query).safe == unoptimized.analyze_query(query).safe

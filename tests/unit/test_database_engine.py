@@ -1,0 +1,308 @@
+"""Unit tests for the in-memory SQL engine: statements and clauses."""
+
+import pytest
+
+from repro.database import (
+    Column,
+    ColumnCountMismatchError,
+    ColumnNotFoundError,
+    ColumnType,
+    Database,
+    DatabaseError,
+    DuplicateKeyError,
+    SqlSyntaxError,
+    TableNotFoundError,
+    TableSchema,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("unit")
+    database.create_table(
+        TableSchema(
+            "items",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("name", ColumnType.TEXT),
+                Column("price", ColumnType.INTEGER),
+                Column("category", ColumnType.TEXT, default="misc"),
+            ],
+        )
+    )
+    database.execute(
+        "INSERT INTO items (name, price) VALUES ('apple', 3), ('banana', 2), "
+        "('cherry', 7)"
+    )
+    return database
+
+
+def test_select_all(db):
+    result = db.execute("SELECT * FROM items")
+    assert result.rowcount == 3
+    assert result.columns == ["id", "name", "price", "category"]
+
+
+def test_select_projection_and_alias(db):
+    result = db.execute("SELECT name AS n, price FROM items WHERE id = 1")
+    assert result.columns == ["n", "price"]
+    assert result.rows == [("apple", 3)]
+
+
+def test_where_filtering(db):
+    result = db.execute("SELECT name FROM items WHERE price > 2")
+    assert {r[0] for r in result.rows} == {"apple", "cherry"}
+
+
+def test_order_by_asc_desc(db):
+    asc = db.execute("SELECT name FROM items ORDER BY price")
+    desc = db.execute("SELECT name FROM items ORDER BY price DESC")
+    assert [r[0] for r in asc.rows] == ["banana", "apple", "cherry"]
+    assert [r[0] for r in desc.rows] == list(reversed([r[0] for r in asc.rows]))
+
+
+def test_order_by_non_projected_column(db):
+    result = db.execute("SELECT name FROM items ORDER BY price DESC")
+    assert result.rows[0] == ("cherry",)
+
+
+def test_order_by_column_position(db):
+    result = db.execute("SELECT name, price FROM items ORDER BY 2")
+    assert result.rows[0] == ("banana", 2)
+
+
+def test_limit_offset(db):
+    result = db.execute("SELECT name FROM items ORDER BY id LIMIT 1 OFFSET 1")
+    assert result.rows == [("banana",)]
+
+
+def test_limit_comma_syntax(db):
+    result = db.execute("SELECT name FROM items ORDER BY id LIMIT 1, 2")
+    assert [r[0] for r in result.rows] == ["banana", "cherry"]
+
+
+def test_distinct(db):
+    db.execute("INSERT INTO items (name, price) VALUES ('apple', 3)")
+    result = db.execute("SELECT DISTINCT name, price FROM items WHERE name = 'apple'")
+    assert result.rowcount == 1
+
+
+def test_default_column_value(db):
+    result = db.execute("SELECT category FROM items WHERE id = 1")
+    assert result.rows[0][0] == "misc"
+
+
+def test_insert_returns_lastrowid(db):
+    result = db.execute("INSERT INTO items (name, price) VALUES ('durian', 12)")
+    assert result.lastrowid == 4
+    assert result.rowcount == 1
+
+
+def test_insert_column_count_mismatch(db):
+    with pytest.raises(ColumnCountMismatchError):
+        db.execute("INSERT INTO items (name, price) VALUES ('x')")
+
+
+def test_insert_unknown_column(db):
+    with pytest.raises(ColumnNotFoundError):
+        db.execute("INSERT INTO items (nope) VALUES (1)")
+
+
+def test_insert_select(db):
+    db.execute("INSERT INTO items (name, price) SELECT name, price FROM items")
+    assert db.execute("SELECT COUNT(*) FROM items").scalar() == 6
+
+
+def test_update_rowcount_and_effect(db):
+    result = db.execute("UPDATE items SET price = price + 10 WHERE name = 'apple'")
+    assert result.rowcount == 1
+    assert db.execute("SELECT price FROM items WHERE name='apple'").scalar() == 13
+
+
+def test_update_without_where_touches_all(db):
+    assert db.execute("UPDATE items SET price = 1").rowcount == 3
+
+
+def test_update_limit(db):
+    assert db.execute("UPDATE items SET price = 0 LIMIT 2").rowcount == 2
+
+
+def test_delete(db):
+    assert db.execute("DELETE FROM items WHERE price < 5").rowcount == 2
+    assert db.execute("SELECT COUNT(*) FROM items").scalar() == 1
+
+
+def test_unknown_table_raises(db):
+    with pytest.raises(TableNotFoundError):
+        db.execute("SELECT * FROM nope")
+
+
+def test_unknown_column_raises(db):
+    with pytest.raises(ColumnNotFoundError):
+        db.execute("SELECT nope FROM items")
+
+
+def test_syntax_error_raises(db):
+    with pytest.raises(SqlSyntaxError):
+        db.execute("SELEKT * FROM items")
+
+
+def test_errno_values(db):
+    try:
+        db.execute("SELECT * FROM missing_table")
+    except DatabaseError as exc:
+        assert exc.errno == 1146
+
+
+def test_unique_constraint():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "u",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("email", ColumnType.TEXT, unique=True),
+            ],
+        )
+    )
+    db.execute("INSERT INTO u (email) VALUES ('a@x')")
+    with pytest.raises(DuplicateKeyError):
+        db.execute("INSERT INTO u (email) VALUES ('a@x')")
+
+
+def test_union_deduplicates(db):
+    result = db.execute("SELECT 1 UNION SELECT 1 UNION SELECT 2")
+    assert sorted(r[0] for r in result.rows) == [1, 2]
+
+
+def test_union_all_keeps_duplicates(db):
+    result = db.execute("SELECT 1 UNION ALL SELECT 1")
+    assert result.rowcount == 2
+
+
+def test_union_column_count_mismatch(db):
+    with pytest.raises(ColumnCountMismatchError):
+        db.execute("SELECT 1 UNION SELECT 1, 2")
+
+
+def test_union_exfiltration_shape(db):
+    result = db.execute(
+        "SELECT id, name FROM items WHERE id = -1 "
+        "UNION SELECT price, name FROM items WHERE name = 'apple'"
+    )
+    assert result.rows == [(3, "apple")]
+
+
+def test_union_order_by_projected_column(db):
+    result = db.execute(
+        "SELECT name FROM items WHERE id=1 UNION SELECT name FROM items "
+        "WHERE id=3 ORDER BY name DESC"
+    )
+    assert [r[0] for r in result.rows] == ["cherry", "apple"]
+
+
+def test_union_order_by_unknown_column_errors(db):
+    with pytest.raises(DatabaseError):
+        db.execute("SELECT name FROM items UNION SELECT name FROM items ORDER BY nope")
+
+
+def test_group_by_and_having(db):
+    db.execute("INSERT INTO items (name, price) VALUES ('apple', 9)")
+    result = db.execute(
+        "SELECT name, COUNT(*) AS n, SUM(price) FROM items GROUP BY name "
+        "HAVING COUNT(*) > 1"
+    )
+    assert result.rows == [("apple", 2, 12)]
+
+
+def test_aggregate_without_group(db):
+    result = db.execute("SELECT COUNT(*), MIN(price), MAX(price), AVG(price) FROM items")
+    assert result.rows[0] == (3, 2, 7, 4.0)
+
+
+def test_count_distinct(db):
+    db.execute("INSERT INTO items (name, price) VALUES ('apple', 3)")
+    assert db.execute("SELECT COUNT(DISTINCT name) FROM items").scalar() == 3
+
+
+def test_join_inner(db):
+    db.create_table(
+        TableSchema(
+            "tags",
+            [
+                Column("item_id", ColumnType.INTEGER),
+                Column("tag", ColumnType.TEXT),
+            ],
+        )
+    )
+    db.execute("INSERT INTO tags (item_id, tag) VALUES (1, 'fruit'), (1, 'red'), (3, 'fruit')")
+    result = db.execute(
+        "SELECT i.name, t.tag FROM items i JOIN tags t ON t.item_id = i.id "
+        "ORDER BY i.id, t.tag"
+    )
+    assert result.rows == [("apple", "fruit"), ("apple", "red"), ("cherry", "fruit")]
+
+
+def test_join_left_produces_nulls(db):
+    db.create_table(
+        TableSchema("tags", [Column("item_id", ColumnType.INTEGER), Column("tag")])
+    )
+    db.execute("INSERT INTO tags (item_id, tag) VALUES (1, 'fruit')")
+    result = db.execute(
+        "SELECT i.name, t.tag FROM items i LEFT JOIN tags t ON t.item_id = i.id "
+        "ORDER BY i.id"
+    )
+    assert result.rows == [("apple", "fruit"), ("banana", None), ("cherry", None)]
+
+
+def test_scalar_subquery(db):
+    assert db.execute("SELECT (SELECT MAX(price) FROM items)").scalar() == 7
+
+
+def test_scalar_subquery_multiple_rows_errors(db):
+    with pytest.raises(DatabaseError) as exc:
+        db.execute("SELECT (SELECT price FROM items)")
+    assert "more than 1 row" in str(exc.value)
+
+
+def test_in_subquery(db):
+    result = db.execute(
+        "SELECT name FROM items WHERE id IN (SELECT id FROM items WHERE price > 2)"
+    )
+    assert {r[0] for r in result.rows} == {"apple", "cherry"}
+
+
+def test_exists(db):
+    assert db.execute(
+        "SELECT EXISTS(SELECT 1 FROM items WHERE price > 100)"
+    ).scalar() == 0
+    assert db.execute(
+        "SELECT EXISTS(SELECT 1 FROM items WHERE price > 1)"
+    ).scalar() == 1
+
+
+def test_derived_table(db):
+    result = db.execute(
+        "SELECT n FROM (SELECT name AS n, price FROM items WHERE price > 2) AS sub "
+        "ORDER BY n"
+    )
+    assert [r[0] for r in result.rows] == ["apple", "cherry"]
+
+
+def test_query_log_records_everything(db):
+    before = len(db.query_log)
+    db.execute("SELECT 1")
+    try:
+        db.execute("SELECT broken FROM nope")
+    except DatabaseError:
+        pass
+    assert len(db.query_log) == before + 2
+
+
+def test_result_helpers(db):
+    result = db.execute("SELECT name, price FROM items ORDER BY id")
+    assert result.first() == ("apple", 3)
+    assert result.scalar() == "apple"
+    assert result.dicts()[0] == {"name": "apple", "price": 3}
+    empty = db.execute("SELECT name FROM items WHERE id = -5")
+    assert empty.first() is None and empty.scalar() is None

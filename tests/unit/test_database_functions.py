@@ -1,0 +1,228 @@
+"""Unit tests for SQL built-in functions and MySQL-style semantics."""
+
+import pytest
+
+from repro.database import Database, DatabaseError, UnknownFunctionError
+
+
+@pytest.fixture
+def db():
+    return Database("fn", server_version="5.5.41-test", current_user="tester@host")
+
+
+def scalar(db, expr):
+    return db.execute(f"SELECT {expr}").scalar()
+
+
+# -- coercion / truthiness ---------------------------------------------------
+
+
+def test_string_number_comparison_coerces(db):
+    assert scalar(db, "'1' = 1") == 1
+    assert scalar(db, "'1abc' = 1") == 1
+    assert scalar(db, "'abc' = 0") == 1  # the tautology enabler
+    assert scalar(db, "'2' > 1") == 1
+
+
+def test_string_string_comparison_case_insensitive(db):
+    assert scalar(db, "'ABC' = 'abc'") == 1
+
+
+def test_null_propagation(db):
+    assert scalar(db, "NULL = NULL") is None
+    assert scalar(db, "NULL + 1") is None
+    assert scalar(db, "NULL AND 0") == 0       # false short-circuits
+    assert scalar(db, "NULL OR 1") == 1        # true short-circuits
+    assert scalar(db, "NULL OR 0") is None
+    assert scalar(db, "NULL <=> NULL") == 1    # null-safe equality
+
+
+def test_boolean_keywords(db):
+    assert scalar(db, "TRUE") == 1
+    assert scalar(db, "FALSE") == 0
+    assert scalar(db, "1 = 1 AND 2 = 2") == 1
+
+
+def test_arithmetic(db):
+    assert scalar(db, "7 DIV 2") == 3
+    assert scalar(db, "7 % 4") == pytest.approx(3)
+    assert scalar(db, "1 / 0") is None
+    assert scalar(db, "2 * 3 + 1") == 7
+    assert scalar(db, "-(-5)") == 5
+
+
+def test_between(db):
+    assert scalar(db, "5 BETWEEN 1 AND 10") == 1
+    assert scalar(db, "5 NOT BETWEEN 1 AND 10") == 0
+
+
+def test_like(db):
+    assert scalar(db, "'hello' LIKE 'h%'") == 1
+    assert scalar(db, "'hello' LIKE 'H_LLO'") == 1  # case-insensitive, _ wildcard
+    assert scalar(db, "'hello' NOT LIKE 'x%'") == 1
+    assert scalar(db, "'50%' LIKE '50\\%'") == 1     # escaped wildcard
+
+
+def test_case_expression(db):
+    assert scalar(db, "CASE WHEN 1=2 THEN 'a' WHEN 1=1 THEN 'b' ELSE 'c' END") == "b"
+    assert scalar(db, "CASE 3 WHEN 1 THEN 'x' WHEN 3 THEN 'y' END") == "y"
+    assert scalar(db, "CASE 9 WHEN 1 THEN 'x' END") is None
+
+
+# -- information functions (union-leak targets) --------------------------
+
+
+def test_information_functions(db):
+    assert scalar(db, "VERSION()") == "5.5.41-test"
+    assert scalar(db, "USER()") == "tester@host"
+    assert scalar(db, "USERNAME()") == "tester@host"
+    assert scalar(db, "CURRENT_USER()") == "tester@host"
+    assert scalar(db, "DATABASE()") == "fn"
+    assert scalar(db, "@@version") == "5.5.41-test"
+
+
+# -- string functions ---------------------------------------------------
+
+
+def test_concat_family(db):
+    assert scalar(db, "CONCAT('a', 1, 'b')") == "a1b"
+    assert scalar(db, "CONCAT('a', NULL)") is None
+    assert scalar(db, "CONCAT_WS('-', 'a', NULL, 'b')") == "a-b"
+
+
+def test_char_and_ascii(db):
+    assert scalar(db, "CHAR(65, 66, 67)") == "ABC"
+    assert scalar(db, "ASCII('A')") == 65
+    assert scalar(db, "ORD('')") == 0
+
+
+def test_hex_unhex(db):
+    assert scalar(db, "HEX('AB')") == "4142"
+    assert scalar(db, "HEX(255)") == "FF"
+    assert scalar(db, "UNHEX('4142')") == "AB"
+
+
+def test_substring_variants(db):
+    assert scalar(db, "SUBSTRING('abcdef', 2, 3)") == "bcd"
+    assert scalar(db, "SUBSTR('abcdef', 2)") == "bcdef"
+    assert scalar(db, "MID('abcdef', -3, 2)") == "de"
+    assert scalar(db, "SUBSTRING('abc', 0)") == ""
+    assert scalar(db, "LEFT('abcdef', 2)") == "ab"
+    assert scalar(db, "RIGHT('abcdef', 2)") == "ef"
+
+
+def test_length_case_trim(db):
+    assert scalar(db, "LENGTH('abcd')") == 4
+    assert scalar(db, "LOWER('AbC')") == "abc"
+    assert scalar(db, "UPPER('AbC')") == "ABC"
+    assert scalar(db, "TRIM('  x  ')") == "x"
+    assert scalar(db, "LTRIM(' x ')") == "x "
+    assert scalar(db, "RTRIM(' x ')") == " x"
+
+
+def test_replace_repeat_reverse_space(db):
+    assert scalar(db, "REPLACE('aXbXc', 'X', '-')") == "a-b-c"
+    assert scalar(db, "REPEAT('ab', 3)") == "ababab"
+    assert scalar(db, "REVERSE('abc')") == "cba"
+    assert scalar(db, "LENGTH(SPACE(4))") == 4
+
+
+def test_locate_instr(db):
+    assert scalar(db, "INSTR('hello', 'll')") == 3
+    assert scalar(db, "LOCATE('ll', 'hello')") == 3
+    assert scalar(db, "INSTR('hello', 'z')") == 0
+
+
+def test_pad_and_format(db):
+    assert scalar(db, "LPAD('5', 3, '0')") == "005"
+    assert scalar(db, "RPAD('5', 3, 'x')") == "5xx"
+    assert scalar(db, "FORMAT(1234.5678, 2)") == "1,234.57"
+
+
+def test_elt_field_find_in_set(db):
+    assert scalar(db, "ELT(2, 'a', 'b', 'c')") == "b"
+    assert scalar(db, "FIELD('b', 'a', 'b')") == 2
+    assert scalar(db, "FIND_IN_SET('b', 'a,b,c')") == 2
+
+
+def test_hashes(db):
+    assert scalar(db, "MD5('password')") == "5f4dcc3b5aa765d61d8327deb882cf99"
+    assert scalar(db, "LENGTH(SHA1('x'))") == 40
+
+
+# -- control flow / numeric ----------------------------------------------
+
+
+def test_if_lazy_evaluation(db):
+    # The un-taken branch must not execute its SLEEP.
+    result = db.execute("SELECT IF(1=1, 0, SLEEP(9))")
+    assert result.elapsed == 0.0
+    result = db.execute("SELECT IF(1=2, SLEEP(9), 0)")
+    assert result.elapsed == 0.0
+
+
+def test_ifnull_nullif_coalesce(db):
+    assert scalar(db, "IFNULL(NULL, 'x')") == "x"
+    assert scalar(db, "IFNULL(1, 2)") == 1
+    assert scalar(db, "NULLIF(1, 1)") is None
+    assert scalar(db, "NULLIF(1, 2)") == 1
+    assert scalar(db, "COALESCE(NULL, NULL, 3)") == 3
+
+
+def test_cast(db):
+    assert scalar(db, "CAST('12abc' AS SIGNED)") == 12
+    assert scalar(db, "CAST(3 AS CHAR)") == "3"
+    assert scalar(db, "CONVERT(2.9, SIGNED)") == 2
+
+
+def test_numeric_functions(db):
+    assert scalar(db, "FLOOR(2.7)") == 2
+    assert scalar(db, "CEIL(2.1)") == 3
+    assert scalar(db, "ROUND(2.456, 2)") == pytest.approx(2.46)
+    assert scalar(db, "ABS(-4)") == 4
+    assert scalar(db, "GREATEST(3, 9, 1)") == 9
+    assert scalar(db, "LEAST(3, 9, 1)") == 1
+
+
+def test_rand_is_deterministic_per_seed():
+    a = Database("x", rand_seed=7)
+    b = Database("y", rand_seed=7)
+    assert a.execute("SELECT RAND()").scalar() == b.execute("SELECT RAND()").scalar()
+
+
+# -- timing & error channels ----------------------------------------------
+
+
+def test_sleep_advances_virtual_clock(db):
+    result = db.execute("SELECT SLEEP(2.5)")
+    assert result.elapsed == pytest.approx(2.5)
+
+
+def test_benchmark_advances_clock_proportionally(db):
+    small = db.execute("SELECT BENCHMARK(1000000, MD5(1))").elapsed
+    large = db.execute("SELECT BENCHMARK(4000000, MD5(1))").elapsed
+    assert large == pytest.approx(4 * small)
+
+
+def test_extractvalue_error_leaks_argument(db):
+    with pytest.raises(DatabaseError) as exc:
+        db.execute("SELECT EXTRACTVALUE(1, CONCAT(CHAR(126), 'secret-data'))")
+    assert "~secret-data" in str(exc.value)
+
+
+def test_extractvalue_valid_xpath_no_error(db):
+    assert db.execute("SELECT EXTRACTVALUE(1, '/root')").scalar() == ""
+
+
+def test_updatexml_error_channel(db):
+    with pytest.raises(DatabaseError):
+        db.execute("SELECT UPDATEXML(1, CONCAT(CHAR(126), 'x'), 1)")
+
+
+def test_load_file_denied(db):
+    assert scalar(db, "LOAD_FILE('/etc/passwd')") is None
+
+
+def test_unknown_function_raises(db):
+    with pytest.raises(UnknownFunctionError):
+        db.execute("SELECT totally_made_up(1)")

@@ -1,0 +1,165 @@
+"""Unit tests for the hybrid Joza engine."""
+
+import pytest
+
+from repro.core import JozaConfig, JozaEngine, RecoveryPolicy, Technique
+from repro.database import Column, ColumnType, Database, TableSchema
+from repro.phpapp import (
+    HttpRequest,
+    Plugin,
+    QueryBlockedError,
+    RequestContext,
+    WebApplication,
+)
+from repro.phpapp.context import CapturedInput
+
+FRAGMENTS = ["SELECT * FROM records WHERE ID=", " LIMIT 5", " OR ", " = "]
+
+
+def ctx(*values):
+    return RequestContext(
+        inputs=[CapturedInput("get", f"p{i}", v) for i, v in enumerate(values)]
+    )
+
+
+def test_safe_query_passes_both():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    verdict = engine.inspect("SELECT * FROM records WHERE ID=1 LIMIT 5", ctx("1"))
+    assert verdict.safe
+    assert verdict.pti.safe and verdict.nti.safe
+    assert verdict.detected_by() == set()
+
+
+def test_unsafe_iff_either_flags():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    # PTI-evading tautology caught by NTI only.
+    payload = "1 OR 1 = 1"
+    verdict = engine.inspect(
+        f"SELECT * FROM records WHERE ID={payload} LIMIT 5", ctx(payload)
+    )
+    assert not verdict.safe
+    assert verdict.detected_by() == {Technique.NTI}
+
+
+def test_pti_only_detection():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    verdict = engine.inspect(
+        "SELECT * FROM records WHERE ID=1 UNION SELECT 2 LIMIT 5", ctx("9")
+    )
+    assert not verdict.safe
+    assert verdict.detected_by() == {Technique.PTI}
+
+
+def test_nti_skipped_without_inputs():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    verdict = engine.inspect("SELECT * FROM records WHERE ID=1 LIMIT 5", ctx())
+    assert verdict.safe
+    assert verdict.nti.safe and not verdict.nti.markings
+
+
+def test_disable_components():
+    nti_only = JozaEngine.from_fragments([], JozaConfig(enable_pti=False))
+    verdict = nti_only.inspect("SELECT 1", ctx())
+    assert verdict.pti is None and verdict.nti is not None
+    pti_only = JozaEngine.from_fragments(FRAGMENTS, JozaConfig(enable_nti=False))
+    verdict = pti_only.inspect("SELECT * FROM records WHERE ID=1 LIMIT 5", ctx("1"))
+    assert verdict.nti is None and verdict.pti is not None
+
+
+def test_check_query_raises_with_policy():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    with pytest.raises(QueryBlockedError) as exc:
+        engine.check_query("SELECT * FROM x UNION SELECT 1", ctx())
+    assert exc.value.terminate
+    soft = JozaEngine.from_fragments(
+        FRAGMENTS, JozaConfig(policy=RecoveryPolicy.ERROR_VIRTUALIZATION)
+    )
+    with pytest.raises(QueryBlockedError) as exc:
+        soft.check_query("SELECT * FROM x UNION SELECT 1", ctx())
+    assert not exc.value.terminate
+
+
+def test_stats_and_attack_log():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    engine.check_query("SELECT * FROM records WHERE ID=1 LIMIT 5", ctx("1"))
+    try:
+        engine.check_query("SELECT 1 UNION SELECT 2", ctx())
+    except QueryBlockedError:
+        pass
+    assert engine.stats.queries_checked == 2
+    assert engine.stats.attacks_blocked == 1
+    assert engine.stats.pti_detections == 1
+    assert len(engine.attack_log) == 1
+    assert engine.attack_log[0].query == "SELECT 1 UNION SELECT 2"
+
+
+def test_verdict_detections_aggregate():
+    engine = JozaEngine.from_fragments([])
+    payload = "1 UNION SELECT 2"
+    verdict = engine.inspect(f"SELECT {payload}", ctx(payload))
+    techniques = {d.technique for d in verdict.detections}
+    assert techniques == {Technique.NTI, Technique.PTI}
+
+
+def test_from_sources_extracts_fragments():
+    engine = JozaEngine.from_sources(
+        ['$q = "SELECT name FROM users WHERE uid = $uid";']
+    )
+    assert engine.inspect("SELECT name FROM users WHERE uid = 3", ctx("3")).safe
+
+
+def test_protect_wires_guard_and_refresh():
+    db = Database("x")
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("v", ColumnType.TEXT),
+            ],
+        )
+    )
+    db.execute("INSERT INTO t (v) VALUES ('a')")
+
+    def handler(app, request):
+        return str(app.wrapper.query(
+            f"SELECT v FROM t WHERE id = {request.get.get('id', '1')}"
+        ).scalar())
+
+    app = WebApplication(
+        "x", db,
+        core_source='$q = "SELECT v FROM t WHERE id = $id";',
+        core_routes={"/r": handler},
+    )
+    engine = JozaEngine.protect(app, JozaConfig())
+    assert app.wrapper.guard is engine
+    assert app.handle(HttpRequest(path="/r", get={"id": "1"})).ok()
+    assert app.handle(
+        HttpRequest(path="/r", get={"id": "1 UNION SELECT 2"})
+    ).blocked
+
+    # Register a plugin afterwards: fragments refresh, its queries pass.
+    def plugin_handler(app_, request):
+        return str(app_.wrapper.query("SELECT COUNT(*) FROM t GROUP BY v").rowcount)
+
+    app.register_plugin(
+        Plugin(
+            name="counter",
+            source='$q = "SELECT COUNT(*) FROM t GROUP BY v";',
+            routes={"/count": plugin_handler},
+        )
+    )
+    response = app.handle(HttpRequest(path="/count"))
+    assert response.ok(), response.body
+
+
+def test_cached_pti_verdict_still_runs_nti():
+    engine = JozaEngine.from_fragments(FRAGMENTS + ["1"])
+    query = "SELECT * FROM records WHERE ID=1 OR 1 = 1 LIMIT 5"
+    # First pass: no inputs -> PTI-safe (tautology uses covered OR/=), cached.
+    assert engine.inspect(query, ctx()).safe
+    # Second pass with the attacking input: NTI must still flag it.
+    verdict = engine.inspect(query, ctx("1 OR 1 = 1"))
+    assert not verdict.safe
+    assert verdict.pti.from_cache == "query"
+    assert verdict.detected_by() == {Technique.NTI}

@@ -1,0 +1,54 @@
+"""Unit tests for the security-evaluation harness on a small corpus slice."""
+
+import pytest
+
+from repro.testbed.evaluation import SQLGEN_TARGETS, evaluate_corpus
+from repro.testbed.plugin_defs import plugin_by_name
+
+
+@pytest.fixture(scope="module")
+def slice_eval():
+    plugins = [
+        plugin_by_name("commevents"),   # tautology, Taintless-adaptable
+        plugin_by_name("linklibrary"),  # union, not adaptable
+        plugin_by_name("adrotate"),     # double blind, NTI-invisible
+    ]
+    return evaluate_corpus(num_posts=4, plugins=plugins, include_scenarios=False)
+
+
+def test_slice_report_count(slice_eval):
+    assert len(slice_eval.reports) == 3
+    assert slice_eval.scenario_reports == []
+
+
+def test_slice_originals_work(slice_eval):
+    assert all(r.original_works for r in slice_eval.reports)
+
+
+def test_slice_baselines(slice_eval):
+    assert slice_eval.nti_baseline == (2, 3)  # adrotate invisible to NTI
+    assert slice_eval.pti_baseline == (3, 3)
+
+
+def test_slice_report_fields(slice_eval):
+    by_name = {r.plugin.name: r for r in slice_eval.reports}
+    comm = by_name["commevents"]
+    assert comm.taintless_adapted and comm.pti_mutant_works and not comm.pti_mutated
+    link = by_name["linklibrary"]
+    assert not link.taintless_adapted
+    adro = by_name["adrotate"]
+    assert not adro.nti_original and not adro.nti_mutated
+    for report in slice_eval.reports:
+        assert report.nti_mutant_works
+        assert report.joza
+
+
+def test_slice_aggregates(slice_eval):
+    assert slice_eval.nti_evasions == 3
+    assert slice_eval.taintless_successes == 1
+    assert slice_eval.joza_detections == (3, 3)
+
+
+def test_sqlgen_targets_cover_each_attack_class():
+    kinds = {plugin_by_name(name).attack_type for name in SQLGEN_TARGETS}
+    assert len(kinds) == 4

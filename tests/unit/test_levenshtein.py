@@ -1,0 +1,86 @@
+"""Unit tests for the Levenshtein implementations."""
+
+import pytest
+
+from repro.matching import (
+    levenshtein,
+    levenshtein_banded,
+    levenshtein_full,
+    levenshtein_two_row,
+)
+
+CASES = [
+    ("", "", 0),
+    ("", "abc", 3),
+    ("abc", "", 3),
+    ("abc", "abc", 0),
+    ("kitten", "sitting", 3),
+    ("flaw", "lawn", 2),
+    ("intention", "execution", 5),
+    ("a", "b", 1),
+    ("ab", "ba", 2),
+    ("saturday", "sunday", 3),
+    ("distance", "distances", 1),
+    ("SELECT", "select", 6),  # matching is case-sensitive
+    ("abcé", "abce", 1),  # non-ASCII operands
+]
+
+
+@pytest.mark.parametrize("a,b,expected", CASES)
+def test_full_matrix_known_distances(a, b, expected):
+    assert levenshtein_full(a, b) == expected
+
+
+@pytest.mark.parametrize("a,b,expected", CASES)
+def test_two_row_known_distances(a, b, expected):
+    assert levenshtein_two_row(a, b) == expected
+
+
+@pytest.mark.parametrize("a,b,expected", CASES)
+def test_dispatcher_matches_reference(a, b, expected):
+    assert levenshtein(a, b) == expected
+
+
+@pytest.mark.parametrize("a,b,expected", CASES)
+def test_banded_exact_when_within_budget(a, b, expected):
+    assert levenshtein_banded(a, b, expected) == expected
+    assert levenshtein_banded(a, b, expected + 3) == expected
+
+
+@pytest.mark.parametrize("a,b,expected", [c for c in CASES if c[2] > 0])
+def test_banded_reports_overflow_as_budget_plus_one(a, b, expected):
+    assert levenshtein_banded(a, b, expected - 1) == expected  # == budget+1
+
+
+def test_banded_zero_budget_equal_strings():
+    assert levenshtein_banded("same", "same", 0) == 0
+
+
+def test_banded_zero_budget_different_strings():
+    assert levenshtein_banded("same", "tame", 0) == 1
+
+
+def test_banded_rejects_negative_budget():
+    with pytest.raises(ValueError):
+        levenshtein_banded("a", "b", -1)
+
+
+def test_banded_length_difference_short_circuit():
+    # Length gap alone exceeds the budget; no DP should be needed.
+    assert levenshtein_banded("a" * 100, "a", 10) == 11
+
+
+def test_dispatcher_with_budget_uses_banded():
+    assert levenshtein("kitten", "sitting", max_distance=2) == 3  # budget+1
+    assert levenshtein("kitten", "sitting", max_distance=3) == 3
+
+
+def test_long_operands_linear_memory_path():
+    a = "x" * 1000
+    b = "x" * 990 + "y" * 10
+    assert levenshtein(a, b) == 10
+
+
+def test_symmetry():
+    for a, b, __ in CASES:
+        assert levenshtein_two_row(a, b) == levenshtein_two_row(b, a)

@@ -1,0 +1,307 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sqlparser import (
+    Binary,
+    ColumnRef,
+    Delete,
+    FunctionCall,
+    Insert,
+    Like,
+    Literal,
+    Select,
+    SqlParseError,
+    Star,
+    SubqueryExpr,
+    Union,
+    Update,
+    critical_tokens,
+    parse_statement,
+)
+
+
+def test_minimal_select():
+    stmt = parse_statement("SELECT 1")
+    assert isinstance(stmt, Select)
+    assert stmt.items[0].expr == Literal(1)
+    assert stmt.table is None
+
+
+def test_select_star_from():
+    stmt = parse_statement("SELECT * FROM users")
+    assert isinstance(stmt.items[0].expr, Star)
+    assert stmt.table.name == "users"
+
+
+def test_qualified_star():
+    stmt = parse_statement("SELECT u.* FROM users u")
+    assert stmt.items[0].expr == Star(table="u")
+
+
+def test_where_precedence_or_over_and():
+    stmt = parse_statement("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+    where = stmt.where
+    assert isinstance(where, Binary) and where.op == "or"
+    assert isinstance(where.right, Binary) and where.right.op == "and"
+
+
+def test_not_precedence():
+    stmt = parse_statement("SELECT 1 FROM t WHERE NOT a = 1")
+    assert stmt.where.op == "not"
+
+
+def test_arithmetic_precedence():
+    stmt = parse_statement("SELECT 1 + 2 * 3")
+    expr = stmt.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parenthesised_expression():
+    stmt = parse_statement("SELECT (1 + 2) * 3")
+    assert stmt.items[0].expr.op == "*"
+
+
+def test_aliases():
+    stmt = parse_statement("SELECT a AS x, b y FROM t AS tt")
+    assert stmt.items[0].alias == "x"
+    assert stmt.items[1].alias == "y"
+    assert stmt.table.alias == "tt"
+
+
+def test_function_call_lowercases_name():
+    stmt = parse_statement("SELECT COUNT(*) FROM t")
+    call = stmt.items[0].expr
+    assert isinstance(call, FunctionCall)
+    assert call.name == "count"
+
+
+def test_count_distinct():
+    stmt = parse_statement("SELECT COUNT(DISTINCT a) FROM t")
+    assert stmt.items[0].expr.distinct
+
+
+def test_in_list():
+    stmt = parse_statement("SELECT 1 FROM t WHERE a IN (1, 2, 3)")
+    assert len(stmt.where.items) == 3
+
+
+def test_not_in():
+    stmt = parse_statement("SELECT 1 FROM t WHERE a NOT IN (1)")
+    assert stmt.where.negated
+
+
+def test_in_subquery():
+    stmt = parse_statement("SELECT 1 FROM t WHERE a IN (SELECT b FROM u)")
+    assert isinstance(stmt.where.items[0], SubqueryExpr)
+
+
+def test_between_binds_tighter_than_and():
+    stmt = parse_statement("SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND b = 2")
+    assert stmt.where.op == "and"
+
+
+def test_like_and_not_like():
+    stmt = parse_statement("SELECT 1 FROM t WHERE a LIKE '%x%'")
+    assert isinstance(stmt.where, Like) and not stmt.where.negated
+    stmt = parse_statement("SELECT 1 FROM t WHERE a NOT LIKE 'x'")
+    assert stmt.where.negated
+
+
+def test_is_null_and_is_not_null():
+    assert not parse_statement("SELECT 1 FROM t WHERE a IS NULL").where.negated
+    assert parse_statement("SELECT 1 FROM t WHERE a IS NOT NULL").where.negated
+
+
+def test_case_expression():
+    stmt = parse_statement(
+        "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END"
+    )
+    case = stmt.items[0].expr
+    assert len(case.whens) == 2
+    assert case.default == Literal("many")
+
+
+def test_case_with_operand():
+    stmt = parse_statement("SELECT CASE a WHEN 1 THEN 'x' END FROM t")
+    assert stmt.items[0].expr.operand == ColumnRef("a")
+
+
+def test_order_by_limit_offset():
+    stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+    assert stmt.order_by[0].descending and not stmt.order_by[1].descending
+    assert stmt.limit == Literal(5)
+    assert stmt.offset == Literal(2)
+
+
+def test_limit_comma_form():
+    stmt = parse_statement("SELECT a FROM t LIMIT 2, 5")
+    assert stmt.offset == Literal(2) and stmt.limit == Literal(5)
+
+
+def test_group_by_having():
+    stmt = parse_statement(
+        "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1"
+    )
+    assert len(stmt.group_by) == 1
+    assert stmt.having is not None
+
+
+def test_joins():
+    stmt = parse_statement(
+        "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON c.y = a.y"
+    )
+    assert [j.kind for j in stmt.joins] == ["inner", "left"]
+
+
+def test_comma_join_is_cross():
+    stmt = parse_statement("SELECT * FROM a, b WHERE a.x = b.x")
+    assert stmt.joins[0].kind == "cross"
+
+
+def test_derived_table():
+    stmt = parse_statement("SELECT * FROM (SELECT 1) AS sub")
+    assert stmt.table.subquery is not None
+    assert stmt.table.alias == "sub"
+
+
+def test_union_and_union_all():
+    stmt = parse_statement("SELECT 1 UNION SELECT 2")
+    assert isinstance(stmt, Union) and not stmt.all
+    stmt = parse_statement("SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 3")
+    assert stmt.all and len(stmt.selects) == 3
+
+
+def test_union_with_order_and_limit():
+    stmt = parse_statement("SELECT a FROM t UNION SELECT b FROM u ORDER BY a LIMIT 2")
+    assert isinstance(stmt, Union)
+    assert stmt.limit == Literal(2)
+
+
+def test_insert_values():
+    stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+    assert isinstance(stmt, Insert)
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.rows) == 2
+
+
+def test_insert_set_form():
+    stmt = parse_statement("INSERT INTO t SET a = 1, b = 'x'")
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.rows) == 1
+
+
+def test_insert_select():
+    stmt = parse_statement("INSERT INTO t (a) SELECT b FROM u")
+    assert stmt.select is not None
+
+
+def test_replace():
+    stmt = parse_statement("REPLACE INTO t (a) VALUES (1)")
+    assert stmt.replace
+
+
+def test_update():
+    stmt = parse_statement("UPDATE t SET a = a + 1 WHERE id = 3 LIMIT 1")
+    assert isinstance(stmt, Update)
+    assert stmt.assignments[0][0] == "a"
+    assert stmt.limit == Literal(1)
+
+
+def test_delete():
+    stmt = parse_statement("DELETE FROM t WHERE id = 3")
+    assert isinstance(stmt, Delete)
+
+
+def test_comments_are_skipped_by_parser():
+    stmt = parse_statement("SELECT /* hi */ 1 -- done")
+    assert isinstance(stmt, Select)
+
+
+def test_trailing_semicolon_tolerated():
+    parse_statement("SELECT 1;")
+
+
+def test_placeholder_expression():
+    stmt = parse_statement("SELECT * FROM t WHERE id = ?")
+    assert stmt.where.right.name == "?"
+
+
+def test_sysvar():
+    stmt = parse_statement("SELECT @@version")
+    call = stmt.items[0].expr
+    assert call.name == "sysvar"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "SELECT",
+        "SELECT FROM",
+        "SELECT 1 FROM",
+        "INSERT INTO",
+        "UPDATE t",
+        "DELETE t",
+        "SELECT 1 WHERE",
+        "SELECT 1 1",
+        "TRUNCATE TABLE t",
+    ],
+)
+def test_malformed_queries_raise(bad):
+    with pytest.raises(SqlParseError):
+        parse_statement(bad)
+
+
+def test_parse_error_reports_position():
+    with pytest.raises(SqlParseError) as exc:
+        parse_statement("SELECT a FROM t WHERE !")
+    assert exc.value.position >= 0
+
+
+# ---------------------------------------------------------------------------
+# critical_tokens
+# ---------------------------------------------------------------------------
+
+
+def crit(query):
+    return [t.text for t in critical_tokens(query)]
+
+
+def test_critical_tokens_paper_example():
+    assert crit("SELECT * FROM records WHERE ID=-1 UNION SELECT username()") == [
+        "SELECT", "*", "FROM", "WHERE", "=", "UNION", "SELECT", "username",
+    ]
+
+
+def test_literals_and_identifiers_not_critical():
+    assert crit("foo bar 'str' 42 `qid`") == []
+
+
+def test_comment_is_one_critical_token():
+    tokens = crit("1 /* a 'b' c */ 2")
+    assert tokens == ["/* a 'b' c */"]
+
+
+def test_function_only_critical_in_call_position():
+    assert crit("version()") == ["version"]
+    assert crit("version") == []
+    assert crit("SELECT sleep FROM naps") == ["SELECT", "FROM"]
+
+
+def test_arithmetic_signs_not_critical():
+    assert crit("-1 + 2 / 3") == []
+
+
+def test_comparison_operators_critical():
+    assert crit("a = b < c >= d <> e") == ["=", "<", ">=", "<>"]
+
+
+def test_semicolon_critical_parens_not():
+    assert crit("(1, 2);") == [";"]
+
+
+def test_critical_tokens_on_unparseable_input():
+    # Purely lexical: works even when the parser would reject the query.
+    assert "OR" in crit("garbage (( OR 1=1")

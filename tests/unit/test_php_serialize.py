@@ -1,0 +1,83 @@
+"""Unit tests for the PHP serialize/unserialize subset."""
+
+import pytest
+
+from repro.phpapp.php_serialize import (
+    PhpObject,
+    PhpSerializeError,
+    php_serialize,
+    php_unserialize,
+)
+
+
+@pytest.mark.parametrize(
+    "value,wire",
+    [
+        (None, "N;"),
+        (True, "b:1;"),
+        (False, "b:0;"),
+        (42, "i:42;"),
+        (-7, "i:-7;"),
+        ("hi", 's:2:"hi";'),
+        ("", 's:0:"";'),
+    ],
+)
+def test_scalar_wire_format(value, wire):
+    assert php_serialize(value) == wire
+    assert php_unserialize(wire) == value
+
+
+def test_float_roundtrip():
+    assert php_unserialize(php_serialize(2.5)) == 2.5
+
+
+def test_array_roundtrip():
+    data = {"a": 1, "b": "two", 3: None}
+    assert php_unserialize(php_serialize(data)) == data
+
+
+def test_list_serializes_as_indexed_array():
+    assert php_serialize(["x"]) == 'a:1:{i:0;s:1:"x";}'
+    assert php_unserialize('a:1:{i:0;s:1:"x";}') == {0: "x"}
+
+
+def test_nested_structures():
+    data = {"outer": {"inner": [1, 2]}}
+    restored = php_unserialize(php_serialize(data))
+    assert restored["outer"]["inner"] == {0: 1, 1: 2}
+
+
+def test_object_roundtrip():
+    obj = PhpObject("JTableSession", {"userid": "42 AND SLEEP(3)", "time": 1})
+    wire = php_serialize(obj)
+    assert wire.startswith('O:13:"JTableSession":2:{')
+    restored = php_unserialize(wire)
+    assert isinstance(restored, PhpObject)
+    assert restored.class_name == "JTableSession"
+    assert restored.get("userid") == "42 AND SLEEP(3)"
+    assert restored.get("missing", "d") == "d"
+
+
+def test_utf8_string_length_is_bytes():
+    wire = php_serialize("héllo")
+    assert wire == 's:6:"héllo";'  # é is two bytes
+    assert php_unserialize(wire) == "héllo"
+
+
+def test_string_containing_quotes_and_semicolons():
+    tricky = 'a";s:1:"b'
+    assert php_unserialize(php_serialize(tricky)) == tricky
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "x;", "i:;", 's:5:"ab";', "a:2:{i:0;i:1;}", 'O:3:"abc"', "N; trailing"],
+)
+def test_malformed_input_raises(bad):
+    with pytest.raises(PhpSerializeError):
+        php_unserialize(bad)
+
+
+def test_unserializable_type_raises():
+    with pytest.raises(PhpSerializeError):
+        php_serialize(object())

@@ -1,0 +1,104 @@
+"""Unit tests for PHP source scanning / fragment extraction."""
+
+from repro.phpapp.source import (
+    extract_fragments,
+    extract_string_literals,
+    has_sql_token,
+    split_placeholders,
+)
+
+
+def test_single_quoted_literal():
+    assert extract_string_literals("<?php $x = 'abc'; ?>") == ["abc"]
+
+
+def test_single_quoted_escapes():
+    assert extract_string_literals(r"$x = 'don\'t';") == ["don't"]
+    assert extract_string_literals(r"$x = 'a\\b';") == ["a\\b"]
+    # Other backslashes are literal in single quotes.
+    assert extract_string_literals(r"$x = 'a\nb';") == [r"a\nb"]
+
+
+def test_double_quoted_escapes():
+    assert extract_string_literals(r'$x = "a\nb";') == ["a\nb"]
+    assert extract_string_literals(r'$x = "say \"hi\"";') == ['say "hi"']
+
+
+def test_double_quoted_keeps_interpolation_markers():
+    literals = extract_string_literals('$q = "WHERE id = $id";')
+    assert literals == ["WHERE id = $id"]
+
+
+def test_multiple_literals_in_order():
+    src = "$a = 'one'; $b = \"two\"; $c = 'three';"
+    assert extract_string_literals(src) == ["one", "two", "three"]
+
+
+def test_comments_are_skipped():
+    src = """
+    // $x = 'commented out';
+    # $y = 'also commented';
+    /* $z = 'block comment'; */
+    $w = 'kept';
+    """
+    assert extract_string_literals(src) == ["kept"]
+
+
+def test_heredoc():
+    src = '$q = <<<EOT\nSELECT * FROM t WHERE id = $id\nEOT;\n'
+    literals = extract_string_literals(src)
+    assert literals == ["SELECT * FROM t WHERE id = $id"]
+
+
+def test_split_placeholders_paper_example():
+    literal = "SELECT * from users where id = $id and password=$password"
+    assert split_placeholders(literal) == [
+        "SELECT * from users where id = ",
+        " and password=",
+    ]
+
+
+def test_split_placeholder_forms():
+    assert split_placeholders("a {$obj->prop} b ${x} c $arr[0] d") == [
+        "a ", " b ", " c ", " d",
+    ]
+
+
+def test_split_printf_specifiers():
+    assert split_placeholders("WHERE a = %s AND b = %d LIMIT %03d") == [
+        "WHERE a = ", " AND b = ", " LIMIT ",
+    ]
+
+
+def test_split_no_placeholders():
+    assert split_placeholders("plain text") == ["plain text"]
+
+
+def test_split_adjacent_placeholders():
+    assert split_placeholders("$a$b") == []
+
+
+def test_has_sql_token():
+    assert has_sql_token("SELECT")
+    assert has_sql_token(" = ")
+    assert has_sql_token("id")        # identifiers are tokens too
+    assert has_sql_token("#")
+    assert not has_sql_token("   ")
+    assert not has_sql_token("")
+
+
+def test_extract_fragments_pipeline():
+    src = '$q = "SELECT * FROM records WHERE ID=$postid LIMIT 5"; $p = $_GET[\'id\'];'
+    fragments = extract_fragments(src)
+    assert "SELECT * FROM records WHERE ID=" in fragments
+    assert " LIMIT 5" in fragments
+    assert "id" in fragments
+
+
+def test_extract_fragments_drops_whitespace_only():
+    assert extract_fragments("$x = '   ';") == []
+
+
+def test_unterminated_string_does_not_crash():
+    extract_string_literals("$x = 'never closed")
+    extract_string_literals('$x = "never closed')

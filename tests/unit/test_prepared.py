@@ -1,0 +1,170 @@
+"""Unit tests for prepared statements and parameter binding."""
+
+import pytest
+
+from repro.database import (
+    Column,
+    ColumnType,
+    Database,
+    DatabaseError,
+    PreparedStatement,
+    SqlSyntaxError,
+    TableSchema,
+    bind_parameters,
+    quote_literal,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("prep")
+    database.create_table(
+        TableSchema(
+            "users",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("name", ColumnType.TEXT),
+                Column("secret", ColumnType.TEXT),
+            ],
+        )
+    )
+    database.execute(
+        "INSERT INTO users (name, secret) VALUES ('alice', 's3cret'), ('bob', 'hush')"
+    )
+    return database
+
+
+# -- quote_literal ------------------------------------------------------
+
+
+def test_quote_literal_scalars():
+    assert quote_literal(None) == "NULL"
+    assert quote_literal(True) == "1"
+    assert quote_literal(False) == "0"
+    assert quote_literal(7) == "7"
+    assert quote_literal(2.5) == "2.5"
+    assert quote_literal("plain") == "'plain'"
+
+
+def test_quote_literal_escapes():
+    assert quote_literal("O'Brien") == "'O\\'Brien'"
+    assert quote_literal("a\\b") == "'a\\\\b'"
+    assert quote_literal("nul\0byte") == "'nul\\0byte'"
+
+
+# -- bind_parameters -----------------------------------------------------
+
+
+def test_bind_positional():
+    bound = bind_parameters("SELECT * FROM t WHERE a = ? AND b = ?", [1, "x"])
+    assert bound == "SELECT * FROM t WHERE a = 1 AND b = 'x'"
+
+
+def test_bind_named():
+    bound = bind_parameters(
+        "SELECT * FROM t WHERE a = :a AND b = :b", {"a": 3, "b": "y"}
+    )
+    assert bound == "SELECT * FROM t WHERE a = 3 AND b = 'y'"
+
+
+def test_bind_repeated_named_placeholder():
+    bound = bind_parameters("SELECT :v, :v", {"v": 9})
+    assert bound == "SELECT 9, 9"
+
+
+def test_bind_arity_mismatch():
+    with pytest.raises(DatabaseError):
+        bind_parameters("SELECT ?", [1, 2])
+    with pytest.raises(DatabaseError):
+        bind_parameters("SELECT ?, ?", [1])
+
+
+def test_bind_missing_and_unknown_named():
+    with pytest.raises(DatabaseError):
+        bind_parameters("SELECT :a", {})
+    with pytest.raises(DatabaseError):
+        bind_parameters("SELECT :a", {"a": 1, "zz": 2})
+
+
+def test_bind_mixed_styles_rejected():
+    with pytest.raises(DatabaseError):
+        bind_parameters("SELECT ?, :a", {"a": 1})
+
+
+def test_bind_no_placeholders():
+    assert bind_parameters("SELECT 1", []) == "SELECT 1"
+    with pytest.raises(DatabaseError):
+        bind_parameters("SELECT 1", [5])
+
+
+def test_question_mark_inside_string_is_not_a_placeholder():
+    bound = bind_parameters("SELECT '?' , ?", [1])
+    assert bound == "SELECT '?' , 1"
+
+
+# -- PreparedStatement ----------------------------------------------------
+
+
+def test_prepared_execute_roundtrip(db):
+    statement = PreparedStatement(db, "SELECT name FROM users WHERE id = ?")
+    assert statement.parameter_count == 1
+    assert statement.execute([2]).scalar() == "bob"
+    assert statement.execute([1]).scalar() == "alice"
+
+
+def test_prepared_rejects_bad_template(db):
+    with pytest.raises(SqlSyntaxError):
+        PreparedStatement(db, "SELECT FROM WHERE")
+
+
+def test_hostile_parameter_cannot_inject(db):
+    statement = PreparedStatement(db, "SELECT name FROM users WHERE name = ?")
+    result = statement.execute(["' OR '1'='1"])
+    assert result.rowcount == 0  # treated as data: no user has that name
+    result = statement.execute(["alice' UNION SELECT secret FROM users-- -"])
+    assert result.rowcount == 0
+    result = statement.execute(["alice"])
+    assert result.rowcount == 1
+
+
+def test_hostile_parameter_with_backslashes(db):
+    statement = PreparedStatement(db, "SELECT COUNT(*) FROM users WHERE name = ?")
+    assert statement.execute(["\\' OR 1=1-- -"]).scalar() == 0
+
+
+def test_prepared_through_wrapper_with_guard(db):
+    from repro.core import JozaEngine
+    from repro.phpapp import WebApplication
+
+    app = WebApplication(
+        "p", db, core_source='$q = "SELECT name FROM users WHERE id = ?";'
+    )
+    engine = JozaEngine.protect(app)
+    app.wrapper.begin_request.__self__  # wrapper exists
+    from repro.phpapp.context import RequestContext
+
+    app.wrapper.begin_request(RequestContext())
+    result = app.wrapper.execute_prepared(
+        "SELECT name FROM users WHERE id = ?", ["1 OR 1=1"]
+    )
+    # The hostile parameter is bound as the *string* '1 OR 1=1' -> coerced
+    # to the number 1 by the comparison, never parsed as SQL.
+    assert result.rowcount == 1
+    assert engine.stats.attacks_blocked == 0
+
+
+def test_prepared_template_itself_is_vetted(db):
+    from repro.core import JozaEngine
+    from repro.phpapp import TerminationSignal, WebApplication
+    from repro.phpapp.context import RequestContext
+
+    app = WebApplication("p", db, core_source='$q = "SELECT name FROM users";')
+    JozaEngine.protect(app)
+    app.wrapper.begin_request(RequestContext())
+    # A template containing injected SQL (the Drupal pattern) is blocked
+    # before any binding happens.
+    with pytest.raises(TerminationSignal):
+        app.wrapper.execute_prepared(
+            "SELECT name FROM users WHERE id IN (?) UNION SELECT secret FROM users -- ",
+            [0],
+        )

@@ -1,0 +1,84 @@
+"""Unit tests for the difference-ratio acceptance test."""
+
+import math
+
+import pytest
+
+from repro.matching import (
+    DEFAULT_NTI_THRESHOLD,
+    SubstringMatch,
+    difference_ratio,
+    match_with_ratio,
+)
+
+
+def test_default_threshold_is_twenty_percent():
+    assert DEFAULT_NTI_THRESHOLD == 0.20
+
+
+def test_zero_distance_gives_zero_ratio():
+    assert difference_ratio(SubstringMatch(0, 3, 10)) == 0.0
+
+
+def test_paper_worked_example():
+    # Figure 2C: distance 5 over a 22-character match -> 22.7%.
+    ratio = difference_ratio(SubstringMatch(5, 0, 22))
+    assert ratio == pytest.approx(5 / 22)
+    assert ratio > DEFAULT_NTI_THRESHOLD
+
+
+def test_zero_length_match_has_infinite_ratio():
+    assert math.isinf(difference_ratio(SubstringMatch(0, 4, 4)))
+
+
+def test_exact_occurrence_accepted():
+    result = match_with_ratio("OR 1=1", "WHERE a=b OR 1=1")
+    assert result is not None
+    assert result.ratio == 0.0
+    assert result.start == 10
+
+
+def test_below_threshold_accepted():
+    # One edit over a 10-char match = 10% < 20%.
+    result = match_with_ratio("aaaaabbbbb", "xx aaaaaXbbbb yy".replace("X", "c"))
+    assert result is not None
+    assert result.ratio <= DEFAULT_NTI_THRESHOLD
+
+
+def test_above_threshold_rejected():
+    # Pattern shares little with the text.
+    assert match_with_ratio("zzzzzzzz", "SELECT * FROM t") is None
+
+
+def test_ratio_exactly_at_threshold_is_accepted():
+    # The paper treats "diff_ratio < threshold" loosely; we accept <=.
+    # 1 edit over a 5-char match at threshold 0.2 -> ratio == threshold.
+    result = match_with_ratio("abcde", "abXde", threshold=0.2)
+    assert result is not None
+    assert result.ratio == pytest.approx(0.2)
+
+
+def test_empty_pattern_rejected():
+    assert match_with_ratio("", "anything") is None
+
+
+def test_invalid_threshold_raises():
+    with pytest.raises(ValueError):
+        match_with_ratio("a", "a", threshold=1.0)
+    with pytest.raises(ValueError):
+        match_with_ratio("a", "a", threshold=-0.1)
+
+
+def test_zero_threshold_requires_exact_occurrence():
+    assert match_with_ratio("abc", "zabcz", threshold=0.0) is not None
+    assert match_with_ratio("abc", "zabXz", threshold=0.0) is None
+
+
+def test_budget_derivation_keeps_borderline_matches():
+    # distance d passes iff d <= t*(len+d)/(1) bounded form; check a case
+    # where the distance equals the derived budget exactly.
+    pattern = "a" * 16
+    text = "zz " + "a" * 12 + " zz"  # 4 deletions from the pattern
+    result = match_with_ratio(pattern, text, threshold=0.25)
+    assert result is not None
+    assert result.distance == 4

@@ -1,0 +1,180 @@
+"""Unit tests for the storage and schema layers (below the executor)."""
+
+import pytest
+
+from repro.database import (
+    Column,
+    ColumnNotFoundError,
+    ColumnType,
+    Database,
+    DuplicateKeyError,
+    TableSchema,
+)
+from repro.database.storage import Table
+
+
+def schema():
+    return TableSchema(
+        "things",
+        [
+            Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+            Column("slug", ColumnType.TEXT, unique=True),
+            Column("label", ColumnType.TEXT, default="untitled"),
+            Column("weight", ColumnType.REAL),
+        ],
+    )
+
+
+# -- schema --------------------------------------------------------------
+
+
+def test_column_lookup_case_insensitive():
+    s = schema()
+    assert s.column("SLUG").name == "slug"
+    assert s.has_column("Label")
+    assert not s.has_column("nope")
+    with pytest.raises(ColumnNotFoundError):
+        s.column("nope")
+
+
+def test_column_names_ordered():
+    assert schema().column_names == ["id", "slug", "label", "weight"]
+
+
+def test_auto_increment_column_found():
+    assert schema().auto_increment_column.name == "id"
+    bare = TableSchema("t", [Column("a")])
+    assert bare.auto_increment_column is None
+
+
+def test_coercion_per_type():
+    assert Column("n", ColumnType.INTEGER).coerce("42") == 42
+    assert Column("r", ColumnType.REAL).coerce("2.5") == 2.5
+    assert Column("t", ColumnType.TEXT).coerce(7) == "7"
+    assert Column("n", ColumnType.INTEGER).coerce(None) is None
+    # Unconvertible values pass through (MySQL non-strict mode).
+    assert Column("n", ColumnType.INTEGER).coerce("abc") == "abc"
+
+
+# -- storage ---------------------------------------------------------------
+
+
+def test_insert_applies_defaults_and_auto_increment():
+    table = Table(schema())
+    rowid = table.insert({"slug": "a", "weight": 1})
+    assert rowid == 1
+    assert table.rows[0]["label"] == "untitled"
+    assert table.insert({"slug": "b", "weight": 2}) == 2
+
+
+def test_insert_explicit_id_advances_counter():
+    table = Table(schema())
+    table.insert({"id": 10, "slug": "x", "weight": 0})
+    assert table.insert({"slug": "y", "weight": 0}) == 11
+
+
+def test_insert_unknown_column_rejected():
+    table = Table(schema())
+    with pytest.raises(ColumnNotFoundError):
+        table.insert({"bogus": 1})
+
+
+def test_unique_violation_on_insert():
+    table = Table(schema())
+    table.insert({"slug": "same", "weight": 0})
+    with pytest.raises(DuplicateKeyError):
+        table.insert({"slug": "same", "weight": 1})
+
+
+def test_unique_index_updates_on_update_row():
+    table = Table(schema())
+    table.insert({"slug": "one", "weight": 0})
+    table.insert({"slug": "two", "weight": 0})
+    row = table.rows[0]
+    table.update_row(row, {"slug": "three"})
+    # "one" is free again; "three" is now taken.
+    table.insert({"slug": "one", "weight": 0})
+    with pytest.raises(DuplicateKeyError):
+        table.update_row(table.rows[1], {"slug": "three"})
+
+
+def test_delete_rows_releases_unique_values():
+    table = Table(schema())
+    table.insert({"slug": "gone", "weight": 0})
+    assert table.delete_rows(list(table.rows)) == 1
+    table.insert({"slug": "gone", "weight": 0})  # no DuplicateKeyError
+    assert len(table) == 1
+
+
+def test_delete_conflicting_by_unique_column():
+    table = Table(schema())
+    table.insert({"slug": "dup", "weight": 1})
+    displaced = table.delete_conflicting({"slug": "dup", "weight": 9})
+    assert displaced == 1
+    assert len(table) == 0
+
+
+def test_delete_conflicting_no_match():
+    table = Table(schema())
+    table.insert({"slug": "a", "weight": 1})
+    assert table.delete_conflicting({"slug": "b"}) == 0
+    assert len(table) == 1
+
+
+# -- REPLACE INTO through the engine -----------------------------------------
+
+
+@pytest.fixture
+def db():
+    database = Database("r")
+    database.create_table(
+        TableSchema(
+            "kv",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True, auto_increment=True),
+                Column("k", ColumnType.TEXT, unique=True),
+                Column("v", ColumnType.TEXT),
+            ],
+        )
+    )
+    return database
+
+
+def test_replace_inserts_when_new(db):
+    result = db.execute("REPLACE INTO kv (k, v) VALUES ('a', '1')")
+    assert result.rowcount == 1
+    assert db.execute("SELECT v FROM kv WHERE k = 'a'").scalar() == "1"
+
+
+def test_replace_displaces_on_unique_conflict(db):
+    db.execute("REPLACE INTO kv (k, v) VALUES ('a', '1')")
+    result = db.execute("REPLACE INTO kv (k, v) VALUES ('a', '2')")
+    assert result.rowcount == 2  # MySQL: delete + insert
+    assert db.execute("SELECT COUNT(*) FROM kv").scalar() == 1
+    assert db.execute("SELECT v FROM kv WHERE k = 'a'").scalar() == "2"
+
+
+def test_replace_set_form(db):
+    db.execute("REPLACE INTO kv SET k = 'x', v = 'old'")
+    db.execute("REPLACE INTO kv SET k = 'x', v = 'new'")
+    assert db.execute("SELECT v FROM kv WHERE k = 'x'").scalar() == "new"
+
+
+def test_plain_insert_still_errors_on_duplicate(db):
+    db.execute("INSERT INTO kv (k, v) VALUES ('a', '1')")
+    with pytest.raises(DuplicateKeyError):
+        db.execute("INSERT INTO kv (k, v) VALUES ('a', '2')")
+
+
+def test_right_join():
+    db = Database("j")
+    db.create_table(TableSchema("l", [Column("id", ColumnType.INTEGER)]))
+    db.create_table(
+        TableSchema("r", [Column("lid", ColumnType.INTEGER), Column("tag")])
+    )
+    db.execute("INSERT INTO l (id) VALUES (1), (2)")
+    db.execute("INSERT INTO r (lid, tag) VALUES (1, 'a'), (9, 'orphan')")
+    result = db.execute(
+        "SELECT l.id, r.tag FROM l RIGHT JOIN r ON r.lid = l.id ORDER BY r.tag"
+    )
+    assert result.rows == [(1, "a"), (None, "orphan")]

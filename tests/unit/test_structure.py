@@ -1,0 +1,91 @@
+"""Unit tests for structure signatures and cache keys."""
+
+from repro.sqlparser import (
+    parse_statement,
+    signature_and_tokens,
+    structure_signature,
+    token_signature,
+    tokenize_significant,
+    try_query_signature,
+    try_structure_signature,
+)
+
+
+def ast_sig(query: str) -> str:
+    return structure_signature(parse_statement(query))
+
+
+def test_ast_signature_invariant_under_literal_values():
+    assert ast_sig("SELECT * FROM t WHERE id = 1") == ast_sig(
+        "SELECT * FROM t WHERE id = 999"
+    )
+    assert ast_sig("SELECT * FROM t WHERE name = 'a'") == ast_sig(
+        "SELECT * FROM t WHERE name = 'completely different'"
+    )
+
+
+def test_ast_signature_distinguishes_literal_types():
+    assert ast_sig("SELECT * FROM t WHERE id = 1") != ast_sig(
+        "SELECT * FROM t WHERE id = 'one'"
+    )
+
+
+def test_ast_signature_detects_injected_structure():
+    assert ast_sig("SELECT * FROM t WHERE id = 1") != ast_sig(
+        "SELECT * FROM t WHERE id = 1 OR 1 = 1"
+    )
+
+
+def test_ast_signature_detects_union():
+    assert ast_sig("SELECT a FROM t") != ast_sig("SELECT a FROM t UNION SELECT 1")
+
+
+def test_try_structure_signature_none_on_unparseable():
+    assert try_structure_signature("not sql at all ((((") is None
+
+
+def test_token_signature_invariant_under_literals():
+    s1 = token_signature(tokenize_significant("SELECT a FROM t WHERE id = 5"))
+    s2 = token_signature(tokenize_significant("SELECT a FROM t WHERE id = 77"))
+    assert s1 == s2
+
+
+def test_token_signature_sensitive_to_keyword_case():
+    # PTI matching is case-sensitive, so the cache key must be too.
+    s1 = token_signature(tokenize_significant("SELECT a FROM t"))
+    s2 = token_signature(tokenize_significant("select a from t"))
+    assert s1 != s2
+
+
+def test_token_signature_sensitive_to_injected_tokens():
+    s1 = token_signature(tokenize_significant("SELECT a FROM t WHERE id = 1"))
+    s2 = token_signature(
+        tokenize_significant("SELECT a FROM t WHERE id = 1 OR 1 = 1")
+    )
+    assert s1 != s2
+
+
+def test_token_signature_insensitive_to_whitespace_between_tokens():
+    # Whitespace between tokens is not part of any token's text; templates
+    # emit fixed whitespace, so this collapses only data-driven spacing.
+    s1 = token_signature(tokenize_significant("SELECT  a  FROM t"))
+    s2 = token_signature(tokenize_significant("SELECT a FROM t"))
+    assert s1 == s2
+
+
+def test_signature_and_tokens_consistency():
+    query = "SELECT * FROM t WHERE id = 4 -- tail"
+    signature, tokens = signature_and_tokens(query)
+    assert signature == try_query_signature(query)
+    assert [t.text for t in tokens] == ["SELECT", "*", "FROM", "WHERE", "=", "-- tail"]
+
+
+def test_query_signature_works_on_unparseable_queries():
+    # Token-skeleton signatures exist for any lexable text.
+    assert try_query_signature("garbage (( OR 1=1") is not None
+
+
+def test_string_and_number_literals_collapse_differently():
+    s_num = token_signature(tokenize_significant("SELECT 1"))
+    s_str = token_signature(tokenize_significant("SELECT 'x'"))
+    assert s_num != s_str

@@ -1,0 +1,112 @@
+"""Unit tests for approximate substring matching (Sellers)."""
+
+import pytest
+
+from repro.matching import best_substring_match, substring_distance
+from repro.matching.levenshtein import levenshtein_full
+
+
+def naive_substring_distance(pattern: str, text: str) -> int:
+    """O(n^2 m^2) oracle: min Levenshtein over all substrings."""
+    best = len(pattern)
+    for i in range(len(text) + 1):
+        for j in range(i, len(text) + 1):
+            best = min(best, levenshtein_full(pattern, text[i:j]))
+    return best
+
+
+def test_exact_containment_is_distance_zero():
+    match = best_substring_match("OR 1=1", "SELECT * WHERE id=1 OR 1=1")
+    assert match.distance == 0
+    assert match.start == 20 and match.end == 26
+
+
+def test_exact_match_region_text():
+    text = "SELECT * FROM t WHERE a = 'needle in haystack'"
+    match = best_substring_match("needle", text)
+    assert text[match.start : match.end] == "needle"
+
+
+def test_empty_pattern_matches_trivially():
+    match = best_substring_match("", "anything")
+    assert match.distance == 0 and match.length == 0
+
+
+def test_empty_text():
+    match = best_substring_match("abc", "")
+    assert match.distance == 3
+
+
+def test_empty_text_with_budget_pruned():
+    assert best_substring_match("abc", "", max_distance=2) is None
+
+
+def test_single_edit_inside_text():
+    # "cat" vs "cut" inside a longer string.
+    match = best_substring_match("cat", "the cut rope")
+    assert match.distance == 1
+
+
+def test_magic_quotes_inflation():
+    # The NTI-evasion mechanism: backslashes inserted before each quote.
+    raw = "1 OR 1=1/*'''''*/"
+    transformed = "1 OR 1=1/*\\'\\'\\'\\'\\'*/"
+    match = best_substring_match(raw, transformed)
+    assert match.distance == 5
+    assert match.length == len(transformed)
+
+
+@pytest.mark.parametrize(
+    "pattern,text",
+    [
+        ("abc", "xxabcxx"),
+        ("abc", "xxaxbxcxx"),
+        ("hello", "help low"),
+        ("union select", "UNION SELECT"),
+        ("aaa", "bbbbbb"),
+        ("ab", "ba"),
+        ("payload", "pay1oad wrapped in text"),
+        ("12345", "54321"),
+    ],
+)
+def test_agrees_with_naive_oracle(pattern, text):
+    assert substring_distance(pattern, text) == naive_substring_distance(
+        pattern, text
+    )
+
+
+def test_budget_pruning_never_loses_passing_matches():
+    pattern = "abcdef"
+    text = "zz abXdef zz"
+    unpruned = best_substring_match(pattern, text)
+    pruned = best_substring_match(pattern, text, max_distance=unpruned.distance)
+    assert pruned is not None
+    assert pruned.distance == unpruned.distance
+
+
+def test_budget_pruning_rejects_distant_patterns():
+    assert (
+        best_substring_match("qqqqqqqq", "SELECT * FROM table", max_distance=2)
+        is None
+    )
+
+
+def test_long_pattern_against_short_text_pruned_by_length():
+    assert best_substring_match("a" * 50, "abc", max_distance=5) is None
+
+
+def test_prefers_longer_match_on_distance_tie():
+    # Both "ab" positions give distance 0; the result is a valid zero match.
+    match = best_substring_match("ab", "ab ab")
+    assert match.distance == 0
+    assert match.length == 2
+
+
+def test_match_offsets_are_consistent():
+    pattern = "WHERE id"
+    text = "SELECT a FROM t WHERE idx = 1"
+    match = best_substring_match(pattern, text)
+    assert 0 <= match.start <= match.end <= len(text)
+    # The reported region really achieves the reported distance.
+    region = text[match.start : match.end]
+    assert levenshtein_full(pattern, region) == match.distance

@@ -1,0 +1,121 @@
+"""Unit tests for PHP-style input transformations."""
+
+import pytest
+
+from repro.phpapp.transforms import (
+    addslashes,
+    base64_decode,
+    base64_encode,
+    floatval,
+    htmlspecialchars,
+    htmlspecialchars_decode,
+    intval,
+    ltrim,
+    named,
+    rtrim,
+    sanitize_key,
+    sanitize_text_field,
+    strip_tags,
+    stripslashes,
+    strtolower,
+    strtoupper,
+    trim,
+    urldecode,
+    urlencode,
+    wp_unslash,
+)
+
+
+def test_addslashes_escapes_quotes_and_backslashes():
+    assert addslashes("O'Brien") == "O\\'Brien"
+    assert addslashes('say "hi"') == 'say \\"hi\\"'
+    assert addslashes("a\\b") == "a\\\\b"
+    assert addslashes("a\0b") == "a\\0b"
+
+
+def test_addslashes_adds_one_char_per_quote():
+    payload = "/*" + "'" * 7 + "*/"
+    assert len(addslashes(payload)) == len(payload) + 7
+
+
+def test_stripslashes_inverts_addslashes():
+    for text in ("O'Brien", 'a"b', "a\\b", "plain", "'" * 5):
+        assert stripslashes(addslashes(text)) == text
+
+
+def test_stripslashes_handles_trailing_backslash():
+    assert stripslashes("abc\\") == "abc"
+
+
+def test_trim_family():
+    assert trim("  x \t\n") == "x"
+    assert ltrim("  x  ") == "x  "
+    assert rtrim("  x  ") == "  x"
+    assert trim("a\0b\0") == "a\0b"
+
+
+def test_base64_roundtrip():
+    assert base64_decode(base64_encode("1 AND SLEEP(3)")) == "1 AND SLEEP(3)"
+
+
+def test_base64_decode_forgiving():
+    # PHP ignores illegal characters and fixes padding.
+    assert base64_decode("aGV sbG8") == "hello"
+    assert base64_decode("aGVsbG8") == "hello"  # missing padding
+    assert base64_decode("!!!") == ""
+
+
+def test_url_roundtrip():
+    assert urldecode(urlencode("a b&c=d'")) == "a b&c=d'"
+
+
+def test_urldecode_percent27():
+    assert urldecode("%27 OR %271%27=%271") == "' OR '1'='1"
+
+
+def test_urldecode_plus_is_space():
+    assert urldecode("a+b") == "a b"
+
+
+def test_htmlspecialchars_roundtrip():
+    assert htmlspecialchars("<b>&'\"") == "&lt;b&gt;&amp;&#x27;&quot;"
+    assert htmlspecialchars_decode(htmlspecialchars("<i>x</i>")) == "<i>x</i>"
+
+
+def test_case_transforms():
+    assert strtolower("AbC") == "abc"
+    assert strtoupper("AbC") == "ABC"
+
+
+def test_intval_prefix_parse():
+    assert intval("42abc") == "42"
+    assert intval("  -7xyz") == "-7"
+    assert intval("abc") == "0"
+    assert intval("1 OR 1=1") == "1"  # the sanitising property
+
+
+def test_floatval():
+    assert floatval("3.14pie") == "3.14"
+    assert floatval("x") == "0"
+
+
+def test_strip_tags():
+    assert strip_tags("<b>bold</b> text<br/>") == "bold text"
+
+
+def test_sanitize_key():
+    assert sanitize_key("My-Key_9!@#") == "my-key_9"
+
+
+def test_sanitize_text_field_collapses_whitespace():
+    assert sanitize_text_field("  a\t b\n\nc <i>d</i> ") == "a b c d"
+
+
+def test_wp_unslash_is_stripslashes():
+    assert wp_unslash(addslashes("o'clock")) == "o'clock"
+
+
+def test_named_lookup():
+    assert named("trim") is trim
+    with pytest.raises(KeyError):
+        named("does_not_exist")

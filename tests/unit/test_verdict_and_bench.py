@@ -1,0 +1,114 @@
+"""Unit tests for verdict types, workload generation and reporting."""
+
+import pytest
+
+from repro.bench import (
+    TABLE_VI_MIXES,
+    mixed_stream,
+    pct,
+    read_stream,
+    render_kv,
+    render_table,
+    search_stream,
+    write_stream,
+)
+from repro.core.verdict import AnalysisResult, QueryVerdict, TaintMarking, Technique
+from repro.sqlparser import critical_tokens
+
+
+# -- verdict types ----------------------------------------------------------
+
+
+def test_marking_covers_whole_token_rule():
+    token = critical_tokens("a OR b")[0]  # OR at 2..4
+    assert TaintMarking(0, 6, Technique.NTI, "x").covers(token)
+    assert TaintMarking(2, 4, Technique.NTI, "x").covers(token)
+    assert not TaintMarking(3, 6, Technique.NTI, "x").covers(token)
+    assert not TaintMarking(0, 3, Technique.NTI, "x").covers(token)
+
+
+def test_marking_length():
+    assert TaintMarking(3, 9, Technique.PTI, "f").length == 6
+
+
+def test_analysis_result_truthiness():
+    assert AnalysisResult(Technique.PTI, safe=True)
+    assert not AnalysisResult(Technique.PTI, safe=False)
+
+
+def test_query_verdict_detected_by():
+    verdict = QueryVerdict(
+        query="q",
+        safe=False,
+        pti=AnalysisResult(Technique.PTI, safe=False),
+        nti=AnalysisResult(Technique.NTI, safe=True),
+    )
+    assert verdict.detected_by() == {Technique.PTI}
+
+
+# -- workload streams --------------------------------------------------------
+
+
+def test_read_stream_counts_and_paths():
+    stream = read_stream(10, 50)
+    assert len(stream) == 50
+    assert all(r.method == "GET" for r in stream)
+    assert any(r.path == "/" for r in stream)
+    assert any(r.path == "/post" for r in stream)
+
+
+def test_write_stream_is_post_comments():
+    stream = write_stream(10, 20)
+    assert len(stream) == 20
+    assert all(r.method == "POST" and r.path == "/comment" for r in stream)
+    assert all(1 <= int(r.post["post_id"]) <= 10 for r in stream)
+
+
+def test_search_stream():
+    stream = search_stream(15)
+    assert len(stream) == 15
+    assert all(r.path == "/search" and r.get["s"] for r in stream)
+
+
+@pytest.mark.parametrize("fraction", [f for f, __ in TABLE_VI_MIXES])
+def test_mixed_stream_ratio(fraction):
+    stream = mixed_stream(10, 200, fraction)
+    writes = sum(1 for r in stream if r.is_write)
+    assert writes == round(200 * fraction)
+    assert len(stream) == 200
+
+
+def test_mixed_stream_deterministic():
+    a = mixed_stream(10, 100, 0.1, seed=3)
+    b = mixed_stream(10, 100, 0.1, seed=3)
+    assert [(r.path, r.get, r.post) for r in a] == [(r.path, r.get, r.post) for r in b]
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def test_pct_format():
+    assert pct(4.032) == "4.03%"
+
+
+def test_render_table_alignment():
+    text = render_table("T", ["col", "x"], [["a", 1], ["longer", 22]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows equal width
+    assert "longer" in text and "22" in text
+
+
+def test_render_kv():
+    text = render_kv("Title", [("alpha", 1), ("b", "two")])
+    assert "Title" in text
+    assert "alpha : 1" in text
+
+
+def test_save_result(tmp_path):
+    from repro.bench import save_result
+
+    path = save_result("unit_test_artifact", "hello", results_dir=str(tmp_path))
+    with open(path) as handle:
+        assert handle.read() == "hello\n"

@@ -1,0 +1,148 @@
+"""Unit tests for the simulated WordPress core."""
+
+import pytest
+
+from repro.phpapp import HttpRequest
+from repro.phpapp.source import extract_fragments
+from repro.testbed.wordpress import (
+    ADMIN_PASSWORD_HASH,
+    SECRET_OPTION_VALUE,
+    WORDPRESS_CORE_SOURCE,
+    build_wordpress,
+    seed_content,
+)
+
+
+@pytest.fixture
+def wp():
+    return build_wordpress(num_posts=12)
+
+
+def test_schema_tables_exist(wp):
+    for table in ("wp_users", "wp_posts", "wp_comments", "wp_options", "wp_terms"):
+        wp.db.table(table)  # raises if missing
+
+
+def test_seed_counts(wp):
+    assert wp.db.execute("SELECT COUNT(*) FROM wp_posts").scalar() == 12
+    assert wp.db.execute("SELECT COUNT(*) FROM wp_users").scalar() == 2
+    assert wp.db.execute("SELECT COUNT(*) FROM wp_comments").scalar() == 12
+    assert wp.db.execute("SELECT COUNT(*) FROM wp_terms").scalar() == 4
+
+
+def test_seed_is_deterministic():
+    a = build_wordpress(num_posts=5)
+    b = build_wordpress(num_posts=5)
+    assert (
+        a.db.execute("SELECT post_title FROM wp_posts ORDER BY ID").rows
+        == b.db.execute("SELECT post_title FROM wp_posts ORDER BY ID").rows
+    )
+
+
+def test_secrets_seeded(wp):
+    assert (
+        wp.db.execute(
+            "SELECT user_pass FROM wp_users WHERE user_login = 'admin'"
+        ).scalar()
+        == ADMIN_PASSWORD_HASH
+    )
+    assert (
+        wp.db.execute(
+            "SELECT option_value FROM wp_options WHERE option_name = 'secret_api_key'"
+        ).scalar()
+        == SECRET_OPTION_VALUE
+    )
+
+
+def test_home_lists_recent_posts(wp):
+    body = wp.handle(HttpRequest(path="/")).body
+    # Twelve posts seeded; the home page shows the latest ten (3..12).
+    assert "Post 12" in body and "Post 2:" not in body
+
+
+def test_post_view_includes_comments_and_footer(wp):
+    response = wp.handle(HttpRequest(path="/post", get={"id": "2"}))
+    assert "Post 2" in response.body
+    assert "Comments" in response.body
+    assert "WP-SQLI-LAB" in response.body
+    assert response.query_count == 3
+
+
+def test_post_view_casts_id_to_int(wp):
+    # intval() makes the core route itself injection-proof.
+    response = wp.handle(
+        HttpRequest(path="/post", get={"id": "1 UNION SELECT 1,2,3,4,5,6"})
+    )
+    assert response.ok()
+    assert "Post 1" in response.body
+    assert ADMIN_PASSWORD_HASH not in response.body
+
+
+def test_search_finds_title_words(wp):
+    response = wp.handle(HttpRequest(path="/search", get={"s": "Post 1"}))
+    assert response.ok()
+
+
+def test_search_with_quotes_is_safe(wp):
+    response = wp.handle(HttpRequest(path="/search", get={"s": "o'brien's"}))
+    assert response.ok()
+    assert response.db_error is None
+
+
+def test_comment_post_updates_counter(wp):
+    before = wp.db.execute(
+        "SELECT comment_count FROM wp_posts WHERE ID = 3"
+    ).scalar()
+    wp.handle(
+        HttpRequest(
+            method="POST", path="/comment",
+            post={"post_id": "3", "author": "t", "content": "hello"},
+        )
+    )
+    after = wp.db.execute("SELECT comment_count FROM wp_posts WHERE ID = 3").scalar()
+    assert after == before + 1
+
+
+def test_author_page(wp):
+    response = wp.handle(HttpRequest(path="/author", get={"author": "1"}))
+    assert response.ok()
+    assert "Author 1" in response.body
+
+
+def test_core_fragments_cover_core_queries(wp):
+    # Every query the core issues while handling benign traffic must be
+    # fully covered by fragments from the core source alone.
+    from repro.pti import FragmentStore, PTIAnalyzer
+
+    analyzer = PTIAnalyzer(FragmentStore(extract_fragments(WORDPRESS_CORE_SOURCE)))
+    start = len(wp.db.query_log)
+    for request in (
+        HttpRequest(path="/"),
+        HttpRequest(path="/post", get={"id": "1"}),
+        HttpRequest(path="/search", get={"s": "lorem"}),
+        HttpRequest(method="POST", path="/comment",
+                    post={"post_id": "1", "author": "a", "content": "c"}),
+        HttpRequest(path="/author", get={"author": "2"}),
+    ):
+        wp.handle(request)
+    for query in wp.db.query_log[start:]:
+        result = analyzer.analyze(query)
+        assert result.safe, (query, [d.token_text for d in result.detections])
+
+
+def test_render_cost_plumbed_through_builder():
+    app = build_wordpress(num_posts=2, render_cost=10)
+    assert app.render_cost == 10
+
+
+def test_seed_content_scales():
+    from repro.database import Database
+    from repro.testbed.wordpress import wordpress_schema
+
+    db = Database("big")
+    for schema in wordpress_schema():
+        db.create_table(schema)
+    seed_content(db, num_posts=101)
+    assert db.execute("SELECT COUNT(*) FROM wp_posts").scalar() == 101
+    # Comments cap at 25 regardless of size.
+    assert db.execute("SELECT COUNT(*) FROM wp_comments").scalar() == 25

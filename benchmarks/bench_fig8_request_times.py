@@ -16,7 +16,7 @@ import pytest
 from conftest import PERF_NUM_POSTS, REFERENCE_RENDER_COST, REPEATS, emit
 
 from repro.bench import read_stream, search_stream, write_stream
-from repro.bench.reporting import pct, render_table
+from repro.bench.reporting import pct, render_kv, render_table
 from repro.bench.runner import attributed_overhead_pct, measure
 
 
@@ -64,14 +64,33 @@ def test_fig8_request_times(benchmark, fig8_data):
                 pct(overheads[label]),
             ]
         )
+    cache_pairs = []
+    cache_rates = {}
+    for label, (__, protected) in fig8_data.items():
+        caches = protected.engine.nti_cache_stats()
+        for cache_name, stats in sorted(caches.items()):
+            cache_pairs.append(
+                (
+                    f"{label} / {cache_name}",
+                    f"hit rate {stats['hit_rate'] * 100:.1f}% "
+                    f"({stats['hits']:.0f} hits / {stats['misses']:.0f} misses, "
+                    f"{stats['entries']:.0f} entries)",
+                )
+            )
+        cache_rates[label] = caches.get("match", {}).get("hit_rate", 0.0)
     emit(
         "fig8_request_times",
         render_table(
             "Figure 8: request times with and without Joza (ms/request)",
             ["Stream", "Plain", "Protected", "NTI share", "PTI share", "Overhead"],
             rows,
-        ),
+        )
+        + "\n\n"
+        + render_kv("NTI cache accounting (cross-request LRUs)", cache_pairs),
     )
+    # The match cache must actually fire on the input-heavy write stream:
+    # comment texts repeat across requests, so (input, query) pairs recur.
+    assert cache_rates["write (comments)"] > 0.0
     assert overheads["write (comments)"] == max(overheads.values())
     assert all(v >= 0 for v in overheads.values())
     # NTI carries a real share of the cost on input-heavy streams.

@@ -120,7 +120,7 @@ def measure(
                 # wade through unrelated fragments to reach them.
                 store = FragmentStore(filler)
                 store.add_many(
-                    FragmentStore.from_sources(app.all_sources()).fragments
+                    FragmentStore.from_sources(app.all_sources()).iter_all()
                 )
                 return store
 

@@ -145,6 +145,15 @@ class JozaEngine:
     def store(self) -> FragmentStore:
         return self.daemon.store
 
+    def nti_cache_stats(self) -> dict[str, dict[str, float]]:
+        """Hit/miss counters of the NTI match/profile caches.
+
+        The NTI analogue of the PTI cache accounting: surfaced so the bench
+        reporting layer (Figure 8 and the cache ablations) can attribute
+        how much of the NTI hot path is served from memoised matches.
+        """
+        return self.nti.cache_stats()
+
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
@@ -223,6 +232,7 @@ class JozaEngine:
                     "attacks_blocked": self.stats.attacks_blocked,
                     "nti_detections": self.stats.nti_detections,
                     "pti_detections": self.stats.pti_detections,
+                    "nti_caches": self.nti_cache_stats(),
                 },
                 "attacks": [record.to_dict() for record in self.attack_log],
             },

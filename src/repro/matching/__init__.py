@@ -4,15 +4,20 @@ Public surface:
 
 - :func:`repro.matching.levenshtein` and its explicit variants
   (:func:`levenshtein_full`, :func:`levenshtein_two_row`,
-  :func:`levenshtein_banded`).
+  :func:`levenshtein_banded`, :func:`levenshtein_bitparallel`).
 - :func:`repro.matching.best_substring_match` /
-  :func:`repro.matching.substring_distance` -- Sellers-style approximate
-  substring search.
+  :func:`repro.matching.substring_distance` -- approximate substring
+  search behind a ``matcher`` selector (``"auto"`` | ``"dp"`` |
+  ``"bitparallel"``): Sellers' DP as the differential-testing oracle,
+  Myers' bit-parallel scan as the production core.
+- :class:`repro.matching.TextProfile` -- per-text pruning tables
+  (character-frequency and bigram lower bounds) reusable across patterns.
 - :func:`repro.matching.match_with_ratio` and
   :data:`repro.matching.DEFAULT_NTI_THRESHOLD` -- the paper's
   difference-ratio acceptance test.
 """
 
+from .bitparallel import build_peq, levenshtein_bitparallel, substring_scan
 from .levenshtein import (
     PHP_LEVENSHTEIN_LIMIT,
     levenshtein,
@@ -26,19 +31,32 @@ from .ratio import (
     difference_ratio,
     match_with_ratio,
 )
-from .substring import SubstringMatch, best_substring_match, substring_distance
+from .substring import (
+    MATCHER_CHOICES,
+    SubstringMatch,
+    TextProfile,
+    best_substring_match,
+    resolve_matcher,
+    substring_distance,
+)
 
 __all__ = [
     "PHP_LEVENSHTEIN_LIMIT",
     "levenshtein",
     "levenshtein_banded",
+    "levenshtein_bitparallel",
     "levenshtein_full",
     "levenshtein_two_row",
+    "build_peq",
+    "substring_scan",
     "DEFAULT_NTI_THRESHOLD",
     "RatioMatch",
     "difference_ratio",
     "match_with_ratio",
+    "MATCHER_CHOICES",
     "SubstringMatch",
+    "TextProfile",
     "best_substring_match",
+    "resolve_matcher",
     "substring_distance",
 ]

@@ -15,6 +15,10 @@ module mirrors that structure:
 - :func:`levenshtein_banded` -- a banded variant with an early-exit bound,
   used when the caller only needs to know whether the distance is below a
   cutoff (the common case for threshold tests).
+- :func:`repro.matching.bitparallel.levenshtein_bitparallel` (re-exported
+  here) -- Myers' bit-parallel scan, our stand-in for the paper's
+  "optimized native C Levenshtein": ``O(ceil(n/w) * m)`` word operations
+  instead of ``O(n * m)`` interpreter steps.
 - :func:`levenshtein` -- the dispatching front-end modeled after Joza's
   native-for-short / optimized-for-long split.
 
@@ -23,12 +27,15 @@ All functions operate on ``str`` operands and return a non-negative ``int``.
 
 from __future__ import annotations
 
+from .bitparallel import levenshtein_bitparallel
+
 __all__ = [
     "PHP_LEVENSHTEIN_LIMIT",
     "levenshtein",
     "levenshtein_full",
     "levenshtein_two_row",
     "levenshtein_banded",
+    "levenshtein_bitparallel",
 ]
 
 #: PHP's built-in ``levenshtein`` refuses operands longer than 255 bytes.
@@ -136,18 +143,24 @@ def levenshtein_banded(a: str, b: str, max_distance: int) -> int:
     return result if result <= max_distance else big
 
 
+#: ``levenshtein()`` switches from the two-row DP to the bit-parallel scan
+#: once the shorter operand reaches this many characters; below it the DP's
+#: smaller constant wins over Myers' fixed per-column word-op budget.
+BITPARALLEL_MIN_OPERAND = 8
+
+
 def levenshtein(a: str, b: str, max_distance: int | None = None) -> int:
     """Edit distance between ``a`` and ``b``.
 
-    Mirrors Joza's dispatch (Section VI-B): short operands use the fastest
-    unbounded routine (standing in for PHP's native implementation), long
-    operands use the linear-memory variant, and when the caller supplies
-    ``max_distance`` the banded early-exit variant is used regardless of
-    length.
+    Mirrors Joza's dispatch (Section VI-B): tiny operands use the two-row
+    DP (standing in for PHP's native implementation, whose constant beats
+    the bit-vector setup), everything else uses Myers' bit-parallel scan --
+    our equivalent of the paper's "optimized native C Levenshtein" -- and
+    when the caller supplies ``max_distance`` the scan's Ukkonen early-exit
+    settles threshold tests without finishing the text.
     """
-    if max_distance is not None:
-        return levenshtein_banded(a, b, max_distance)
-    # Both the "native" (short-operand) and "optimized" (long-operand)
-    # regimes use the two-row DP here; the split point is kept so the
-    # matcher ablation can report the regimes separately.
-    return levenshtein_two_row(a, b)
+    if min(len(a), len(b)) < BITPARALLEL_MIN_OPERAND:
+        if max_distance is not None:
+            return levenshtein_banded(a, b, max_distance)
+        return levenshtein_two_row(a, b)
+    return levenshtein_bitparallel(a, b, max_distance)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .substring import SubstringMatch, best_substring_match
+from .substring import SubstringMatch, TextProfile, best_substring_match
 
 __all__ = ["DEFAULT_NTI_THRESHOLD", "RatioMatch", "difference_ratio", "match_with_ratio"]
 
@@ -61,6 +61,9 @@ def match_with_ratio(
     pattern: str,
     text: str,
     threshold: float = DEFAULT_NTI_THRESHOLD,
+    *,
+    matcher: str = "auto",
+    profile: TextProfile | None = None,
 ) -> RatioMatch | None:
     """Locate ``pattern`` in ``text`` and accept it if the ratio clears ``threshold``.
 
@@ -71,6 +74,11 @@ def match_with_ratio(
     ``d <= threshold * len(pattern) / (1 - threshold)``.  This keeps the
     banded pruning heuristics sound while never rejecting a passing match.
 
+    ``matcher`` selects the matching core (see
+    :func:`repro.matching.substring.best_substring_match`); ``profile`` is
+    an optional precomputed :class:`TextProfile` of ``text`` so NTI can
+    amortise the pruning tables across every input of a request.
+
     Returns ``None`` when no substring of ``text`` matches ``pattern``
     closely enough.
     """
@@ -79,7 +87,9 @@ def match_with_ratio(
     if not pattern:
         return None
     budget = int(threshold * len(pattern) / (1.0 - threshold)) if threshold else 0
-    match = best_substring_match(pattern, text, max_distance=budget)
+    match = best_substring_match(
+        pattern, text, max_distance=budget, matcher=matcher, profile=profile
+    )
     if match is None:
         return None
     ratio = difference_ratio(match)

@@ -9,27 +9,64 @@ every substring of ``q`` against ``p`` with Levenshtein, costing
 dynamic programming plus heuristics to skip implausible comparisons are used
 instead (Sections III-A and VI-B).
 
-We implement Sellers' algorithm: the standard edit-distance DP in which the
-first row is initialised to zero, so a match may *begin* at any position of
-the text for free, and the minimum over the final row allows it to *end*
-anywhere.  This yields the substring distance in ``O(n * m)`` time and
-``O(n)`` memory.  Start positions are recovered with a parallel
-start-tracking row, avoiding a quadratic traceback.
+Two interchangeable matching cores sit behind :func:`best_substring_match`:
 
-Heuristics applied before the DP (the "skip implausible comparisons" of the
-paper):
+- ``dp`` -- Sellers' algorithm: the standard edit-distance DP in which the
+  first row is initialised to zero, so a match may *begin* at any position
+  of the text for free, and the minimum over the final row allows it to
+  *end* anywhere.  ``O(n * m)`` time, ``O(n)`` memory; start positions are
+  recovered with a parallel start-tracking row, avoiding a quadratic
+  traceback.  Retained as the differential-testing oracle.
+- ``bitparallel`` -- Myers' bit-parallel scan
+  (:mod:`repro.matching.bitparallel`) computing the same last-row values in
+  ``O(ceil(n / w) * m)`` word operations, then recovering the exact
+  ``(start, end)`` span -- including the DP's tie-breaks -- by re-running
+  the start-tracking DP over a bounded window ``O(n)`` wide around each
+  candidate end column.  The default on the NTI hot path (``matcher="auto"``
+  picks it for all but tiny patterns, where the plain DP's lower constant
+  wins).
+
+Both cores return byte-identical :class:`SubstringMatch` results; the
+property-based suite enforces the equivalence.
+
+Heuristics applied before either core (the "skip implausible comparisons"
+of the paper):
 
 - an input longer than the query plus the distance budget cannot match;
 - an exact ``str.find`` hit short-circuits to distance zero;
 - a character-frequency lower bound prunes inputs that share too few
-  characters with the query to possibly fall under the budget.
+  characters with the query to possibly fall under the budget;
+- a q-gram (bigram) lower bound catches the rest of the implausible pairs.
+
+The frequency/bigram tables of the last two heuristics depend only on the
+*text*; :class:`TextProfile` precomputes them once so NTI can reuse them
+across every candidate input of a request (and cache them across requests).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["SubstringMatch", "best_substring_match", "substring_distance"]
+from .bitparallel import build_peq, recover_start, substring_scan
+
+__all__ = [
+    "MATCHER_CHOICES",
+    "AUTO_BITPARALLEL_MIN_PATTERN",
+    "SubstringMatch",
+    "TextProfile",
+    "best_substring_match",
+    "resolve_matcher",
+    "substring_distance",
+]
+
+#: Accepted values for the ``matcher`` selector (also mirrored by
+#: :class:`repro.nti.inference.NTIConfig`).
+MATCHER_CHOICES = ("auto", "dp", "bitparallel")
+
+#: ``matcher="auto"`` uses the plain DP below this pattern length: for a
+#: handful of pattern characters the DP's inner loop is shorter than the
+#: fixed ~10 big-int operations Myers' scan spends per text column.
+AUTO_BITPARALLEL_MIN_PATTERN = 8
 
 
 @dataclass(frozen=True)
@@ -52,57 +89,107 @@ class SubstringMatch:
         return self.end - self.start
 
 
-def _char_budget_bound(pattern: str, text: str) -> int:
-    """Lower bound on the substring distance from character multiplicities.
+class TextProfile:
+    """Per-text pruning tables for the pre-DP heuristics.
 
-    Every pattern character missing from the text (counting multiplicity)
-    requires at least one edit.  Cheap ``O(n + m)`` pruning pass.
+    Building the character-frequency and bigram multisets costs ``O(m)``
+    over the text; NTI matches *every* candidate input of a request against
+    the *same* intercepted query, so the tables are computed once per query
+    (and cached across requests by the engine) instead of once per
+    ``(input, query)`` pair.
     """
-    counts: dict[str, int] = {}
-    for ch in text:
-        counts[ch] = counts.get(ch, 0) + 1
-    missing = 0
-    for ch in pattern:
-        remaining = counts.get(ch, 0)
-        if remaining:
-            counts[ch] = remaining - 1
-        else:
-            missing += 1
-    return missing
+
+    __slots__ = ("text", "_chars", "_bigrams")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        chars: dict[str, int] = {}
+        for ch in text:
+            chars[ch] = chars.get(ch, 0) + 1
+        self._chars = chars
+        bigrams: dict[str, int] = {}
+        for i in range(len(text) - 1):
+            gram = text[i : i + 2]
+            bigrams[gram] = bigrams.get(gram, 0) + 1
+        self._bigrams = bigrams
+
+    def char_bound(self, pattern: str) -> int:
+        """Lower bound on the substring distance from character multiplicities.
+
+        Every pattern character missing from the text (counting
+        multiplicity) requires at least one edit.  ``O(n)`` given the
+        precomputed table.
+        """
+        needed: dict[str, int] = {}
+        for ch in pattern:
+            needed[ch] = needed.get(ch, 0) + 1
+        available = self._chars
+        missing = 0
+        for ch, count in needed.items():
+            have = available.get(ch, 0)
+            if count > have:
+                missing += count - have
+        return missing
+
+    def bigram_bound(self, pattern: str) -> int:
+        """q-gram lower bound (q=2) on the substring distance.
+
+        By the q-gram lemma, one edit destroys at most ``q`` of the
+        pattern's q-grams, so ``distance >= missing_bigrams / 2`` where
+        missing counts the multiset of pattern bigrams absent from the
+        text.  The text's bigram multiset over-approximates every
+        substring's, keeping the bound valid for substring matching.  This
+        is the decisive pruning pass for NTI: a benign comment body shares
+        almost no bigrams with an UPDATE statement, so the matching core is
+        skipped entirely.
+        """
+        if len(pattern) < 2:
+            return 0
+        needed: dict[str, int] = {}
+        for i in range(len(pattern) - 1):
+            gram = pattern[i : i + 2]
+            needed[gram] = needed.get(gram, 0) + 1
+        available = self._bigrams
+        missing = 0
+        for gram, count in needed.items():
+            have = available.get(gram, 0)
+            if count > have:
+                missing += count - have
+        return missing // 2
+
+
+def _char_budget_bound(pattern: str, text: str) -> int:
+    """Ad-hoc character-frequency bound (builds a throwaway profile)."""
+    return TextProfile(text).char_bound(pattern)
 
 
 def _bigram_bound(pattern: str, text: str) -> int:
-    """q-gram lower bound (q=2) on the substring distance.
+    """Ad-hoc bigram bound (builds a throwaway profile)."""
+    return TextProfile(text).bigram_bound(pattern)
 
-    By the q-gram lemma, one edit destroys at most ``q`` of the pattern's
-    q-grams, so ``distance >= missing_bigrams / 2`` where missing counts the
-    multiset of pattern bigrams absent from the text.  The text's bigram set
-    over-approximates every substring's, keeping the bound valid for
-    substring matching.  This is the decisive pruning pass for NTI: a benign
-    comment body shares almost no bigrams with an UPDATE statement, so the
-    quadratic DP is skipped entirely.
-    """
-    if len(pattern) < 2:
-        return 0
-    counts: dict[str, int] = {}
-    for i in range(len(text) - 1):
-        gram = text[i : i + 2]
-        counts[gram] = counts.get(gram, 0) + 1
-    missing = 0
-    for i in range(len(pattern) - 1):
-        gram = pattern[i : i + 2]
-        remaining = counts.get(gram, 0)
-        if remaining:
-            counts[gram] = remaining - 1
-        else:
-            missing += 1
-    return missing // 2
+
+def resolve_matcher(matcher: str, pattern_length: int) -> str:
+    """Resolve a matcher selector to a concrete core (``dp``/``bitparallel``)."""
+    if matcher == "auto":
+        return (
+            "bitparallel"
+            if pattern_length >= AUTO_BITPARALLEL_MIN_PATTERN
+            else "dp"
+        )
+    if matcher not in MATCHER_CHOICES:
+        raise ValueError(
+            f"unknown matcher {matcher!r}; expected one of {MATCHER_CHOICES}"
+        )
+    return matcher
 
 
 def best_substring_match(
     pattern: str,
     text: str,
     max_distance: int | None = None,
+    *,
+    matcher: str = "auto",
+    profile: TextProfile | None = None,
 ) -> SubstringMatch | None:
     """Find the best approximate occurrence of ``pattern`` within ``text``.
 
@@ -112,6 +199,12 @@ def best_substring_match(
         max_distance: optional pruning budget; when given, ``None`` is
             returned as soon as it can be proven that no substring of
             ``text`` is within ``max_distance`` edits of ``pattern``.
+        matcher: matching core selector -- ``"auto"`` (default; bit-parallel
+            except for tiny patterns), ``"dp"`` (Sellers DP oracle) or
+            ``"bitparallel"`` (Myers).  All cores return identical results.
+        profile: optional precomputed :class:`TextProfile` for ``text``
+            (must satisfy ``profile.text == text``); avoids rebuilding the
+            pruning tables when many patterns are matched against one text.
 
     Returns:
         The :class:`SubstringMatch` with minimal distance (ties broken by
@@ -124,7 +217,7 @@ def best_substring_match(
     if n == 0:
         return SubstringMatch(0, 0, 0)
 
-    # Heuristic 1: exact containment short-circuits the DP entirely.
+    # Heuristic 1: exact containment short-circuits the matching core.
     idx = text.find(pattern)
     if idx >= 0:
         return SubstringMatch(0, idx, idx + n)
@@ -133,11 +226,12 @@ def best_substring_match(
         # Heuristic 2: a pattern much longer than the text cannot fit.
         if n - m > max_distance:
             return None
+        tables = profile if profile is not None else TextProfile(text)
         # Heuristic 3: character-frequency lower bound.
-        if _char_budget_bound(pattern, text) > max_distance:
+        if tables.char_bound(pattern) > max_distance:
             return None
         # Heuristic 4: q-gram lower bound (tighter, slightly costlier).
-        if _bigram_bound(pattern, text) > max_distance:
+        if tables.bigram_bound(pattern) > max_distance:
             return None
 
     if m == 0:
@@ -145,9 +239,27 @@ def best_substring_match(
             return None
         return SubstringMatch(n, 0, 0)
 
-    # Sellers DP over columns of the text.  dist[i] = best edit distance
-    # between pattern[:i] and some substring of text ending at the current
-    # column; start[i] = start offset of that substring.
+    if resolve_matcher(matcher, n) == "bitparallel":
+        return _bitparallel_best_match(pattern, text, max_distance)
+    return _dp_best_match(pattern, text, max_distance)
+
+
+# ----------------------------------------------------------------------
+# Sellers DP core (differential-testing oracle)
+# ----------------------------------------------------------------------
+
+
+def _dp_best_match(
+    pattern: str, text: str, max_distance: int | None
+) -> SubstringMatch | None:
+    """Sellers DP over columns of the text with parallel start tracking.
+
+    ``dist[i]`` = best edit distance between ``pattern[:i]`` and some
+    substring of ``text`` ending at the current column; ``starts[i]`` =
+    start offset of that substring.
+    """
+    n = len(pattern)
+    m = len(text)
     dist = list(range(n + 1))
     starts = [0] * (n + 1)
     best = SubstringMatch(dist[n], 0, 0)
@@ -183,8 +295,71 @@ def best_substring_match(
     return best
 
 
-def substring_distance(pattern: str, text: str) -> int:
+# ----------------------------------------------------------------------
+# Bit-parallel core with bounded-window start recovery
+# ----------------------------------------------------------------------
+
+
+def _bitparallel_best_match(
+    pattern: str, text: str, max_distance: int | None
+) -> SubstringMatch | None:
+    """Myers' scan for the distances, bit-parallel walk-back for the spans.
+
+    The scan yields the exact last-row minimum ``d*`` and every end column
+    achieving it.  The DP oracle's winning span is the earliest candidate
+    column attaining the maximal match length, so each candidate's
+    ``start`` is recovered -- tie-breaks included -- with
+    :func:`repro.matching.bitparallel.recover_start`, a bounded-window
+    re-scan plus argmin walk-back costing ``O((n + d*) * ceil(n / w))``
+    word operations per candidate.
+
+    Should the tie landscape degenerate (so many candidate columns that
+    recovering them all would cost more than the plain DP), the core falls
+    back to the oracle wholesale, bounding the worst case at DP cost.
+    """
+    n = len(pattern)
+    m = len(text)
+    peq = build_peq(pattern)
+    scan = substring_scan(pattern, text, max_distance, peq=peq)
+    if scan is None:
+        return None
+    d_star, candidates = scan
+    # Mirror the DP's early return at the first zero-distance column.  (The
+    # front-end's exact-containment check makes this unreachable there, but
+    # the core keeps the oracle's semantics on its own.)
+    if d_star == 0:
+        candidates = candidates[:1]
+    if d_star >= n:
+        # Column 0 (empty substring at offset 0) ties d* = n; it is the
+        # DP's initial best and only improved upon by a strictly longer
+        # match of equal distance.
+        best_start, best_end, best_len = 0, 0, 0
+    else:
+        best_start = best_end = -1
+        best_len = -1
+    window_span = n + d_star + 1
+    max_len = n + d_star  # no optimal span can be longer
+    # Each recovery costs about a window's worth of scan columns; the DP
+    # costs m interpreter-level rows, worth roughly 32 scan columns each.
+    # On a degenerate tie landscape a single oracle run is cheaper.
+    if len(candidates) > 1 and len(candidates) * min(window_span, m) > 32 * m:
+        return _dp_best_match(pattern, text, max_distance)
+    for j in candidates:
+        start_j = recover_start(pattern, text, j, d_star, peq=peq)
+        length = j - start_j
+        if length > best_len:
+            best_len = length
+            best_start, best_end = start_j, j
+            if best_len >= max_len:
+                break  # no later candidate can be strictly longer
+    best = SubstringMatch(d_star, best_start, best_end)
+    if max_distance is not None and best.distance > max_distance:
+        return None
+    return best
+
+
+def substring_distance(pattern: str, text: str, *, matcher: str = "auto") -> int:
     """Minimum edit distance between ``pattern`` and any substring of ``text``."""
-    match = best_substring_match(pattern, text)
+    match = best_substring_match(pattern, text, matcher=matcher)
     assert match is not None  # no budget given, so never pruned
     return match.distance

@@ -1,6 +1,13 @@
 """Negative taint inference component (paper Section III-A)."""
 
+from .cache import NTIMatchCache, TextProfileCache
 from .inference import NTIAnalyzer, NTIConfig
 from .sources import candidate_inputs
 
-__all__ = ["NTIAnalyzer", "NTIConfig", "candidate_inputs"]
+__all__ = [
+    "NTIAnalyzer",
+    "NTIConfig",
+    "NTIMatchCache",
+    "TextProfileCache",
+    "candidate_inputs",
+]

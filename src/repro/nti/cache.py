@@ -1,0 +1,112 @@
+"""NTI match caches, mirroring the PTI query cache (paper Section IV-C.2).
+
+The PTI side caches *query -> verdict* because "many queries of a web
+application are constant".  The NTI side has the symmetric property: the
+same handful of input values (search terms, comment bodies, IDs) recurs
+against the same handful of query shapes, so the ``(input value, query)``
+pair -- the entire key of a substring-match computation -- repeats heavily
+across requests.  Two caches exploit this:
+
+- :class:`NTIMatchCache` -- bounded LRU from ``(input value, query string)``
+  to the :class:`~repro.matching.ratio.RatioMatch` (or ``None`` for a
+  proven non-match).  Soundness: the match result is a pure function of the
+  pair plus the analyzer's threshold and matcher choice, both fixed for the
+  analyzer owning the cache (all matcher variants are exact-equivalent);
+  ``RatioMatch``/``SubstringMatch`` are frozen, so sharing one instance
+  across requests is safe.  Negative results are cached too -- benign
+  traffic is the common case, and a cached "no match" skips the whole
+  pruning-plus-scan pipeline.
+- :class:`TextProfileCache` -- bounded LRU from query string to its
+  :class:`~repro.matching.substring.TextProfile` (character-frequency and
+  bigram pruning tables).  Within one request the profile is reused across
+  every candidate input; across requests it is reused whenever the same
+  query text recurs.
+
+Hit/miss accounting reuses :class:`repro.pti.caches.CacheStats` so the
+bench reporting layer can surface NTI and PTI cache behaviour uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from ..matching.ratio import RatioMatch
+from ..matching.substring import TextProfile
+from ..pti.caches import CacheStats
+
+__all__ = ["NTIMatchCache", "TextProfileCache"]
+
+#: Distinguishes "not cached" from a cached negative (``None``) result.
+_MISSING = object()
+
+
+class _KeyedLRUCache:
+    """Bounded LRU over arbitrary hashable keys with hit/miss accounting.
+
+    The PTI :class:`~repro.pti.caches._LRUCache` maps plain strings and
+    conflates "absent" with "cached None"; NTI caches need tuple keys and
+    cached negatives, hence the sentinel-based protocol here.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    def lookup(self, key: Hashable) -> object:
+        """Return the cached payload or the module sentinel on a miss."""
+        store = self._store
+        if key in store:
+            store.move_to_end(key)
+            self.stats.hits += 1
+            return store[key]
+        self.stats.misses += 1
+        return _MISSING
+
+    def store(self, key: Hashable, value: object) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class NTIMatchCache(_KeyedLRUCache):
+    """Cross-request LRU: ``(input value, query)`` -> match result.
+
+    ``get`` returns ``(hit, result)`` so a cached ``None`` (proven
+    non-match) is distinguishable from a cache miss.
+    """
+
+    def get(self, value: str, query: str) -> tuple[bool, RatioMatch | None]:
+        cached = self.lookup((value, query))
+        if cached is _MISSING:
+            return False, None
+        return True, cached  # type: ignore[return-value]
+
+    def put(self, value: str, query: str, result: RatioMatch | None) -> None:
+        self.store((value, query), result)
+
+
+class TextProfileCache(_KeyedLRUCache):
+    """Cross-request LRU: query string -> :class:`TextProfile`.
+
+    ``get_or_build`` never returns a miss -- it builds and caches the
+    profile on demand (the build itself is what the cache amortises).
+    """
+
+    def get_or_build(self, query: str) -> TextProfile:
+        cached = self.lookup(query)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+        profile = TextProfile(query)
+        self.store(query, profile)
+        return profile

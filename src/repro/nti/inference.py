@@ -19,6 +19,17 @@ false-positive guards come straight from the paper:
   one-letter inputs ``O`` and ``R`` would taint every ``OR``);
 - a match only counts if it covers "at least one whole SQL token", so an
   input like ``1`` matching the data position of ``WHERE ID=1`` is benign.
+
+Performance structure (the per-request hot path of the whole system):
+
+- the matching core is selectable (:attr:`NTIConfig.matcher`): Myers'
+  bit-parallel scan by default, the Sellers DP as oracle;
+- the query's pruning tables (:class:`~repro.matching.substring.TextProfile`)
+  are built once per query and shared across every candidate input (and
+  cached across requests);
+- a cross-request LRU (:class:`~repro.nti.cache.NTIMatchCache`) memoises
+  the full ``(input value, query) -> match`` computation, the NTI analogue
+  of the PTI query cache.
 """
 
 from __future__ import annotations
@@ -26,10 +37,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.verdict import AnalysisResult, Detection, TaintMarking, Technique
-from ..matching.ratio import DEFAULT_NTI_THRESHOLD, match_with_ratio
+from ..matching.ratio import DEFAULT_NTI_THRESHOLD, RatioMatch, match_with_ratio
+from ..matching.substring import MATCHER_CHOICES, TextProfile
 from ..phpapp.context import RequestContext
 from ..sqlparser.parser import critical_tokens
 from ..sqlparser.tokens import Token
+from .cache import NTIMatchCache, TextProfileCache
 from .sources import candidate_inputs
 
 __all__ = ["NTIConfig", "NTIAnalyzer"]
@@ -46,17 +59,95 @@ class NTIConfig:
         min_input_length: inputs shorter than this are never matched.  The
             default of 1 relies purely on the whole-token rule, as the
             paper does.
+        matcher: matching-core selector -- ``"auto"`` (bit-parallel except
+            for tiny inputs), ``"dp"`` (Sellers oracle) or
+            ``"bitparallel"``.  All produce identical matches; the knob
+            exists for the matcher ablation and differential testing.
+        match_cache_size: capacity of the cross-request ``(input, query)``
+            match LRU; ``0`` disables it (the cache ablation setting).
+        profile_cache_size: capacity of the query -> pruning-tables LRU;
+            ``0`` disables cross-request reuse (tables are still shared
+            across the inputs of one query).
     """
 
     threshold: float = DEFAULT_NTI_THRESHOLD
     min_input_length: int = 1
+    matcher: str = "auto"
+    match_cache_size: int = 4096
+    profile_cache_size: int = 512
+
+    def __post_init__(self) -> None:
+        if self.matcher not in MATCHER_CHOICES:
+            raise ValueError(
+                f"unknown matcher {self.matcher!r}; "
+                f"expected one of {MATCHER_CHOICES}"
+            )
 
 
 class NTIAnalyzer:
-    """Stateless analyzer: correlate raw inputs with an intercepted query."""
+    """Correlate raw inputs with an intercepted query.
+
+    Verdict-wise stateless (every ``analyze`` call is a pure function of
+    query and context); operationally it owns the two NTI caches, which are
+    sound because a match result depends only on the ``(input, query)``
+    pair and the analyzer's fixed threshold/matcher configuration.
+    """
 
     def __init__(self, config: NTIConfig | None = None) -> None:
         self.config = config or NTIConfig()
+        self.match_cache: NTIMatchCache | None = (
+            NTIMatchCache(self.config.match_cache_size)
+            if self.config.match_cache_size > 0
+            else None
+        )
+        self.profile_cache: TextProfileCache | None = (
+            TextProfileCache(self.config.profile_cache_size)
+            if self.config.profile_cache_size > 0
+            else None
+        )
+
+    def cache_stats(self) -> dict[str, dict[str, float]]:
+        """Hit/miss counters of both NTI caches (bench reporting hook)."""
+        out: dict[str, dict[str, float]] = {}
+        for name, cache in (
+            ("match", self.match_cache),
+            ("profile", self.profile_cache),
+        ):
+            if cache is not None:
+                out[name] = {
+                    "hits": cache.stats.hits,
+                    "misses": cache.stats.misses,
+                    "hit_rate": cache.stats.hit_rate,
+                    "entries": len(cache),
+                }
+        return out
+
+    def _profile_for(self, query: str, holder: list) -> TextProfile:
+        """Lazily build/fetch the query's pruning tables (once per query)."""
+        if holder[0] is None:
+            if self.profile_cache is not None:
+                holder[0] = self.profile_cache.get_or_build(query)
+            else:
+                holder[0] = TextProfile(query)
+        return holder[0]
+
+    def _match(self, value: str, query: str, holder: list) -> RatioMatch | None:
+        """One memoised substring-match computation."""
+        cache = self.match_cache
+        if cache is not None:
+            hit, cached = cache.get(value, query)
+            if hit:
+                return cached
+        result = match_with_ratio(
+            value,
+            query,
+            self.config.threshold,
+            matcher=self.config.matcher,
+            profile=self._profile_for(query, holder),
+        )
+        if cache is not None:
+            cache.put(value, query, result)
+        return result
 
     def analyze(
         self,
@@ -77,10 +168,14 @@ class NTIAnalyzer:
         crit = tokens if tokens is not None else critical_tokens(query)
         markings: list[TaintMarking] = []
         detections: list[Detection] = []
+        # Pruning tables depend only on the query: built (or fetched from
+        # the cross-request cache) at most once per analyze call, lazily on
+        # the first match-cache miss, then shared across all inputs.
+        profile_holder: list = [None]
         for value in candidate_inputs(context, query, self.config.threshold):
             if len(value) < self.config.min_input_length:
                 continue
-            matched = match_with_ratio(value, query, self.config.threshold)
+            matched = self._match(value, query, profile_holder)
             if matched is None:
                 continue
             marking = TaintMarking(

@@ -86,6 +86,9 @@ class FragmentStore:
         self._seen: set[str] = set()
         # lowercased critical-token text -> indexes of fragments containing it
         self._index: dict[str, list[int]] = {}
+        # memoised immutable snapshot served by the ``fragments`` property;
+        # invalidated on insertion.
+        self._snapshot: tuple[str, ...] | None = None
         self.add_many(fragments)
 
     # ------------------------------------------------------------------
@@ -105,6 +108,7 @@ class FragmentStore:
         if not fragment or fragment in self._seen:
             return
         self._seen.add(fragment)
+        self._snapshot = None
         index = len(self._fragments)
         self._fragments.append(fragment)
         for key in fragment_index_keys(fragment):
@@ -128,10 +132,20 @@ class FragmentStore:
         return iter(self._fragments)
 
     @property
-    def fragments(self) -> list[str]:
-        """All fragments, in insertion order (copy; use :meth:`iter_all`
-        on hot paths)."""
-        return list(self._fragments)
+    def fragments(self) -> tuple[str, ...]:
+        """All fragments, in insertion order.
+
+        Served as a memoised immutable snapshot: the previous
+        implementation copied the whole list on *every* access, which bench
+        and evaluation code paths hit per request.  The tuple is rebuilt
+        only after an insertion invalidates it; iteration-only hot paths
+        should still prefer :meth:`iter_all`, which never materialises
+        anything.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = self._snapshot = tuple(self._fragments)
+        return snapshot
 
     def iter_all(self):
         """Iterate all fragments without copying (hot path)."""

@@ -1,0 +1,151 @@
+"""Property tests: the bit-parallel cores against their DP oracles.
+
+The DP implementations (``levenshtein_two_row``, the Sellers matcher behind
+``matcher="dp"``) are retained precisely to serve as differential-testing
+oracles for Myers' bit-parallel scan.  These properties pin the equivalence:
+
+- distances and full ``SubstringMatch`` spans (start *and* end, i.e. the
+  DP's tie-breaks) are byte-identical;
+- pattern lengths straddling the 64-bit block boundary get dedicated
+  coverage -- in CPython the "blocks" are big-int limbs, and off-by-one
+  masking bugs live exactly at width 63..65 / 127..129;
+- budget-pruned calls never return a result the unpruned call would beat.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import (
+    best_substring_match,
+    levenshtein_banded,
+    levenshtein_bitparallel,
+    levenshtein_two_row,
+    substring_distance,
+    substring_scan,
+)
+
+ascii_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=32
+)
+unicode_text = st.text(max_size=32)
+#: Small alphabet: forces near-matches so spans/tie-breaks get exercised.
+dense_text = st.text(alphabet="abX ", max_size=48)
+#: Pattern lengths straddling the 64-bit word / big-int limb boundaries.
+boundary_length = st.one_of(
+    st.integers(min_value=58, max_value=70),
+    st.integers(min_value=122, max_value=134),
+)
+
+
+# ----------------------------------------------------------------------
+# Global Levenshtein
+# ----------------------------------------------------------------------
+
+
+@given(ascii_text, ascii_text)
+def test_bitparallel_levenshtein_equals_dp(a, b):
+    assert levenshtein_bitparallel(a, b) == levenshtein_two_row(a, b)
+
+
+@given(unicode_text, unicode_text)
+@settings(max_examples=60)
+def test_bitparallel_levenshtein_unicode(a, b):
+    assert levenshtein_bitparallel(a, b) == levenshtein_two_row(a, b)
+
+
+@given(ascii_text, ascii_text, st.integers(min_value=0, max_value=8))
+def test_bitparallel_levenshtein_budget_contract(a, b, budget):
+    """Budgeted call: exact distance within budget, ``budget + 1`` beyond.
+
+    Same contract as ``levenshtein_banded`` -- a pruned call never hides a
+    distance the unpruned call would report as within budget.
+    """
+    exact = levenshtein_two_row(a, b)
+    got = levenshtein_bitparallel(a, b, budget)
+    assert got == (exact if exact <= budget else budget + 1)
+    assert got == levenshtein_banded(a, b, budget)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_bitparallel_levenshtein_block_boundary(data):
+    m = data.draw(boundary_length)
+    a = data.draw(st.text(alphabet="abX", min_size=m, max_size=m))
+    b = data.draw(st.text(alphabet="abX ", max_size=160))
+    assert levenshtein_bitparallel(a, b) == levenshtein_two_row(a, b)
+
+
+# ----------------------------------------------------------------------
+# Substring matching
+# ----------------------------------------------------------------------
+
+
+@given(dense_text, dense_text)
+@settings(max_examples=120)
+def test_bitparallel_substring_match_equals_dp(pattern, text):
+    """Full span equality: distance, start and end -- tie-breaks included."""
+    assert best_substring_match(
+        pattern, text, matcher="bitparallel"
+    ) == best_substring_match(pattern, text, matcher="dp")
+
+
+@given(unicode_text, unicode_text)
+@settings(max_examples=60)
+def test_bitparallel_substring_match_unicode(pattern, text):
+    assert best_substring_match(
+        pattern, text, matcher="bitparallel"
+    ) == best_substring_match(pattern, text, matcher="dp")
+
+
+@given(dense_text, dense_text)
+@settings(max_examples=60)
+def test_auto_matcher_equals_dp(pattern, text):
+    """The production dispatch (``auto``) never changes the answer."""
+    assert best_substring_match(
+        pattern, text, matcher="auto"
+    ) == best_substring_match(pattern, text, matcher="dp")
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_bitparallel_substring_block_boundary(data):
+    m = data.draw(boundary_length)
+    pattern = data.draw(st.text(alphabet="abX", min_size=m, max_size=m))
+    text = data.draw(st.text(alphabet="abX ", max_size=200))
+    assert best_substring_match(
+        pattern, text, matcher="bitparallel"
+    ) == best_substring_match(pattern, text, matcher="dp")
+
+
+@given(dense_text, dense_text, st.integers(min_value=0, max_value=10))
+@settings(max_examples=120)
+def test_budget_pruning_never_beats_unpruned(pattern, text, budget):
+    """A pruned call never returns a result the unpruned call would beat.
+
+    If the budgeted bit-parallel call produces a match, it is exactly the
+    unpruned optimum (and within budget); if it prunes, the unpruned
+    optimum genuinely exceeds the budget.
+    """
+    unpruned = best_substring_match(pattern, text, matcher="bitparallel")
+    pruned = best_substring_match(
+        pattern, text, max_distance=budget, matcher="bitparallel"
+    )
+    if pruned is None:
+        assert unpruned.distance > budget
+    else:
+        assert pruned == unpruned
+        assert pruned.distance <= budget
+
+
+@given(dense_text, dense_text)
+@settings(max_examples=80)
+def test_substring_scan_minimum_is_substring_distance(pattern, text):
+    d_star, columns = substring_scan(pattern, text)
+    assert d_star == substring_distance(pattern, text, matcher="dp")
+    assert columns == sorted(set(columns))  # ascending, duplicate-free
+    # Every reported end column attains the minimum against some substring.
+    for j in columns[:4]:
+        best_ending_at_j = min(
+            levenshtein_two_row(pattern, text[s:j]) for s in range(j + 1)
+        )
+        assert best_ending_at_j == d_star

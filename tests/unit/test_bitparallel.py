@@ -1,0 +1,163 @@
+"""Unit tests for the Myers bit-parallel matching core."""
+
+import pytest
+
+from repro.matching import (
+    best_substring_match,
+    build_peq,
+    levenshtein_bitparallel,
+    levenshtein_two_row,
+    resolve_matcher,
+    substring_scan,
+)
+from repro.matching.bitparallel import recover_start
+from repro.matching.substring import AUTO_BITPARALLEL_MIN_PATTERN
+
+
+# ----------------------------------------------------------------------
+# build_peq
+# ----------------------------------------------------------------------
+
+
+def test_build_peq_bit_positions():
+    peq = build_peq("aba")
+    assert peq["a"] == 0b101
+    assert peq["b"] == 0b010
+    assert "c" not in peq
+
+
+def test_build_peq_empty_pattern():
+    assert build_peq("") == {}
+
+
+# ----------------------------------------------------------------------
+# Global Levenshtein
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "a,b,expected",
+    [
+        ("", "", 0),
+        ("", "abc", 3),
+        ("abc", "", 3),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("abc", "abc", 0),
+        ("ab" * 40, "ba" * 40, 2),  # 80 chars: crosses the 64-bit boundary
+    ],
+)
+def test_levenshtein_known_cases(a, b, expected):
+    assert levenshtein_bitparallel(a, b) == expected
+
+
+def test_levenshtein_budget_contract():
+    assert levenshtein_bitparallel("kitten", "sitting", 3) == 3
+    assert levenshtein_bitparallel("kitten", "sitting", 2) == 3  # budget + 1
+    assert levenshtein_bitparallel("", "abcd", 2) == 3
+    with pytest.raises(ValueError):
+        levenshtein_bitparallel("a", "b", -1)
+
+
+def test_levenshtein_block_boundary_lengths():
+    for m in (63, 64, 65, 127, 128, 129):
+        a = "a" * m
+        b = "a" * (m - 1) + "b"
+        assert levenshtein_bitparallel(a, b) == 1
+        assert levenshtein_bitparallel(a, "b" * m) == m
+
+
+def test_levenshtein_unicode():
+    assert levenshtein_bitparallel("café", "cafe") == 1
+    assert levenshtein_bitparallel("日本語", "日本") == 1
+
+
+def test_levenshtein_explicit_peq_skips_operand_swap():
+    a, b = "longer operand", "short"
+    peq = build_peq(a)
+    assert levenshtein_bitparallel(a, b, peq=peq) == levenshtein_two_row(a, b)
+
+
+# ----------------------------------------------------------------------
+# Substring scan + start recovery
+# ----------------------------------------------------------------------
+
+
+def test_substring_scan_exact_hit():
+    d, columns = substring_scan("ION", "UNION SELECT")
+    assert d == 0
+    assert columns == [5]  # "UNION"[2:5] ends at text offset 5
+
+
+def test_substring_scan_reports_all_minimal_columns():
+    d, columns = substring_scan("ab", "ab ab")
+    assert d == 0
+    assert columns == [2, 5]
+
+
+def test_substring_scan_empty_pattern():
+    assert substring_scan("", "anything") == (0, [0])
+
+
+def test_substring_scan_budget_prunes():
+    assert substring_scan("abcdef", "xyz", 1) is None
+    assert substring_scan("abcdef", "xyz", 6) is not None
+
+
+def test_recover_start_matches_dp_span():
+    pattern = "UNION SELECT"
+    text = "id=1 UNIONSELECT * FROM t"
+    dp = best_substring_match(pattern, text, matcher="dp")
+    scan = substring_scan(pattern, text)
+    assert scan is not None
+    d, columns = scan
+    assert d == dp.distance
+    assert dp.end in columns
+    assert recover_start(pattern, text, dp.end, d) == dp.start
+
+
+def test_best_substring_match_matchers_agree():
+    cases = [
+        ("ION", "UNION SELECT"),
+        ("' OR '1'='1", "SELECT * FROM users WHERE name='' OR '1'='1'"),
+        ("abc", ""),
+        ("", "abc"),
+        ("a" * 70, "b" * 10 + "a" * 70 + "c" * 10),  # > one 64-bit block
+    ]
+    for pattern, text in cases:
+        dp = best_substring_match(pattern, text, matcher="dp")
+        bp = best_substring_match(pattern, text, matcher="bitparallel")
+        auto = best_substring_match(pattern, text, matcher="auto")
+        assert dp == bp == auto
+
+
+def test_best_substring_match_budget_agreement():
+    pattern, text = "hello world", "xxhelo wrldxx"
+    for budget in range(0, 6):
+        assert best_substring_match(
+            pattern, text, budget, matcher="bitparallel"
+        ) == best_substring_match(pattern, text, budget, matcher="dp")
+
+
+# ----------------------------------------------------------------------
+# Matcher selection
+# ----------------------------------------------------------------------
+
+
+def test_resolve_matcher_auto_dispatch():
+    assert resolve_matcher("dp", 100) == "dp"
+    assert resolve_matcher("bitparallel", 1) == "bitparallel"
+    assert (
+        resolve_matcher("auto", AUTO_BITPARALLEL_MIN_PATTERN) == "bitparallel"
+    )
+    assert resolve_matcher("auto", AUTO_BITPARALLEL_MIN_PATTERN - 1) == "dp"
+
+
+def test_resolve_matcher_rejects_unknown():
+    with pytest.raises(ValueError):
+        resolve_matcher("simd", 10)
+
+
+def test_best_substring_match_rejects_unknown_matcher():
+    with pytest.raises(ValueError):
+        best_substring_match("a", "b", matcher="nope")

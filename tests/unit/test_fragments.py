@@ -16,7 +16,17 @@ def test_empty_fragment_ignored():
 
 def test_insertion_order_preserved():
     store = FragmentStore(["b SELECT", "a SELECT"])
-    assert store.fragments == ["b SELECT", "a SELECT"]
+    assert store.fragments == ("b SELECT", "a SELECT")
+
+
+def test_fragments_snapshot_memoised_and_invalidated():
+    store = FragmentStore(["a"])
+    first = store.fragments
+    assert first is store.fragments  # memoised: no per-access copy
+    store.add("b")
+    second = store.fragments
+    assert second == ("a", "b")
+    assert first == ("a",)  # old snapshot unaffected by insertion
 
 
 def test_contains_and_iter():

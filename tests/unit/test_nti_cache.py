@@ -1,0 +1,152 @@
+"""Unit tests for the NTI match/profile caches and their analyzer wiring."""
+
+import pytest
+
+from repro.matching.substring import TextProfile
+from repro.nti import NTIAnalyzer, NTIConfig, NTIMatchCache, TextProfileCache
+from repro.phpapp.context import CapturedInput, RequestContext
+
+
+def ctx(*values, source="get"):
+    return RequestContext(
+        inputs=[CapturedInput(source, f"p{i}", v) for i, v in enumerate(values)]
+    )
+
+
+# ----------------------------------------------------------------------
+# NTIMatchCache
+# ----------------------------------------------------------------------
+
+
+def test_match_cache_miss_then_hit():
+    cache = NTIMatchCache(capacity=8)
+    hit, result = cache.get("input", "query")
+    assert not hit and result is None
+    cache.put("input", "query", "match-object")
+    hit, result = cache.get("input", "query")
+    assert hit and result == "match-object"
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_match_cache_distinguishes_cached_none_from_miss():
+    cache = NTIMatchCache(capacity=8)
+    cache.put("benign", "query", None)  # proven non-match
+    hit, result = cache.get("benign", "query")
+    assert hit is True and result is None
+
+
+def test_match_cache_keys_on_both_value_and_query():
+    cache = NTIMatchCache(capacity=8)
+    cache.put("v", "q1", "r1")
+    assert cache.get("v", "q2") == (False, None)
+    assert cache.get("v", "q1") == (True, "r1")
+
+
+def test_match_cache_lru_eviction():
+    cache = NTIMatchCache(capacity=2)
+    cache.put("a", "q", 1)
+    cache.put("b", "q", 2)
+    cache.get("a", "q")       # refresh a
+    cache.put("c", "q", 3)    # evicts b
+    assert cache.get("b", "q") == (False, None)
+    assert cache.get("a", "q") == (True, 1)
+    assert cache.get("c", "q") == (True, 3)
+    assert len(cache) == 2
+
+
+def test_match_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        NTIMatchCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# TextProfileCache
+# ----------------------------------------------------------------------
+
+
+def test_profile_cache_builds_once_and_reuses():
+    cache = TextProfileCache(capacity=4)
+    first = cache.get_or_build("SELECT 1")
+    second = cache.get_or_build("SELECT 1")
+    assert isinstance(first, TextProfile)
+    assert first is second  # same object: the build was amortised
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_profile_cache_eviction():
+    cache = TextProfileCache(capacity=1)
+    first = cache.get_or_build("q1")
+    cache.get_or_build("q2")  # evicts q1
+    rebuilt = cache.get_or_build("q1")
+    assert rebuilt is not first
+
+
+# ----------------------------------------------------------------------
+# Analyzer wiring
+# ----------------------------------------------------------------------
+
+
+def test_analyzer_caches_enabled_by_default():
+    nti = NTIAnalyzer()
+    assert nti.match_cache is not None
+    assert nti.profile_cache is not None
+
+
+def test_analyzer_caches_disabled_with_zero_sizes():
+    nti = NTIAnalyzer(NTIConfig(match_cache_size=0, profile_cache_size=0))
+    assert nti.match_cache is None
+    assert nti.profile_cache is None
+    # The ablation setting still analyzes correctly.
+    payload = "-1 OR 1=1"
+    assert not nti.analyze(
+        f"SELECT * FROM t WHERE ID={payload}", ctx(payload)
+    ).safe
+    assert nti.cache_stats() == {}
+
+
+def test_repeat_analysis_hits_match_cache():
+    nti = NTIAnalyzer()
+    query = "SELECT * FROM t WHERE ID=1"
+    for __ in range(3):
+        assert nti.analyze(query, ctx("1")).safe
+    stats = nti.cache_stats()
+    assert stats["match"]["hits"] >= 2
+    assert stats["match"]["misses"] >= 1
+    assert 0.0 < stats["match"]["hit_rate"] <= 1.0
+
+
+def test_cached_verdicts_identical_to_uncached():
+    """The cache ablation: verdicts must not depend on cache configuration."""
+    plain = NTIAnalyzer(NTIConfig(match_cache_size=0, profile_cache_size=0))
+    cached = NTIAnalyzer()
+    cases = [
+        ("SELECT * FROM t WHERE ID=1 LIMIT 5", ctx("1")),
+        ("SELECT * FROM t WHERE ID=-1 OR 1=1", ctx("-1 OR 1=1")),
+        ("SELECT 1 UNION SELECT 2", ctx("1 UNI")),
+    ]
+    for __ in range(2):  # second round exercises cache hits
+        for query, context in cases:
+            a = plain.analyze(query, context)
+            b = cached.analyze(query, context)
+            assert a.safe == b.safe
+            assert a.markings == b.markings
+            assert a.detections == b.detections
+
+
+def test_nti_config_rejects_unknown_matcher():
+    with pytest.raises(ValueError):
+        NTIConfig(matcher="simd")
+
+
+def test_engine_surfaces_nti_cache_stats():
+    from repro.core import JozaEngine
+    from repro.phpapp.context import RequestContext
+
+    engine = JozaEngine.from_fragments(["SELECT * FROM t WHERE ID="])
+    context = RequestContext(inputs=[CapturedInput("get", "id", "1")])
+    engine.inspect("SELECT * FROM t WHERE ID=1", context)
+    stats = engine.nti_cache_stats()
+    assert set(stats) == {"match", "profile"}
+    assert '"nti_caches"' in engine.export_attack_log()

@@ -78,6 +78,30 @@ def test_fig8_request_times(benchmark, fig8_data):
                 )
             )
         cache_rates[label] = caches.get("match", {}).get("hit_rate", 0.0)
+    # Degradation counters (DESIGN.md section 7): the failure model's
+    # operator view.  A healthy benchmark run shows zeros on every stream;
+    # anything else means the resilience layer absorbed faults *during the
+    # measurement* and the timing rows above must be read accordingly.
+    resilience_pairs = []
+    degradations = {}
+    for label, (__, protected) in fig8_data.items():
+        report = protected.engine.resilience_report()
+        degradations[label] = (
+            report["deadline_exceeded"]
+            + report["breaker_open"]
+            + report["degraded_verdicts"]
+            + report["failsafe_blocks"]
+        )
+        resilience_pairs.append(
+            (
+                label,
+                f"deadline_exceeded={report['deadline_exceeded']} "
+                f"breaker_open={report['breaker_open']} "
+                f"degraded_verdicts={report['degraded_verdicts']} "
+                f"failsafe_blocks={report['failsafe_blocks']} "
+                f"dropped_records={report['dropped_records']}",
+            )
+        )
     emit(
         "fig8_request_times",
         render_table(
@@ -86,8 +110,15 @@ def test_fig8_request_times(benchmark, fig8_data):
             rows,
         )
         + "\n\n"
-        + render_kv("NTI cache accounting (cross-request LRUs)", cache_pairs),
+        + render_kv("NTI cache accounting (cross-request LRUs)", cache_pairs)
+        + "\n\n"
+        + render_kv(
+            "Resilience / degradation counters (0 = no faults absorbed)",
+            resilience_pairs,
+        ),
     )
+    # Fault-free benchmark environment: the guard must not have degraded.
+    assert all(v == 0 for v in degradations.values()), degradations
     # The match cache must actually fire on the input-heavy write stream:
     # comment texts repeat across requests, so (input, query) pairs recur.
     assert cache_rates["write (comments)"] > 0.0

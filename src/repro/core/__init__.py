@@ -1,7 +1,22 @@
-"""Joza's core: the hybrid taint-inference engine, policies and verdicts."""
+"""Joza's core: the hybrid engine, policies, verdicts and resilience."""
 
 from .engine import AttackRecord, EngineStats, JozaEngine
 from .policy import JozaConfig, RecoveryPolicy
+from .resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CorruptReply,
+    DaemonCrash,
+    DaemonTimeout,
+    DaemonUnavailable,
+    Deadline,
+    DeadlineExceeded,
+    FailurePolicy,
+    PTIFailure,
+    ResilienceConfig,
+    RetryPolicy,
+    RingLog,
+)
 from .verdict import (
     AnalysisResult,
     Detection,
@@ -16,6 +31,19 @@ __all__ = [
     "JozaEngine",
     "JozaConfig",
     "RecoveryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "CorruptReply",
+    "DaemonCrash",
+    "DaemonTimeout",
+    "DaemonUnavailable",
+    "Deadline",
+    "DeadlineExceeded",
+    "FailurePolicy",
+    "PTIFailure",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "RingLog",
     "AnalysisResult",
     "Detection",
     "QueryVerdict",

@@ -23,6 +23,7 @@ or, without an application object, analyse queries directly::
 
 from __future__ import annotations
 
+import inspect as _inspect
 import time
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -34,6 +35,14 @@ from ..pti.daemon import PTIDaemon
 from ..pti.fragments import FragmentStore
 from ..sqlparser.parser import critical_tokens
 from .policy import JozaConfig, RecoveryPolicy
+from .resilience import (
+    DaemonUnavailable,
+    Deadline,
+    DeadlineExceeded,
+    FailurePolicy,
+    PTIFailure,
+    RingLog,
+)
 from .verdict import AnalysisResult, QueryVerdict, Technique
 
 __all__ = ["JozaEngine", "AttackRecord", "EngineStats"]
@@ -53,6 +62,9 @@ class AttackRecord:
             "query": self.query,
             "request_path": self.request_path,
             "detected_by": sorted(t.value for t in self.verdict.detected_by()),
+            "degraded": self.verdict.degraded,
+            "failsafe": self.verdict.failsafe,
+            "failure_reasons": list(self.verdict.failure_reasons),
             "detections": [
                 {
                     "technique": d.technique.value,
@@ -69,7 +81,13 @@ class AttackRecord:
 
 @dataclass
 class EngineStats:
-    """Aggregate counters for reporting."""
+    """Aggregate counters for reporting.
+
+    The last four are the degradation counters (DESIGN.md section 7):
+    how often the runtime absorbed a fault instead of analysing normally.
+    A healthy deployment shows zeros; anything else is the resilience
+    layer earning its keep.
+    """
 
     queries_checked: int = 0
     attacks_blocked: int = 0
@@ -77,6 +95,22 @@ class EngineStats:
     pti_detections: int = 0
     nti_seconds: float = 0.0
     pti_seconds: float = 0.0
+    #: Queries whose analysis ran past the per-query budget.
+    deadline_exceeded: int = 0
+    #: Queries refused by an open daemon circuit breaker.
+    breaker_open: int = 0
+    #: Verdicts produced with less than the full hybrid pipeline.
+    degraded_verdicts: int = 0
+    #: Queries blocked because analysis was unavailable (not detections).
+    failsafe_blocks: int = 0
+
+    def resilience_counters(self) -> dict[str, int]:
+        return {
+            "deadline_exceeded": self.deadline_exceeded,
+            "breaker_open": self.breaker_open,
+            "degraded_verdicts": self.degraded_verdicts,
+            "failsafe_blocks": self.failsafe_blocks,
+        }
 
 
 class JozaEngine:
@@ -99,7 +133,15 @@ class JozaEngine:
         )
         self.nti = NTIAnalyzer(self.config.nti)
         self.stats = EngineStats()
-        self.attack_log: list[AttackRecord] = []
+        #: Capacity-bounded audit ring buffer: under a sustained attack
+        #: flood the newest evidence is kept, the eviction count is
+        #: surfaced as ``dropped_records`` in the export.
+        self.attack_log: RingLog = RingLog(
+            self.config.resilience.attack_log_capacity
+        )
+        #: Lazily-built in-process PTI fallback (FALLBACK_IN_PROCESS policy).
+        self._fallback_daemon: PTIDaemon | None = None
+        self._daemon_accepts_deadline: bool | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -158,7 +200,43 @@ class JozaEngine:
     # Analysis
     # ------------------------------------------------------------------
 
-    def inspect(self, query: str, context: RequestContext) -> QueryVerdict:
+    def _call_daemon(self, query: str, deadline: Deadline):
+        """Invoke the daemon, passing the deadline only if it is accepted.
+
+        The daemon slot takes *any* object with ``analyze_query(query)``
+        (benchmarks substitute subprocess daemons, tests substitute fakes),
+        so deadline support is feature-detected once per engine.
+        """
+        if self._daemon_accepts_deadline is None:
+            try:
+                parameters = _inspect.signature(
+                    self.daemon.analyze_query
+                ).parameters
+                self._daemon_accepts_deadline = "deadline" in parameters or any(
+                    p.kind is _inspect.Parameter.VAR_KEYWORD
+                    for p in parameters.values()
+                )
+            except (TypeError, ValueError):  # pragma: no cover - exotic fakes
+                self._daemon_accepts_deadline = False
+        if self._daemon_accepts_deadline:
+            return self.daemon.analyze_query(query, deadline=deadline)
+        return self.daemon.analyze_query(query)
+
+    def _fallback_pti(self) -> PTIDaemon | None:
+        """The in-process PTI fallback, if a fragment store is reachable."""
+        if self._fallback_daemon is None:
+            store = getattr(self.daemon, "store", None)
+            if store is None:  # pragma: no cover - store-less custom daemon
+                return None
+            self._fallback_daemon = PTIDaemon(store, self.config.daemon)
+        return self._fallback_daemon
+
+    def inspect(
+        self,
+        query: str,
+        context: RequestContext,
+        deadline: Deadline | None = None,
+    ) -> QueryVerdict:
         """Run the full hybrid pipeline without enforcement.
 
         PTI runs first (through the daemon and its caches); NTI runs second,
@@ -166,36 +244,137 @@ class JozaEngine:
         (Section IV-D).  NTI is skipped entirely when the request carried no
         input -- "[NTI] only needs to be computed when input is provided to
         the application" (Section III-A).
+
+        Resilience invariant: this method **always returns a verdict** --
+        analysis failures (daemon crash/hang/poison, breaker-open refusals,
+        deadline expiry, even unexpected analyzer exceptions) are resolved
+        per :class:`~repro.core.resilience.FailurePolicy` into a fail-closed
+        or degraded verdict.  A query is never vouched safe by a technique
+        that did not actually run.
         """
         self.stats.queries_checked += 1
+        if deadline is None:
+            deadline = self.config.resilience.start_deadline()
+        policy = self.config.resilience.failure_policy
+        failure_reasons: list[str] = []
+        degraded = False
+
         pti_result: AnalysisResult | None = None
+        pti_failed = False
         tokens = None
         if self.config.enable_pti:
             t0 = time.perf_counter()
-            reply = self.daemon.analyze_query(query)
-            self.stats.pti_seconds += time.perf_counter() - t0
-            pti_result = reply.result
-            tokens = reply.tokens
+            try:
+                reply = self._call_daemon(query, deadline)
+                pti_result = reply.result
+                tokens = reply.tokens
+            except DeadlineExceeded as exc:
+                self.stats.deadline_exceeded += 1
+                failure_reasons.append(f"pti: {exc}")
+                pti_failed = True
+            except PTIFailure as exc:
+                if isinstance(exc, DaemonUnavailable) and exc.breaker_open:
+                    self.stats.breaker_open += 1
+                failure_reasons.append(f"pti: {exc.reason}")
+                pti_failed = True
+            except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                raise
+            except Exception as exc:
+                # A non-resilient daemon object leaked a raw error (pipe
+                # breakage, analyzer bug).  Absorb it: the failure policy
+                # decides the verdict, never the exception.
+                failure_reasons.append(f"pti: unexpected {exc!r}")
+                pti_failed = True
+            finally:
+                self.stats.pti_seconds += time.perf_counter() - t0
+            if pti_failed and policy is FailurePolicy.FALLBACK_IN_PROCESS:
+                fallback = self._fallback_pti()
+                if fallback is not None:
+                    t0 = time.perf_counter()
+                    try:
+                        deadline.check("pti-fallback")
+                        reply = fallback.analyze_query(query, deadline=deadline)
+                        pti_result = reply.result
+                        tokens = reply.tokens
+                        pti_failed = False
+                        degraded = True  # fault isolation lost: flag it
+                    except DeadlineExceeded as exc:
+                        self.stats.deadline_exceeded += 1
+                        failure_reasons.append(f"pti-fallback: {exc}")
+                    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                        raise
+                    except Exception as exc:  # pragma: no cover - defensive
+                        failure_reasons.append(f"pti-fallback: {exc!r}")
+                    finally:
+                        self.stats.pti_seconds += time.perf_counter() - t0
+
         nti_result: AnalysisResult | None = None
+        nti_failed = False
         if self.config.enable_nti:
             t0 = time.perf_counter()
-            if context.non_empty_values():
-                if tokens is None:
-                    tokens = critical_tokens(
-                        query, strict=self.config.strict_tokens
+            try:
+                if context.non_empty_values():
+                    if tokens is None:
+                        tokens = critical_tokens(
+                            query, strict=self.config.strict_tokens
+                        )
+                    nti_result = self.nti.analyze(
+                        query, context, tokens, deadline=deadline
                     )
-                nti_result = self.nti.analyze(query, context, tokens)
+                else:
+                    nti_result = AnalysisResult(
+                        technique=Technique.NTI, safe=True
+                    )
+            except DeadlineExceeded as exc:
+                self.stats.deadline_exceeded += 1
+                failure_reasons.append(f"nti: {exc}")
+                nti_failed = True
+            except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                raise
+            except Exception as exc:
+                failure_reasons.append(f"nti: unexpected {exc!r}")
+                nti_failed = True
+            finally:
+                self.stats.nti_seconds += time.perf_counter() - t0
+
+        # ------------------------------------------------------------------
+        # Failure resolution (never fail open).
+        # ------------------------------------------------------------------
+        failsafe = False
+        if pti_failed or nti_failed:
+            survivor = nti_result if pti_failed else pti_result
+            can_degrade = (
+                policy is FailurePolicy.DEGRADE_TO_OTHER_TECHNIQUE
+                and not (pti_failed and nti_failed)
+                and survivor is not None
+            )
+            if can_degrade:
+                degraded = True
             else:
-                nti_result = AnalysisResult(technique=Technique.NTI, safe=True)
-            self.stats.nti_seconds += time.perf_counter() - t0
-        safe = (pti_result is None or pti_result.safe) and (
-            nti_result is None or nti_result.safe
+                failsafe = True
+
+        safe = (
+            not failsafe
+            and (pti_failed or pti_result is None or pti_result.safe)
+            and (nti_failed or nti_result is None or nti_result.safe)
         )
-        verdict = QueryVerdict(query=query, safe=safe, pti=pti_result, nti=nti_result)
-        if pti_result is not None and not pti_result.safe:
+        verdict = QueryVerdict(
+            query=query,
+            safe=safe,
+            pti=None if pti_failed else pti_result,
+            nti=None if nti_failed else nti_result,
+            degraded=degraded,
+            failsafe=failsafe,
+            failure_reasons=failure_reasons,
+        )
+        if not pti_failed and pti_result is not None and not pti_result.safe:
             self.stats.pti_detections += 1
-        if nti_result is not None and not nti_result.safe:
+        if not nti_failed and nti_result is not None and not nti_result.safe:
             self.stats.nti_detections += 1
+        if degraded:
+            self.stats.degraded_verdicts += 1
+        if failsafe:
+            self.stats.failsafe_blocks += 1
         return verdict
 
     # ------------------------------------------------------------------
@@ -203,23 +382,54 @@ class JozaEngine:
     # ------------------------------------------------------------------
 
     def check_query(self, query: str, context: RequestContext) -> None:
-        """Vet one intercepted query; raises on attack (QueryGuard protocol)."""
+        """Vet one intercepted query; raises on attack (QueryGuard protocol).
+
+        Failsafe blocks (analysis unavailable, fail-closed policy) raise
+        the same :class:`QueryBlockedError` as detections -- the query must
+        not execute either way -- but are logged with the ``failsafe`` flag
+        and counted separately from ``attacks_blocked``.
+        """
         verdict = self.inspect(query, context)
         if verdict.safe:
             return
-        self.stats.attacks_blocked += 1
+        if verdict.detected_by():
+            self.stats.attacks_blocked += 1
         self.attack_log.append(
             AttackRecord(query=query, verdict=verdict, request_path=context.path)
         )
+        terminate = self.config.policy is RecoveryPolicy.TERMINATE
         flagged = ", ".join(sorted(t.value for t in verdict.detected_by()))
+        if flagged:
+            raise QueryBlockedError(
+                f"SQL injection detected by {flagged}", terminate=terminate
+            )
+        reasons = "; ".join(verdict.failure_reasons) or "analysis unavailable"
         raise QueryBlockedError(
-            f"SQL injection detected by {flagged}",
-            terminate=self.config.policy is RecoveryPolicy.TERMINATE,
+            f"query blocked fail-closed ({reasons})", terminate=terminate
         )
 
     # ------------------------------------------------------------------
     # Audit
     # ------------------------------------------------------------------
+
+    def resilience_report(self) -> dict:
+        """Degradation counters + daemon fault-absorption stats.
+
+        The operator-facing view of the failure model: how many queries hit
+        the deadline, were refused by an open breaker, got a degraded
+        verdict or a failsafe block, and how many audit records the bounded
+        ring buffer had to drop.  Zeros across the board mean the runtime
+        never had to absorb a fault.
+        """
+        report: dict = dict(self.stats.resilience_counters())
+        report["dropped_records"] = self.attack_log.dropped_records
+        report["attack_log_capacity"] = self.attack_log.capacity
+        report["failure_policy"] = self.config.resilience.failure_policy.value
+        report["deadline_seconds"] = self.config.resilience.deadline_seconds
+        snapshot = getattr(self.daemon, "resilience_snapshot", None)
+        if callable(snapshot):
+            report["daemon"] = snapshot()
+        return report
 
     def export_attack_log(self) -> str:
         """The attack log as a JSON document (operator audit trail)."""
@@ -233,6 +443,7 @@ class JozaEngine:
                     "nti_detections": self.stats.nti_detections,
                     "pti_detections": self.stats.pti_detections,
                     "nti_caches": self.nti_cache_stats(),
+                    "resilience": self.resilience_report(),
                 },
                 "attacks": [record.to_dict() for record in self.attack_log],
             },

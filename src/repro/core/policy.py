@@ -7,8 +7,9 @@ from dataclasses import dataclass, field
 
 from ..nti.inference import NTIConfig
 from ..pti.daemon import DaemonConfig
+from .resilience import FailurePolicy, ResilienceConfig
 
-__all__ = ["RecoveryPolicy", "JozaConfig"]
+__all__ = ["RecoveryPolicy", "JozaConfig", "FailurePolicy", "ResilienceConfig"]
 
 
 class RecoveryPolicy(enum.Enum):
@@ -36,6 +37,9 @@ class JozaConfig:
 
     nti: NTIConfig = field(default_factory=NTIConfig)
     daemon: DaemonConfig = field(default_factory=DaemonConfig)
+    #: Fault-tolerance knobs: per-query analysis deadline, failure policy,
+    #: audit-log capacity (DESIGN.md section 7).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     policy: RecoveryPolicy = RecoveryPolicy.TERMINATE
     enable_nti: bool = True
     enable_pti: bool = True

@@ -88,12 +88,23 @@ class QueryVerdict:
     Section IV-E: "A query is safe if and only if both PTI and NTI
     components deem the query safe").  A component skipped due to caching
     still contributes its cached verdict.
+
+    Resilience annotations (DESIGN.md section 7): ``degraded`` marks a
+    verdict produced with less than the full hybrid pipeline (one technique
+    unavailable, or PTI running in the in-process fallback), ``failsafe``
+    marks a query blocked because analysis was unavailable rather than
+    because an attack was detected, and ``failure_reasons`` records what
+    went wrong.  All three surface in the audit export so operators can
+    distinguish real detections from the runtime absorbing faults.
     """
 
     query: str
     safe: bool
     pti: AnalysisResult | None = None
     nti: AnalysisResult | None = None
+    degraded: bool = False
+    failsafe: bool = False
+    failure_reasons: list[str] = field(default_factory=list)
 
     @property
     def detections(self) -> list[Detection]:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.resilience import Deadline
 from ..core.verdict import AnalysisResult, Detection, TaintMarking, Technique
 from ..matching.ratio import DEFAULT_NTI_THRESHOLD, RatioMatch, match_with_ratio
 from ..matching.substring import MATCHER_CHOICES, TextProfile
@@ -154,6 +155,7 @@ class NTIAnalyzer:
         query: str,
         context: RequestContext,
         tokens: list[Token] | None = None,
+        deadline: Deadline | None = None,
     ) -> AnalysisResult:
         """Run NTI over one query.
 
@@ -164,6 +166,14 @@ class NTIAnalyzer:
                 pipeline reuses "the critical tokens and keywords previously
                 obtained by the PTI Daemon" (Section IV-D); standalone use
                 recomputes them.
+            deadline: optional per-query analysis budget.  The input x
+                query comparison loop is the engine's in-process hot path
+                (one matcher run per candidate input); the budget is
+                checked before each comparison, so a request carrying many
+                large inputs raises
+                :class:`~repro.core.resilience.DeadlineExceeded` instead of
+                stalling the guard -- the engine then resolves the query
+                per its failure policy.
         """
         crit = tokens if tokens is not None else critical_tokens(query)
         markings: list[TaintMarking] = []
@@ -173,6 +183,8 @@ class NTIAnalyzer:
         # the first match-cache miss, then shared across all inputs.
         profile_holder: list = [None]
         for value in candidate_inputs(context, query, self.config.threshold):
+            if deadline is not None:
+                deadline.check("nti")
             if len(value) < self.config.min_input_length:
                 continue
             matched = self._match(value, query, profile_holder)

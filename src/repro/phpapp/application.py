@@ -77,12 +77,46 @@ class DatabaseWrapper:
         self.query_count = 0
         self.elapsed = 0.0
         self.blocked_queries: list[str] = []
+        #: Queries refused because the guard itself crashed (last-line
+        #: fail-closed defense; see :meth:`_vet`).
+        self.guard_failures = 0
 
     def begin_request(self, context: RequestContext) -> None:
         """Reset per-request accounting; called by the application."""
         self._context = context
         self.query_count = 0
         self.elapsed = 0.0
+
+    def _vet(self, sql: str) -> None:
+        """Run the guard over one query; the *only* exit paths are
+        "vouched safe" (returns) or a controlled block.
+
+        This is the interception point the paper's never-fail-open promise
+        hangs on, so it is also the last line of the failure model: a guard
+        that *raises something unexpected* (a bug in an analyzer, a leaked
+        IPC error from a non-resilient daemon) must not let the query fall
+        through to the DBMS, nor crash the worker with an unhandled
+        exception.  Such queries are refused under the termination policy
+        with the cause recorded.
+        """
+        if self.guard is None:
+            return
+        context = self._context or RequestContext()
+        try:
+            self.guard.check_query(sql, context)
+        except QueryBlockedError as blocked:
+            self.blocked_queries.append(sql)
+            if blocked.terminate:
+                raise TerminationSignal(str(blocked)) from blocked
+            raise DatabaseError("query error") from blocked
+        except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+            raise
+        except Exception as exc:
+            self.blocked_queries.append(sql)
+            self.guard_failures += 1
+            raise TerminationSignal(
+                f"query guard failure (fail-closed): {exc!r}"
+            ) from exc
 
     def execute_prepared(self, sql: str, params=()) -> QueryResult:
         """Prepared-statement path: vet the *template*, bind, execute.
@@ -97,15 +131,7 @@ class DatabaseWrapper:
         from ..database.prepared import PreparedStatement
 
         self.query_count += 1
-        if self.guard is not None:
-            context = self._context or RequestContext()
-            try:
-                self.guard.check_query(sql, context)
-            except QueryBlockedError as blocked:
-                self.blocked_queries.append(sql)
-                if blocked.terminate:
-                    raise TerminationSignal(str(blocked)) from blocked
-                raise DatabaseError("query error") from blocked
+        self._vet(sql)
         result = PreparedStatement(self.db, sql).execute(params)
         self.elapsed += result.elapsed
         return result
@@ -119,15 +145,7 @@ class DatabaseWrapper:
         prescribes), and passes through genuine database errors.
         """
         self.query_count += 1
-        if self.guard is not None:
-            context = self._context or RequestContext()
-            try:
-                self.guard.check_query(sql, context)
-            except QueryBlockedError as blocked:
-                self.blocked_queries.append(sql)
-                if blocked.terminate:
-                    raise TerminationSignal(str(blocked)) from blocked
-                raise DatabaseError("query error") from blocked
+        self._vet(sql)
         result = self.db.execute(sql)
         self.elapsed += result.elapsed
         return result

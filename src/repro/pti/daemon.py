@@ -14,14 +14,37 @@ it over pipes.  This module provides both flavours:
   paper's unoptimized initial implementation).  Spawn and IPC times are
   accounted separately because the paper's "PHP extension" overhead
   estimate is computed by excluding exactly those costs (Section VI-C).
+
+Failure model (DESIGN.md section 7): the subprocess wrapper is the
+resilient edge of the system.  Receives are ``poll(timeout)``-bounded (a
+hung child cannot stall a request forever), respawn/IPC retries follow an
+exponential-backoff-with-jitter :class:`~repro.core.resilience.RetryPolicy`,
+and a :class:`~repro.core.resilience.CircuitBreaker` around spawn/IPC turns
+a crash-looping child into fast typed refusals instead of a spawn storm.
+The only exceptions that escape :meth:`SubprocessPTIDaemon.analyze_query`
+are the typed :class:`~repro.core.resilience.PTIFailure` family and
+:class:`~repro.core.resilience.DeadlineExceeded`; the engine converts both
+into fail-closed or degraded verdicts, never letting a query through
+unvetted.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import random
 import time
 from dataclasses import dataclass, field
 
+from ..core.resilience import (
+    CircuitBreaker,
+    CorruptReply,
+    DaemonCrash,
+    DaemonTimeout,
+    DaemonUnavailable,
+    Deadline,
+    PTIFailure,
+    RetryPolicy,
+)
 from ..core.verdict import AnalysisResult, Technique
 from ..sqlparser.parser import critical_tokens
 from ..sqlparser.structure import signature_and_tokens
@@ -108,9 +131,21 @@ class PTIDaemon:
         self.query_cache.clear()
         self.structure_cache.clear()
 
-    def analyze_query(self, query: str) -> DaemonReply:
-        """Full daemon pipeline for one query."""
+    def analyze_query(
+        self, query: str, deadline: Deadline | None = None
+    ) -> DaemonReply:
+        """Full daemon pipeline for one query.
+
+        ``deadline`` bounds the in-process stages: it is checked between
+        the cache-lookup, parse and match stages (the match stage -- a scan
+        over the whole fragment corpus for malicious queries -- is the only
+        one that can realistically run long).  On expiry
+        :class:`~repro.core.resilience.DeadlineExceeded` propagates to the
+        engine, which resolves it per its failure policy.
+        """
         self.queries_analyzed += 1
+        if deadline is not None:
+            deadline.check("pti")
         if self.config.use_query_cache:
             t0 = time.perf_counter()
             cached = self.query_cache.get(query)
@@ -153,6 +188,8 @@ class PTIDaemon:
             t0 = time.perf_counter()
             tokens = critical_tokens(query, strict=self.config.strict_tokens)
             self.timings.add("parse", time.perf_counter() - t0)
+        if deadline is not None:
+            deadline.check("pti")
         t0 = time.perf_counter()
         result = self.analyzer.analyze(query, tokens)
         self.timings.add("match", time.perf_counter() - t0)
@@ -206,6 +243,26 @@ class SubprocessPTIDaemon:
     In ``persistent`` mode the process is spawned once (named-pipe-style
     long-lived daemon); otherwise every query pays a fresh spawn (the
     unoptimized configuration of Figure 7).
+
+    Resilience contract: :meth:`analyze_query` either returns a
+    :class:`DaemonReply` or raises a typed
+    :class:`~repro.core.resilience.PTIFailure` /
+    :class:`~repro.core.resilience.DeadlineExceeded`.  Raw pipe errors
+    (``EOFError``, ``BrokenPipeError``, ``OSError``) never escape; replies
+    are shape-validated so a corrupted child message surfaces as
+    :class:`~repro.core.resilience.CorruptReply` rather than an unpacking
+    crash in the request path.
+
+    Args:
+        store: fragment vocabulary served to spawned children.
+        config: cache/optimization switches (pickled/forked into children).
+        persistent: reuse one child (True) vs spawn per query (False).
+        recv_timeout: ``poll`` bound on each reply wait; a child that stays
+            silent longer is declared hung, killed and (maybe) retried.
+        retry: backoff schedule for respawn/IPC retries.
+        breaker: circuit breaker guarding spawn/IPC; ``None`` disables
+            breaking (the seed behavior).
+        seed: RNG seed for backoff jitter (reproducible chaos runs).
     """
 
     def __init__(
@@ -214,55 +271,152 @@ class SubprocessPTIDaemon:
         config: DaemonConfig | None = None,
         *,
         persistent: bool = True,
+        recv_timeout: float | None = 5.0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        seed: int | None = None,
     ) -> None:
         self.fragments = store.fragments
+        self._store: FragmentStore | None = store
         self.config = config or DaemonConfig()
         self.persistent = persistent
+        self.recv_timeout = recv_timeout
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._rng = random.Random(seed)
         self.timings = StageTimings()
         self._conn = None
         self._process: multiprocessing.Process | None = None
+        # Observability counters (surfaced via resilience_snapshot()).
+        self.spawns = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self.corrupt_replies = 0
+        self.unavailable = 0
 
     # ------------------------------------------------------------------
+    # Fragment access (engine fallback path + protect() refresh hook)
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> FragmentStore:
+        """The fragment vocabulary (rebuilt lazily after a refresh)."""
+        if self._store is None:
+            self._store = FragmentStore(self.fragments)
+        return self._store
+
+    def refresh_fragments(self, store: FragmentStore) -> None:
+        """Swap the fragment set; the child is restarted on next use."""
+        self.fragments = store.fragments
+        self._store = store
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Child lifecycle
+    # ------------------------------------------------------------------
+
+    def _loop_target(self):
+        """Child entry point -- overridable (the chaos harness hooks here)."""
+        return _daemon_loop
+
+    def _loop_args(self, child_conn) -> tuple:
+        return (child_conn, self.fragments, self.config)
 
     def _spawn(self):
         t0 = time.perf_counter()
         parent_conn, child_conn = multiprocessing.Pipe()
         process = multiprocessing.Process(
-            target=_daemon_loop,
-            args=(child_conn, self.fragments, self.config),
+            target=self._loop_target(),
+            args=self._loop_args(child_conn),
             daemon=True,
         )
         process.start()
         child_conn.close()
+        self.spawns += 1
         self.timings.add("spawn", time.perf_counter() - t0)
         return parent_conn, process
 
-    def analyze_query(self, query: str) -> DaemonReply:
-        """Ship one query to the child and wait for its verdict.
+    @staticmethod
+    def _reap(conn, process: multiprocessing.Process | None) -> None:
+        """Tear one child down hard: close pipe, terminate -> kill -> join.
 
-        A persistent daemon that died between queries (crash, OOM-kill) is
-        respawned transparently -- losing only its caches, never failing
-        open: a query is executed only after a live daemon vouches for it.
+        Used for children in an unknown state (hung, mid-crash, pipe
+        desynchronized); the graceful shutdown message is pointless here,
+        so escalate straight to signals with bounded joins -- never leave a
+        zombie behind.
         """
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if process is None:
+            return
+        process.join(timeout=0.05)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM blocked
+            process.kill()
+            process.join(timeout=1.0)
+
+    def _discard_child(self, conn, process) -> None:
+        """Drop a failed child; clears persistent state when it matches."""
+        if self.persistent and conn is self._conn:
+            self._conn = None
+            self._process = None
+        self._reap(conn, process)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def _decode(self, payload) -> tuple[bool, str | None, list | None, dict]:
+        """Validate the child's reply shape (corruption containment)."""
+        if not isinstance(payload, tuple) or len(payload) != 4:
+            raise CorruptReply(f"malformed daemon reply: {payload!r:.120}")
+        safe, from_cache, tokens, child_deltas = payload
+        if not isinstance(safe, bool) or not isinstance(child_deltas, dict):
+            raise CorruptReply(f"malformed daemon reply fields: {payload!r:.120}")
+        if from_cache is not None and not isinstance(from_cache, str):
+            raise CorruptReply(f"malformed from_cache: {from_cache!r:.120}")
+        if tokens is not None and not isinstance(tokens, list):
+            raise CorruptReply(f"malformed tokens: {tokens!r:.120}")
+        return safe, from_cache, tokens, child_deltas
+
+    def _round_trip(self, query: str, deadline: Deadline) -> DaemonReply:
+        """One spawn-if-needed + send + bounded receive attempt."""
         if self.persistent:
             if self._process is None or not self._process.is_alive():
+                self._discard_child(self._conn, self._process)
                 self._conn, self._process = self._spawn()
-            conn = self._conn
+            conn, process = self._conn, self._process
         else:
             conn, process = self._spawn()
         t0 = time.perf_counter()
         try:
-            conn.send(query)
-            safe, from_cache, tokens, child_deltas = conn.recv()
-        except (EOFError, BrokenPipeError, OSError):
-            if not self.persistent:
+            try:
+                conn.send(query)
+                timeout = deadline.bound(self.recv_timeout)
+                if timeout is not None and not conn.poll(timeout):
+                    self.timeouts += 1
+                    raise DaemonTimeout(
+                        f"daemon reply not received within {timeout:.3f}s"
+                    )
+                payload = conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionError, OSError) as exc:
+                self.crashes += 1
+                raise DaemonCrash(f"daemon pipe failed: {exc!r}") from exc
+            try:
+                safe, from_cache, tokens, child_deltas = self._decode(payload)
+            except CorruptReply:
+                self.corrupt_replies += 1
                 raise
-            # Child died mid-flight: respawn once and retry the query.
-            self.close()
-            self._conn, self._process = self._spawn()
-            conn = self._conn
-            conn.send(query)
-            safe, from_cache, tokens, child_deltas = conn.recv()
+        except PTIFailure:
+            # The pipe is dead or desynchronized; this child is unusable.
+            self._discard_child(conn, process)
+            raise
         elapsed = time.perf_counter() - t0
         # Attribute the child's analysis stages, and count only the residual
         # (serialisation + pipe transit + scheduling) as IPC.
@@ -272,9 +426,12 @@ class SubprocessPTIDaemon:
             analysis += dt
         self.timings.add("ipc", max(elapsed - analysis, 0.0))
         if not self.persistent:
-            conn.send(None)
-            conn.close()
-            process.join(timeout=5)
+            try:
+                conn.send(None)
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover - defensive
+                pass
+            self._reap(None, process)
         return DaemonReply(
             safe=safe,
             result=AnalysisResult(
@@ -284,20 +441,105 @@ class SubprocessPTIDaemon:
             from_cache=from_cache,
         )
 
-    def close(self) -> None:
-        """Shut down a persistent child process."""
-        if self._conn is not None:
+    def analyze_query(
+        self, query: str, deadline: Deadline | None = None
+    ) -> DaemonReply:
+        """Ship one query to the child and wait (boundedly) for its verdict.
+
+        A persistent daemon that died between queries (crash, OOM-kill) is
+        respawned transparently -- losing only its caches, never failing
+        open: a query is executed only after a live daemon vouches for it.
+        Transient failures are retried with jittered exponential backoff;
+        a query that *deterministically* kills the child (a poison query)
+        exhausts the attempts and surfaces as
+        :class:`~repro.core.resilience.DaemonUnavailable` with the failure
+        chain recorded -- never as a raw ``EOFError`` in the request path.
+        When the breaker is open, no spawn is attempted at all.
+        """
+        if deadline is None:
+            deadline = Deadline.unbounded()
+        if self.breaker is not None and not self.breaker.allow():
+            self.unavailable += 1
+            raise DaemonUnavailable(
+                "circuit breaker open: daemon spawn/IPC suspended",
+                breaker_open=True,
+            )
+        last_failure: PTIFailure | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.retries += 1
+                delay = deadline.bound(self.retry.delay(attempt - 1, self._rng))
+                if delay:
+                    time.sleep(delay)
+            deadline.check("pti-daemon")
             try:
-                self._conn.send(None)
-                self._conn.close()
+                reply = self._round_trip(query, deadline)
+            except PTIFailure as failure:
+                last_failure = failure
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                    if not self.breaker.allow():
+                        break
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return reply
+        self.unavailable += 1
+        reason = last_failure.reason if last_failure is not None else "unknown"
+        raise DaemonUnavailable(
+            f"daemon analysis failed after {self.retry.max_attempts} "
+            f"attempt(s): {reason}"
+        ) from last_failure
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def resilience_snapshot(self) -> dict[str, object]:
+        """Fault-absorption counters for the audit export / bench reports."""
+        out: dict[str, object] = {
+            "spawns": self.spawns,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "corrupt_replies": self.corrupt_replies,
+            "unavailable": self.unavailable,
+        }
+        if self.breaker is not None:
+            out["breaker"] = self.breaker.snapshot()
+        return out
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down a persistent child process.
+
+        Idempotent, and safe against every child state: a healthy child
+        gets the graceful shutdown message; a hung or half-dead one is
+        escalated terminate -> kill with bounded joins so no zombie (nor
+        stuck parent) survives ``close()``.
+        """
+        conn, self._conn = self._conn, None
+        process, self._process = self._process, None
+        if conn is not None:
+            try:
+                conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-            self._conn = None
-        if self._process is not None:
-            self._process.join(timeout=5)
-            if self._process.is_alive():  # pragma: no cover - defensive
-                self._process.terminate()
-            self._process = None
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if process is not None:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM blocked
+                process.kill()
+                process.join(timeout=1.0)
 
     def __enter__(self) -> "SubprocessPTIDaemon":
         return self

@@ -10,6 +10,14 @@ from .evaluation import (
     evaluate_corpus,
     evaluate_sqlgen_variants,
 )
+from .faults import (
+    POISON_MARKER,
+    ChaosPTIDaemon,
+    FakeClock,
+    FaultKind,
+    FaultSchedule,
+    FlakyDaemon,
+)
 from .exploits import (
     DOUBLE_BLIND_DELAY,
     Exploit,
@@ -51,6 +59,12 @@ __all__ = [
     "SQLGEN_TARGETS",
     "evaluate_corpus",
     "evaluate_sqlgen_variants",
+    "POISON_MARKER",
+    "ChaosPTIDaemon",
+    "FakeClock",
+    "FaultKind",
+    "FaultSchedule",
+    "FlakyDaemon",
     "DOUBLE_BLIND_DELAY",
     "Exploit",
     "ExploitOutcome",

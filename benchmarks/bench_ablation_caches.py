@@ -86,6 +86,7 @@ def test_ablation_pti_caches(benchmark, cache_sweep):
             ["Configuration", "PTI overhead"],
             rows,
         ),
+        data={"extra_fragments": extra, "overheads_pct": dict(overheads)},
     )
     # Disabling everything is never better than the fully-optimized daemon.
     assert (

@@ -105,6 +105,17 @@ def test_ablation_matcher_variants(benchmark):
             ["Variant", "Time", "Distance"],
             rows,
         ),
+        data={
+            "levenshtein_seconds": {
+                label: {"full": t_full, "two_row": t_two, "banded": t_band}
+                for label, (t_full, t_two, t_band, *__) in checks.items()
+            },
+            "substring_seconds": {
+                "dp_no_budget": t_noprune,
+                "dp_pruned": t_prune,
+                "bitparallel": t_bp,
+            },
+        },
     )
     for label, (t_full, t_two, t_band, d_full, d_two, d_bits) in checks.items():
         assert d_full == d_two == d_bits  # implementations agree

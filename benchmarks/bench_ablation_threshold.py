@@ -68,6 +68,17 @@ def test_ablation_nti_threshold(benchmark, sweep):
         + "\n\nMutants are sized to defeat a 0.20 threshold; thresholds at or"
         "\nabove that stay blind to them, confirming the paper's claim that"
         "\nretuning the knob is not a remedy.",
+        data={
+            "sweep": [
+                {
+                    "threshold": t,
+                    "originals_detected": d,
+                    "mutants_detected": md,
+                    "false_positives": fp,
+                }
+                for t, d, md, fp in sweep
+            ],
+        },
     )
     by_threshold = {t: (d, md, fp) for t, d, md, fp in sweep}
     # Detection of originals is monotone non-decreasing in the threshold.

@@ -78,6 +78,12 @@ def test_ext_second_order_matrix(benchmark, matrix):
             ["Attack", "Configuration", "Attack succeeded", "Detected"],
             rows,
         ),
+        data={
+            "matrix": {
+                f"{attack} / {config}": {"succeeded": success, "detected": detected}
+                for (attack, config), (success, detected) in matrix.items()
+            },
+        },
     )
     for attack in ("second-order", "mixed-source"):
         assert matrix[(attack, "unprotected")] == (True, False)   # functional

@@ -80,6 +80,20 @@ def test_fig2_nti_markings(benchmark):
             ],
         )
         + f"\n  -> safe={result_c.safe} (attack missed by NTI)",
+        data={
+            "benign_safe": result_a.safe,
+            "attack_safe": result_b.safe,
+            "attack_covered_tokens": sorted(
+                {d.token_text for d in result_b.detections}
+            ),
+            "evasive_safe": result_c.safe,
+            "evasive_match": {
+                "distance": match_c.distance,
+                "length": match_c.length,
+                "difference_ratio": difference_ratio(match_c),
+                "threshold": 0.20,
+            },
+        },
     )
     assert result_a.safe
     assert not result_b.safe

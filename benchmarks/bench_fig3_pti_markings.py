@@ -56,6 +56,13 @@ def test_fig3_pti_markings(benchmark):
         f"  -> safe={result_b.safe}, uncovered critical tokens: {uncovered_b}\n\n"
         f"Part C (fragment-covered attack, program also contains ' OR '/' = '):\n"
         f"  {query_c}\n  -> safe={result_c.safe} (attack missed by PTI)",
+        data={
+            "fragments": list(fragments),
+            "benign_safe": result_a.safe,
+            "attack_safe": result_b.safe,
+            "attack_uncovered_tokens": uncovered_b,
+            "fragment_covered_attack_safe": result_c.safe,
+        },
     )
     assert "id" in fragments
     assert "SELECT * FROM records WHERE ID=" in fragments

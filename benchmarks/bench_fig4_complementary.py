@@ -52,7 +52,22 @@ def test_fig4_complementary(benchmark):
         f"  PTI safe={verdict_b.pti.safe}  NTI safe={verdict_b.nti.safe}"
         f"  -> Joza safe={verdict_b.safe}",
     ]
-    emit("fig4_complementary", "\n".join(lines))
+    emit(
+        "fig4_complementary",
+        "\n".join(lines),
+        data={
+            "pti_evading_attack": {
+                "pti_safe": verdict_a.pti.safe,
+                "nti_safe": verdict_a.nti.safe,
+                "joza_safe": verdict_a.safe,
+            },
+            "nti_evading_attack": {
+                "pti_safe": verdict_b.pti.safe,
+                "nti_safe": verdict_b.nti.safe,
+                "joza_safe": verdict_b.safe,
+            },
+        },
+    )
 
     assert verdict_a.pti.safe and not verdict_a.nti.safe and not verdict_a.safe
     assert not verdict_b.pti.safe and verdict_b.nti.safe and not verdict_b.safe

@@ -87,6 +87,22 @@ def test_fig7_pti_breakdown(benchmark, breakdown):
         )
         + f"\n\nOptimized daemon reduces PTI processing by {reduction:.1f}% "
         "(paper: 66%)",
+        data={
+            "reduction_pct": reduction,
+            "paper_reduction_pct": 66.0,
+            "per_request_ms": {
+                measurement.label: {
+                    **{
+                        stage: measurement.daemon_timings.get(stage, 0.0)
+                        / measurement.requests * 1000
+                        for stage in ("spawn", "ipc", "parse", "match", "cache")
+                    },
+                    "pti_total": _pti_seconds(measurement)
+                    / measurement.requests * 1000,
+                }
+                for measurement in (unopt, opt)
+            },
+        },
     )
     assert reduction >= 66.0
     # The unoptimized run is dominated by per-query process spawning and

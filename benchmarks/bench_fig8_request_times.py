@@ -13,10 +13,10 @@ write/search cost (the paper's rationale for keeping NTI in-process).
 from __future__ import annotations
 
 import pytest
-from conftest import PERF_NUM_POSTS, REFERENCE_RENDER_COST, REPEATS, emit
+from conftest import PERF_NUM_POSTS, REFERENCE_RENDER_COST, REPEATS, emit, emit_json
 
 from repro.bench import read_stream, search_stream, write_stream
-from repro.bench.reporting import pct, render_kv, render_table
+from repro.bench.reporting import latency_summary, pct, render_kv, render_table
 from repro.bench.runner import attributed_overhead_pct, measure
 
 
@@ -33,6 +33,7 @@ def fig8_data():
         render_cost=REFERENCE_RENDER_COST,
         repeats=REPEATS,
         warmup=warm,
+        record_latencies=True,
     )
     out = {}
     for label, stream in streams.items():
@@ -116,6 +117,33 @@ def test_fig8_request_times(benchmark, fig8_data):
             "Resilience / degradation counters (0 = no faults absorbed)",
             resilience_pairs,
         ),
+    )
+    # Machine-readable sidecar: raw percentiles and counters for dashboards
+    # and regression gates (the .txt above stays the human rendering).
+    emit_json(
+        "fig8_request_times",
+        {
+            "benchmark": "fig8_request_times",
+            "config": {
+                "num_posts": PERF_NUM_POSTS,
+                "render_cost": REFERENCE_RENDER_COST,
+                "repeats": REPEATS,
+            },
+            "streams": {
+                label: {
+                    "requests": protected.requests,
+                    "latency_plain": latency_summary(plain.latencies),
+                    "latency_protected": latency_summary(protected.latencies),
+                    "overhead_pct": overheads[label],
+                    "nti_share": nti_share[label],
+                    "nti_seconds": protected.engine.stats.nti_seconds,
+                    "pti_seconds": protected.engine.stats.pti_seconds,
+                    "caches": protected.engine.cache_stats(),
+                    "resilience": protected.engine.resilience_report(),
+                }
+                for label, (plain, protected) in fig8_data.items()
+            },
+        },
     )
     # Fault-free benchmark environment: the guard must not have degraded.
     assert all(v == 0 for v in degradations.values()), degradations

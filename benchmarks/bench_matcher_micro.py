@@ -108,6 +108,13 @@ def test_matcher_micro(benchmark):
             ],
             rows,
         ),
+        data={
+            "text_length": len(TEXT),
+            "speedups": {
+                f"{workload}/{size}": value
+                for (workload, size), value in speedups.items()
+            },
+        },
     )
     # The NTI regime must show the decisive win at long-input sizes, and
     # the advantage must grow with pattern width (wider bit-vectors do

@@ -1,0 +1,342 @@
+"""Throughput harness for the query-shape fast path.
+
+Replays a Zipf-distributed shape mix (a few hot query shapes dominate, a
+long tail of cold ones -- the empirical distribution of CMS query traffic)
+through two identically-configured engines, one with the shape cache
+enabled and one without, and reports per-query latency percentiles plus
+the warm-over-cold speedup.  The machine-readable sidecar lands in
+``benchmarks/results/BENCH_shape_fastpath.json``.
+
+Gates (enforced both as a pytest test and in script mode):
+
+- warm fast-path median speedup >= 3x in the full run, >= 1.5x in
+  ``--smoke`` mode (CI-sized workload, looser to absorb runner noise);
+- verdict parity: the two engines agree on every request, and a third
+  engine running the built-in shadow validator at 100% sampling records
+  zero divergences;
+- attack parity: both engines block the same injected attacks.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_shape_fastpath.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.bench.reporting import latency_summary, percentile, render_kv, save_json
+from repro.core import JozaConfig, JozaEngine, ShapeCacheConfig
+from repro.phpapp.context import CapturedInput, RequestContext
+
+SIDE_CAR = "BENCH_shape_fastpath"
+FULL_GATE = 3.0
+SMOKE_GATE = 1.5
+
+WORDS = [
+    "alpha", "bravo", "delta", "echo", "lima", "oscar", "tango", "zulu",
+    "amber", "coral", "ivory", "jade", "onyx", "pearl", "ruby", "slate",
+]
+TABLES = ["posts", "users", "comments", "options", "terms", "linkmeta"]
+COLUMNS = ["id", "author", "status", "slug", "parent", "rank"]
+# Context-appropriate payloads: numeric slots take bare boolean/UNION
+# injections; string slots need a quote breakout to escape the literal.
+NUMBER_ATTACKS = ["0 OR 1=1", "-1 UNION SELECT user()", "9; DROP TABLE posts"]
+STRING_ATTACKS = [
+    "x' OR '1'='1",
+    "' UNION SELECT password FROM users -- ",
+    "'; DROP TABLE posts -- ",
+]
+
+
+def make_templates(count: int) -> list[dict]:
+    """``count`` distinct query shapes, each fully covered by its fragments."""
+    templates = []
+    for i in range(count):
+        # Suffix the table name with the template index so every template
+        # is a genuinely distinct shape (the TABLES/COLUMNS cycle lengths
+        # would otherwise collide with the 3-variant cycle and collapse
+        # ``count`` templates into only a handful of skeletons).
+        table = f"{TABLES[i % len(TABLES)]}_{i}"
+        column = COLUMNS[i % len(COLUMNS)]
+        variant = i % 3
+        if variant == 0:
+            head = f"SELECT * FROM {table} WHERE {column} = "
+            tail = f" LIMIT {5 + i}"
+            templates.append(
+                {
+                    "fragments": [head, tail],
+                    "build": (lambda v, h=head, t=tail: h + v + t),
+                    "kind": "number",
+                }
+            )
+        elif variant == 1:
+            head = f"SELECT {column} FROM {table} WHERE slug = '"
+            tail = f"' ORDER BY {column} DESC"
+            templates.append(
+                {
+                    "fragments": [head, tail],
+                    "build": (lambda v, h=head, t=tail: h + v + t),
+                    "kind": "string",
+                }
+            )
+        else:
+            head = f"UPDATE {table} SET {column} = '"
+            mid = "' WHERE id = "
+            templates.append(
+                {
+                    "fragments": [head, mid],
+                    "build": (lambda v, h=head, m=mid: h + v + m + "7"),
+                    "kind": "string",
+                }
+            )
+    return templates
+
+
+def zipf_weights(count: int, s: float = 1.2) -> list[float]:
+    return [1.0 / (rank**s) for rank in range(1, count + 1)]
+
+
+def benign_value(kind: str, rng: random.Random) -> str:
+    if kind == "number":
+        return str(rng.randrange(1_000_000))
+    return f"{rng.choice(WORDS)}-{rng.choice(WORDS)}-{rng.randrange(10_000)}"
+
+
+def build_requests(
+    templates: list[dict], count: int, seed: int, attack_every: int = 50
+) -> list[tuple[str, list[str], bool]]:
+    """(query, inputs, is_attack) triples over a Zipf shape mix."""
+    rng = random.Random(seed)
+    weights = zipf_weights(len(templates))
+    picks = rng.choices(range(len(templates)), weights=weights, k=count)
+    out = []
+    for i, index in enumerate(picks):
+        template = templates[index]
+        if attack_every and i % attack_every == attack_every - 1:
+            pool = NUMBER_ATTACKS if template["kind"] == "number" else STRING_ATTACKS
+            payload = rng.choice(pool)
+            out.append((template["build"](payload), [payload], True))
+        else:
+            value = benign_value(template["kind"], rng)
+            out.append((template["build"](value), [value], False))
+    return out
+
+
+def ctx(values: list[str]) -> RequestContext:
+    return RequestContext(
+        inputs=[CapturedInput("get", f"p{i}", v) for i, v in enumerate(values)]
+    )
+
+
+def drive(engine: JozaEngine, requests) -> tuple[list[float], list[bool]]:
+    """Inspect every request; return per-query seconds and safety bits."""
+    latencies, safeties = [], []
+    for query, values, __ in requests:
+        context = ctx(values)
+        t0 = time.perf_counter()
+        verdict = engine.inspect(query, context)
+        latencies.append(time.perf_counter() - t0)
+        safeties.append(verdict.safe)
+    return latencies, safeties
+
+
+def drive_interleaved(
+    fast: JozaEngine, cold: JozaEngine, requests, chunk: int = 200
+) -> tuple[list[float], list[bool], list[float], list[bool]]:
+    """Drive both engines over the same stream in alternating chunks.
+
+    Sequential whole-stream passes let background load drift bias one
+    engine's percentiles; alternating bounds any drift to one chunk's
+    duration and spreads it evenly across both engines.  Each engine still
+    sees every request in stream order, so cache behaviour is identical to
+    a sequential pass.
+    """
+    fast_lat: list[float] = []
+    fast_safe: list[bool] = []
+    cold_lat: list[float] = []
+    cold_safe: list[bool] = []
+    for i in range(0, len(requests), chunk):
+        block = requests[i : i + chunk]
+        lat, safe = drive(fast, block)
+        fast_lat.extend(lat)
+        fast_safe.extend(safe)
+        lat, safe = drive(cold, block)
+        cold_lat.extend(lat)
+        cold_safe.extend(safe)
+    return fast_lat, fast_safe, cold_lat, cold_safe
+
+
+def run_shape_bench(
+    *, shapes: int, requests: int, seed: int, smoke: bool
+) -> dict:
+    templates = make_templates(shapes)
+    fragments = sorted({f for t in templates for f in t["fragments"]})
+    warm_requests = build_requests(templates, max(requests // 2, shapes * 4), seed + 1)
+    timed_requests = build_requests(templates, requests, seed)
+
+    fast = JozaEngine.from_fragments(fragments)
+    cold = JozaEngine.from_fragments(
+        fragments, JozaConfig(shape=ShapeCacheConfig(enabled=False))
+    )
+
+    # Warm pass: plants one plan per benign shape; the cold engine gets the
+    # same pass so its own caches (NTI profiles, PTI query cache) are just
+    # as warm -- the measured delta is the fast path, not cache priming.
+    drive(fast, warm_requests)
+    drive(cold, warm_requests)
+
+    fast_latencies, fast_safe, cold_latencies, cold_safe = drive_interleaved(
+        fast, cold, timed_requests
+    )
+    assert fast_safe == cold_safe, "fast path changed a verdict"
+
+    # Shadow validation at 100% sampling: the engine's own cold re-check
+    # must agree on every warm hit.
+    shadow = JozaEngine.from_fragments(
+        fragments, JozaConfig(shape=ShapeCacheConfig(shadow_rate=1.0, shadow_seed=seed))
+    )
+    drive(shadow, warm_requests)
+    drive(shadow, timed_requests)
+
+    blocked = sum(1 for safe in fast_safe if not safe)
+    expected_attacks = sum(1 for *__, is_attack in timed_requests if is_attack)
+    speedup_p50 = percentile(cold_latencies, 0.50) / max(
+        percentile(fast_latencies, 0.50), 1e-9
+    )
+    speedup_p95 = percentile(cold_latencies, 0.95) / max(
+        percentile(fast_latencies, 0.95), 1e-9
+    )
+    gate = SMOKE_GATE if smoke else FULL_GATE
+    return {
+        "config": {
+            "mode": "smoke" if smoke else "full",
+            "shapes": shapes,
+            "requests": requests,
+            "seed": seed,
+            "zipf_s": 1.2,
+            "gate_min_speedup_p50": gate,
+        },
+        "latency_seconds": {
+            "fastpath_warm": latency_summary(fast_latencies),
+            "cold_path": latency_summary(cold_latencies),
+        },
+        "speedup": {"p50": speedup_p50, "p95": speedup_p95},
+        "verdicts": {
+            "blocked": blocked,
+            "expected_attacks": expected_attacks,
+            "parity": True,
+        },
+        "shape_counters": fast.stats.shape_counters(),
+        "shadow": {
+            "checks": shadow.stats.shadow_checks,
+            "divergences": shadow.stats.shadow_divergences,
+        },
+        "caches": fast.cache_stats(),
+    }
+
+
+def check_gates(payload: dict) -> list[str]:
+    failures = []
+    gate = payload["config"]["gate_min_speedup_p50"]
+    if payload["speedup"]["p50"] < gate:
+        failures.append(
+            f"median speedup {payload['speedup']['p50']:.2f}x below gate {gate}x"
+        )
+    if payload["shadow"]["divergences"] != 0:
+        failures.append(
+            f"shadow validator saw {payload['shadow']['divergences']} divergences"
+        )
+    if payload["verdicts"]["blocked"] < payload["verdicts"]["expected_attacks"]:
+        failures.append("fast path missed injected attacks")
+    counters = payload["shape_counters"]
+    if counters["shape_hits"] == 0:
+        failures.append("fast path never served a hit (workload misconfigured)")
+    return failures
+
+
+def render(payload: dict) -> str:
+    fast = payload["latency_seconds"]["fastpath_warm"]
+    cold = payload["latency_seconds"]["cold_path"]
+    pairs = [
+        ("mode", payload["config"]["mode"]),
+        ("shapes / requests", f"{payload['config']['shapes']} / {payload['config']['requests']}"),
+        ("cold p50/p95/p99 (us)", f"{cold['p50']*1e6:.1f} / {cold['p95']*1e6:.1f} / {cold['p99']*1e6:.1f}"),
+        ("warm p50/p95/p99 (us)", f"{fast['p50']*1e6:.1f} / {fast['p95']*1e6:.1f} / {fast['p99']*1e6:.1f}"),
+        ("speedup p50 / p95", f"{payload['speedup']['p50']:.2f}x / {payload['speedup']['p95']:.2f}x"),
+        ("shape hits / misses", f"{payload['shape_counters']['shape_hits']} / {payload['shape_counters']['shape_misses']}"),
+        ("shadow checks / divergences", f"{payload['shadow']['checks']} / {payload['shadow']['divergences']}"),
+        ("attacks blocked", f"{payload['verdicts']['blocked']} (>= {payload['verdicts']['expected_attacks']} injected)"),
+    ]
+    return render_kv("Shape fast path: cold vs warm (Zipf shape mix)", pairs)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (smoke-sized; the bench job's latency gate)
+# ---------------------------------------------------------------------------
+
+
+def test_shape_fastpath_smoke(benchmark):
+    payload = run_shape_bench(shapes=12, requests=400, seed=1337, smoke=True)
+    try:
+        from conftest import RESULTS_DIR, emit
+
+        emit("shape_fastpath", render(payload))
+        save_json(SIDE_CAR, payload, results_dir=RESULTS_DIR)
+    except ImportError:  # pragma: no cover - running outside benchmarks/
+        pass
+    failures = check_gates(payload)
+    assert not failures, failures
+
+    # Timed representative operation: one warm-hit inspect.
+    templates = make_templates(4)
+    fragments = sorted({f for t in templates for f in t["fragments"]})
+    engine = JozaEngine.from_fragments(fragments)
+    query = templates[0]["build"]("123456")
+    engine.inspect(query, ctx(["123456"]))
+    benchmark(lambda: engine.inspect(query, ctx(["123456"])))
+
+
+# ---------------------------------------------------------------------------
+# Script entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workload with the looser 1.5x speedup gate",
+    )
+    parser.add_argument("--shapes", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=1337)
+    args = parser.parse_args(argv)
+    shapes = args.shapes or (12 if args.smoke else 40)
+    requests = args.requests or (400 if args.smoke else 3000)
+
+    payload = run_shape_bench(
+        shapes=shapes, requests=requests, seed=args.seed, smoke=args.smoke
+    )
+    print(render(payload))
+    path = save_json(SIDE_CAR, payload)
+    print(f"[sidecar saved to {path}]")
+
+    failures = check_gates(payload)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"gates passed: speedup p50 "
+            f"{payload['speedup']['p50']:.2f}x >= "
+            f"{payload['config']['gate_min_speedup_p50']}x, zero divergences"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

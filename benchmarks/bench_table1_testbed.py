@@ -50,5 +50,12 @@ def test_table1_attack_type_census(benchmark):
             ["Attack Type", "No. of Plugins (repro)", "No. of Plugins (paper)"],
             rows,
         ),
+        data={
+            "counts": {
+                _LABELS[kind]: {"repro": counts.get(kind, 0), "paper": paper}
+                for kind, paper in _PAPER.items()
+            },
+            "total": {"repro": sum(counts.values()), "paper": sum(_PAPER.values())},
+        },
     )
     assert counts == _PAPER

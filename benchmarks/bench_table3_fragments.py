@@ -50,6 +50,10 @@ def test_table3_fragment_extraction(benchmark):
             "Fragment corpus statistics",
             [(k, v) for k, v in stats.items()],
         ),
+        data={
+            "samples": {row[0]: row[1] == "yes" for row in rows},
+            "stats": dict(stats),
+        },
     )
     assert all(row[1] == "yes" for row in rows)
     assert stats["fragments"] > 150  # a real corpus, not a toy list

@@ -86,6 +86,34 @@ def test_table4_security_matrix(benchmark, corpus_eval):
             ],
             rows,
         ),
+        data={
+            "nti_baseline": list(corpus_eval.nti_baseline),
+            "pti_baseline": list(corpus_eval.pti_baseline),
+            "nti_evasions": corpus_eval.nti_evasions,
+            "taintless_successes": corpus_eval.taintless_successes,
+            "joza_detections": list(corpus_eval.joza_detections),
+            "plugins": {
+                r.plugin.name: {
+                    "nti_original": r.nti_original,
+                    "nti_mutated": r.nti_mutated,
+                    "pti_original": r.pti_original,
+                    "pti_mutated": r.pti_mutated,
+                    "taintless_adapted": r.taintless_adapted,
+                    "joza": r.joza,
+                }
+                for r in corpus_eval.reports
+            },
+            "scenarios": {
+                s.name: {
+                    "nti_original": s.nti_original,
+                    "nti_mutated": s.nti_mutated,
+                    "pti_original": s.pti_original,
+                    "pti_mutated": s.pti_mutated,
+                    "joza": s.joza,
+                }
+                for s in corpus_eval.scenario_reports
+            },
+        },
     )
 
     ev = corpus_eval

@@ -15,10 +15,10 @@ stays within single digits.
 from __future__ import annotations
 
 import pytest
-from conftest import PERF_NUM_POSTS, REFERENCE_RENDER_COST, REPEATS, emit
+from conftest import PERF_NUM_POSTS, REFERENCE_RENDER_COST, REPEATS, emit, emit_json
 
 from repro.bench import TABLE_VI_MIXES, mixed_stream, read_stream
-from repro.bench.reporting import pct, render_table
+from repro.bench.reporting import latency_summary, pct, render_table
 from repro.bench.runner import attributed_overhead_pct, measure
 
 _PAPER = {0.50: "8.96%", 0.10: "5.16%", 0.05: "4.53%", 0.01: "4.03%"}
@@ -32,6 +32,7 @@ def table6_data():
         render_cost=REFERENCE_RENDER_COST,
         repeats=REPEATS,
         warmup=warm,
+        record_latencies=True,
     )
     out = []
     for write_fraction, label in TABLE_VI_MIXES:
@@ -69,6 +70,33 @@ def test_table6_workload_mixes(benchmark, table6_data):
              "Overhead (repro)", "Overhead (paper)"],
             rows,
         ),
+    )
+    # Machine-readable sidecar: percentiles plus cache counters per mix.
+    emit_json(
+        "table6_workloads",
+        {
+            "benchmark": "table6_workloads",
+            "config": {
+                "num_posts": PERF_NUM_POSTS,
+                "render_cost": REFERENCE_RENDER_COST,
+                "repeats": REPEATS,
+            },
+            "mixes": [
+                {
+                    "write_fraction": fraction,
+                    "label": label,
+                    "requests": protected.requests,
+                    "latency_plain": latency_summary(plain.latencies),
+                    "latency_protected": latency_summary(protected.latencies),
+                    "overhead_pct": overhead,
+                    "overhead_paper": _PAPER[fraction],
+                    "nti_seconds": protected.engine.stats.nti_seconds,
+                    "pti_seconds": protected.engine.stats.pti_seconds,
+                    "caches": protected.engine.cache_stats(),
+                }
+                for fraction, label, plain, protected, overhead in table6_data
+            ],
+        },
     )
     overheads = [overhead for *__, overhead in table6_data]
     # Shape: the write-heavy end is the worst case and the read-heavy end a

@@ -31,13 +31,38 @@ REPEATS = 2
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def emit(name: str, text: str) -> None:
-    """Print a rendered table and persist it under benchmarks/results/."""
+def emit(name: str, text: str, data: dict | None = None) -> None:
+    """Print a rendered table, persist it, and write a JSON sidecar.
+
+    ``text`` is the human-facing paper-style rendering (``results/<name>.txt``,
+    consumed by EXPERIMENTS.md).  Every emit also writes a machine-readable
+    ``results/<name>.json`` sidecar: ``data`` carries the benchmark's raw
+    numbers (overheads, detection counts, latency percentiles, cache
+    counters) so dashboards and regression gates never parse ASCII tables.
+    Benchmarks with large bespoke payloads may instead call
+    :func:`emit_json` directly with the same ``name``.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text.rstrip() + "\n")
     print(f"\n{text}\n[saved to {path}]")
+    if data is not None:
+        emit_json(name, {"benchmark": name, **data})
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Persist a machine-readable sidecar under benchmarks/results/.
+
+    The ``.txt`` artefacts stay the human-facing rendering; sidecars carry
+    the raw numbers (latency percentiles, cache counters) for dashboards
+    and regression gates.
+    """
+    from repro.bench.reporting import save_json
+
+    path = save_json(name, payload, results_dir=RESULTS_DIR)
+    print(f"[sidecar saved to {path}]")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,14 @@
 """Measurement harness for the paper's performance evaluation (Section VI)."""
 
-from .reporting import pct, render_kv, render_table, save_result
+from .reporting import (
+    latency_summary,
+    pct,
+    percentile,
+    render_kv,
+    render_table,
+    save_json,
+    save_result,
+)
 from .runner import (
     Measurement,
     extension_estimate_pct,
@@ -16,9 +24,12 @@ from .workload import (
 )
 
 __all__ = [
+    "latency_summary",
     "pct",
+    "percentile",
     "render_kv",
     "render_table",
+    "save_json",
     "save_result",
     "Measurement",
     "extension_estimate_pct",

@@ -7,9 +7,19 @@ text under ``benchmarks/results/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 
-__all__ = ["render_table", "render_kv", "save_result", "pct", "RESULTS_DIR"]
+__all__ = [
+    "render_table",
+    "render_kv",
+    "save_result",
+    "save_json",
+    "pct",
+    "percentile",
+    "latency_summary",
+    "RESULTS_DIR",
+]
 
 #: Default output directory for rendered experiment artefacts.
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
@@ -55,3 +65,40 @@ def save_result(name: str, text: str, results_dir: str | None = None) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text.rstrip() + "\n")
     return path
+
+
+def save_json(name: str, payload: dict, results_dir: str | None = None) -> str:
+    """Persist a machine-readable JSON sidecar next to the rendered text.
+
+    Every benchmark's human-facing table keeps its ``.txt`` artefact; the
+    sidecar carries the raw numbers (latency percentiles, cache counters)
+    so dashboards and regression gates can consume them without parsing
+    ASCII tables.
+    """
+    directory = os.path.abspath(results_dir or RESULTS_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a latency sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(int(round(q * (len(ordered) - 1))), len(ordered) - 1)
+    return ordered[index]
+
+
+def latency_summary(values: list[float]) -> dict[str, float]:
+    """The p50/p95/p99 summary every JSON sidecar reports, in seconds."""
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values) if values else 0.0,
+        "p50": percentile(values, 0.50),
+        "p95": percentile(values, 0.95),
+        "p99": percentile(values, 0.99),
+    }

@@ -45,6 +45,9 @@ class Measurement:
     blocked: int = 0
     engine: JozaEngine | None = None
     daemon_timings: dict[str, float] = field(default_factory=dict)
+    #: Per-request wall-clock seconds, populated only when the stream was
+    #: replayed with ``record_latencies=True`` (JSON sidecar percentiles).
+    latencies: list[float] = field(default_factory=list)
 
     @property
     def per_request(self) -> float:
@@ -74,6 +77,7 @@ def measure(
     warmup: Iterable[HttpRequest] = (),
     repeats: int = 1,
     extra_fragments: int = 0,
+    record_latencies: bool = False,
 ) -> Measurement:
     """Replay ``stream`` against a fresh testbed and time it.
 
@@ -91,6 +95,10 @@ def measure(
         app_factory: override testbed construction.
         warmup: requests replayed before timing starts (cache priming).
         repeats: fastest-of-N runs.
+        record_latencies: additionally record each request's wall-clock
+            time so callers can report p50/p95/p99 in their JSON sidecars
+            (a perf_counter pair per request; negligible at the testbed's
+            millisecond request scale).
         extra_fragments: synthetic filler fragments added to the store,
             emulating the fragment-corpus size of a full WordPress source
             tree (our synthetic plugin sources are far smaller than real
@@ -148,11 +156,22 @@ def measure(
                     engine.daemon.timings.reset()
             if daemon is not None:
                 daemon.timings.reset()
+            latencies: list[float] = []
             start = time.perf_counter()
-            for request in requests:
-                response = app.handle(request)
-                if response.blocked:
-                    blocked += 1
+            if record_latencies:
+                previous = start
+                for request in requests:
+                    response = app.handle(request)
+                    if response.blocked:
+                        blocked += 1
+                    now = time.perf_counter()
+                    latencies.append(now - previous)
+                    previous = now
+            else:
+                for request in requests:
+                    response = app.handle(request)
+                    if response.blocked:
+                        blocked += 1
             seconds = time.perf_counter() - start
         finally:
             if daemon is not None:
@@ -169,6 +188,7 @@ def measure(
             blocked=blocked,
             engine=engine,
             daemon_timings=timings,
+            latencies=latencies,
         )
 
     # Fastest-of-N: the standard defence against scheduler/frequency noise

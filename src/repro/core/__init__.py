@@ -2,6 +2,13 @@
 
 from .engine import AttackRecord, EngineStats, JozaEngine
 from .policy import JozaConfig, RecoveryPolicy
+from .shapecache import (
+    PlanToken,
+    ShapeCache,
+    ShapeCacheConfig,
+    ShapePlan,
+    build_plan,
+)
 from .resilience import (
     BreakerState,
     CircuitBreaker,
@@ -31,6 +38,11 @@ __all__ = [
     "JozaEngine",
     "JozaConfig",
     "RecoveryPolicy",
+    "PlanToken",
+    "ShapeCache",
+    "ShapeCacheConfig",
+    "ShapePlan",
+    "build_plan",
     "BreakerState",
     "CircuitBreaker",
     "CorruptReply",

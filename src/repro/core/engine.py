@@ -24,17 +24,22 @@ or, without an application object, analyse queries directly::
 from __future__ import annotations
 
 import inspect as _inspect
+import random as _random
 import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..nti.inference import NTIAnalyzer
+from ..nti.sources import candidate_inputs
 from ..phpapp.application import QueryBlockedError, WebApplication
 from ..phpapp.context import RequestContext
 from ..pti.daemon import PTIDaemon
 from ..pti.fragments import FragmentStore
+from ..pti.inference import PTIAnalyzer
 from ..sqlparser.parser import critical_tokens
+from ..sqlparser.skeleton import Skeleton, skeletonize
 from .policy import JozaConfig, RecoveryPolicy
+from .shapecache import ShapeCache, ShapePlan, build_plan
 from .resilience import (
     DaemonUnavailable,
     Deadline,
@@ -103,6 +108,20 @@ class EngineStats:
     degraded_verdicts: int = 0
     #: Queries blocked because analysis was unavailable (not detections).
     failsafe_blocks: int = 0
+    #: Shape fast path (DESIGN.md "shape fast path"): queries fully served
+    #: by a cached per-shape analysis plan ...
+    shape_hits: int = 0
+    #: ... whose skeleton had no cached plan (cold path taken) ...
+    shape_misses: int = 0
+    #: ... or where a plan existed but declined (lex drift, slot/token
+    #: overlap, PTI recheck miss, deadline, analyzer error): cold path.
+    shape_fallthroughs: int = 0
+    #: Plans built and cached after clean, fully-safe cold analyses.
+    shape_plans_built: int = 0
+    #: Shadow validation: sampled fast-path verdicts re-checked cold ...
+    shadow_checks: int = 0
+    #: ... and how many disagreed (must stay zero; cold verdict wins).
+    shadow_divergences: int = 0
 
     def resilience_counters(self) -> dict[str, int]:
         return {
@@ -110,6 +129,16 @@ class EngineStats:
             "breaker_open": self.breaker_open,
             "degraded_verdicts": self.degraded_verdicts,
             "failsafe_blocks": self.failsafe_blocks,
+        }
+
+    def shape_counters(self) -> dict[str, int]:
+        return {
+            "shape_hits": self.shape_hits,
+            "shape_misses": self.shape_misses,
+            "shape_fallthroughs": self.shape_fallthroughs,
+            "shape_plans_built": self.shape_plans_built,
+            "shadow_checks": self.shadow_checks,
+            "shadow_divergences": self.shadow_divergences,
         }
 
 
@@ -142,6 +171,23 @@ class JozaEngine:
         #: Lazily-built in-process PTI fallback (FALLBACK_IN_PROCESS policy).
         self._fallback_daemon: PTIDaemon | None = None
         self._daemon_accepts_deadline: bool | None = None
+        #: Query-shape fast path (DESIGN.md "shape fast path").  Only active
+        #: when both techniques run: a plan encodes results of the *hybrid*
+        #: pipeline, so single-technique ablation configs take the cold path.
+        shape_cfg = self.config.shape
+        self.shape_cache: ShapeCache | None = (
+            ShapeCache(shape_cfg.capacity)
+            if shape_cfg.enabled
+            and self.config.enable_pti
+            and self.config.enable_nti
+            else None
+        )
+        #: In-process PTI analyzer used for plan building and per-hit
+        #: rechecks; bound to the daemon's current store object.
+        self._shape_analyzer: PTIAnalyzer | None = None
+        self._shape_store: FragmentStore | None = None
+        self._shape_epoch: int | None = None
+        self._shadow_rng = _random.Random(shape_cfg.shadow_seed)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -190,11 +236,52 @@ class JozaEngine:
     def nti_cache_stats(self) -> dict[str, dict[str, float]]:
         """Hit/miss counters of the NTI match/profile caches.
 
-        The NTI analogue of the PTI cache accounting: surfaced so the bench
-        reporting layer (Figure 8 and the cache ablations) can attribute
-        how much of the NTI hot path is served from memoised matches.
+        .. deprecated:: kept as a stable alias; new code should use
+           :meth:`cache_stats`, which covers every cache in the engine
+           (NTI match/profile, PTI query/structure, shape plans) in one
+           introspection call.
         """
         return self.nti.cache_stats()
+
+    def cache_stats(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Unified cache introspection: one dict covering every cache layer.
+
+        Layout::
+
+            {"nti":   {"match": {...}, "profile": {...}},
+             "pti":   {"query": {...}, "structure": {...}},
+             "shape": {"plans": {... incl. engine fast-path counters}}}
+
+        Each leaf carries ``hits`` / ``misses`` / ``hit_rate`` / ``entries``
+        (floats, bench-reporting convention); PTI entries appear only when
+        the daemon object exposes its caches (the in-process
+        :class:`~repro.pti.daemon.PTIDaemon` does; a subprocess daemon's
+        caches live in the child and are not remotely introspectable).
+        """
+        out: dict[str, dict[str, dict[str, float]]] = {
+            "nti": self.nti.cache_stats()
+        }
+        pti: dict[str, dict[str, float]] = {}
+        for name, attr in (("query", "query_cache"), ("structure", "structure_cache")):
+            cache = getattr(self.daemon, attr, None)
+            stats = getattr(cache, "stats", None)
+            if cache is None or stats is None:
+                continue
+            pti[name] = {
+                "hits": float(stats.hits),
+                "misses": float(stats.misses),
+                "hit_rate": stats.hit_rate,
+                "entries": float(len(cache)),
+            }
+        out["pti"] = pti
+        if self.shape_cache is not None:
+            plans = self.shape_cache.snapshot_stats()
+            plans.update(
+                (key, float(value))
+                for key, value in self.stats.shape_counters().items()
+            )
+            out["shape"] = {"plans": plans}
+        return out
 
     # ------------------------------------------------------------------
     # Analysis
@@ -251,10 +338,250 @@ class JozaEngine:
         per :class:`~repro.core.resilience.FailurePolicy` into a fail-closed
         or degraded verdict.  A query is never vouched safe by a technique
         that did not actually run.
+
+        Shape fast path: when enabled, the query's literal-masked skeleton
+        is looked up in the plan cache first.  A hit replays the cached
+        analysis (PTI structure coverage pre-proven, NTI over prefiltered
+        inputs) without touching the daemon; any doubt falls through to the
+        cold path below.  Only clean, fully-safe cold analyses plant plans.
         """
         self.stats.queries_checked += 1
         if deadline is None:
             deadline = self.config.resilience.start_deadline()
+        cache = self.shape_cache
+        if cache is None:
+            return self._inspect_cold(query, context, deadline)[0]
+
+        # -- fast path -------------------------------------------------
+        skeleton: Skeleton | None = None
+        plan: ShapePlan | None = None
+        store = analyzer = None
+        t0 = time.perf_counter()
+        try:
+            store, analyzer = self._shape_state()
+            if store is not None:
+                skeleton = skeletonize(query)
+                plan = cache.get(skeleton.key, store.epoch)
+        except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+            raise
+        except Exception:  # pragma: no cover - defensive: fast path is
+            plan = None  # best-effort; the cold path is always correct.
+        finally:
+            self.stats.pti_seconds += time.perf_counter() - t0
+        if plan is not None:
+            verdict = self._apply_plan(
+                plan, skeleton, query, context, deadline, analyzer
+            )
+            if verdict is not None:
+                self.stats.shape_hits += 1
+                shadow = self._shadow_validate(query, context, verdict)
+                return verdict if shadow is None else shadow
+            self.stats.shape_fallthroughs += 1
+        else:
+            self.stats.shape_misses += 1
+
+        # -- cold path + plan planting --------------------------------
+        verdict, tokens = self._inspect_cold(query, context, deadline)
+        if (
+            skeleton is not None
+            and store is not None
+            and analyzer is not None
+            and tokens is not None
+            and self._plan_cacheable(verdict)
+        ):
+            t0 = time.perf_counter()
+            try:
+                new_plan = build_plan(query, skeleton, tokens, analyzer)
+                if new_plan is not None:
+                    cache.put(skeleton.key, new_plan, store.epoch)
+                    self.stats.shape_plans_built += 1
+            except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                raise
+            except Exception:  # pragma: no cover - defensive
+                pass
+            finally:
+                self.stats.pti_seconds += time.perf_counter() - t0
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Shape fast path internals
+    # ------------------------------------------------------------------
+
+    def _shape_state(self) -> tuple[FragmentStore | None, PTIAnalyzer | None]:
+        """Current fragment store + the plan analyzer bound to it.
+
+        Guards both invalidation axes: a *swapped* store object (daemon
+        ``refresh_fragments``) flushes the cache outright -- epochs of
+        distinct stores are incomparable -- and an *in-place* epoch bump
+        clears the analyzer's MRU (a removed fragment lingering there would
+        keep covering tokens, since containment checks consult only the
+        query text).  The cache itself syncs on the epoch at get/put time.
+        """
+        store = getattr(self.daemon, "store", None)
+        if store is None:  # pragma: no cover - store-less custom daemon
+            return None, None
+        if store is not self._shape_store:
+            self._shape_store = store
+            self._shape_epoch = store.epoch
+            self._shape_analyzer = PTIAnalyzer(store, self.config.daemon.pti)
+            self.shape_cache.clear()
+        elif store.epoch != self._shape_epoch:
+            self._shape_epoch = store.epoch
+            if self._shape_analyzer is not None:
+                self._shape_analyzer.mru.clear()
+        return store, self._shape_analyzer
+
+    def _apply_plan(
+        self,
+        plan: ShapePlan,
+        skeleton: Skeleton,
+        query: str,
+        context: RequestContext,
+        deadline,
+        analyzer: PTIAnalyzer,
+    ) -> QueryVerdict | None:
+        """Replay a cached plan on one query instance; ``None`` = fall through.
+
+        Fast-path time is attributed to the same ``pti_seconds`` /
+        ``nti_seconds`` buckets as the cold path so overhead accounting
+        (``attributed_overhead_pct``) stays comparable across modes.
+        """
+        t0 = time.perf_counter()
+        try:
+            deadline.check("shape-pti")
+            # Trusted instantiation: the plan was looked up by this query's
+            # own skeleton key, so spans/tokens are memoised on slot
+            # lengths (see ShapePlan.instantiate_trusted).
+            spans, tokens = plan.instantiate_trusted(query, skeleton.slots)
+            if spans is None:
+                return None
+            if plan.recheck_count:
+                # Tokens whose build-time coverage witness crossed a
+                # literal slot: coverage depends on this instance's
+                # literals, re-prove it.  The stored witness usually
+                # re-occurs at the same token-relative offset (one verbatim
+                # startswith, inlined from ShapePlan.witness_holds); only
+                # misses pay the full fragment search.
+                startswith = query.startswith
+                for index, witness, rel, wlen in plan.recheck_witnesses:
+                    start, end = spans[index]
+                    pos = start - rel
+                    if (
+                        witness is not None
+                        and pos >= 0
+                        and end <= pos + wlen
+                        and startswith(witness, pos)
+                    ):
+                        continue
+                    if analyzer.cover_token_witness(query, tokens[index]) is None:
+                        return None
+            pti_result = AnalysisResult(
+                technique=Technique.PTI, safe=True, from_cache="shape"
+            )
+        except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+            raise
+        except Exception:
+            return None
+        finally:
+            self.stats.pti_seconds += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        try:
+            if context.non_empty_values():
+                threshold = self.config.nti.threshold
+                values = [
+                    value
+                    for value in candidate_inputs(context, query, threshold)
+                    if plan.input_can_cover(value, threshold)
+                ]
+                if values:
+                    nti_result = self.nti.analyze(
+                        query,
+                        context,
+                        tokens,
+                        deadline=deadline,
+                        values=values,
+                        # Lazy factory for the exact pruning tables,
+                        # assembled from the plan's segment template --
+                        # O(slot text), not O(query), and only if some
+                        # input survives the exact-containment check.
+                        profile=lambda: plan.profile_for(query, skeleton.slots),
+                    )
+                else:
+                    # Every input provably unable to cover any critical
+                    # token: same verdict as a full run, no matcher calls.
+                    nti_result = AnalysisResult(
+                        technique=Technique.NTI, safe=True
+                    )
+            else:
+                nti_result = AnalysisResult(technique=Technique.NTI, safe=True)
+        except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+            raise
+        except Exception:
+            return None
+        finally:
+            self.stats.nti_seconds += time.perf_counter() - t0
+
+        if not nti_result.safe:
+            self.stats.nti_detections += 1
+        return QueryVerdict(
+            query=query,
+            safe=nti_result.safe,
+            pti=pti_result,
+            nti=nti_result,
+        )
+
+    @staticmethod
+    def _plan_cacheable(verdict: QueryVerdict) -> bool:
+        """Only clean, fully-safe hybrid verdicts may plant a plan.
+
+        Unsafe shapes are never cached (coverage gaps are not a shape
+        property); degraded/failsafe verdicts reflect faults, not analysis.
+        """
+        return (
+            verdict.safe
+            and not verdict.degraded
+            and not verdict.failsafe
+            and not verdict.failure_reasons
+            and verdict.pti is not None
+            and verdict.pti.safe
+            and verdict.nti is not None
+            and verdict.nti.safe
+        )
+
+    def _shadow_validate(
+        self, query: str, context: RequestContext, fast: QueryVerdict
+    ) -> QueryVerdict | None:
+        """Sampled cold re-run of a fast-path verdict (correctness monitor).
+
+        Returns ``None`` when not sampled or in agreement; on divergence the
+        counter is bumped and the *cold* verdict is returned (trust the
+        reference pipeline).  The cold re-run's time lands in the usual
+        stat buckets, so shadowing visibly costs what it costs.
+        """
+        rate = self.config.shape.shadow_rate
+        if rate <= 0.0 or self._shadow_rng.random() >= rate:
+            return None
+        self.stats.shadow_checks += 1
+        cold, _ = self._inspect_cold(
+            query, context, self.config.resilience.start_deadline()
+        )
+        if cold.safe == fast.safe and cold.detected_by() == fast.detected_by():
+            return None
+        self.stats.shadow_divergences += 1
+        return cold
+
+    def _inspect_cold(
+        self,
+        query: str,
+        context: RequestContext,
+        deadline,
+    ) -> tuple[QueryVerdict, list | None]:
+        """The reference pipeline: full PTI (daemon) + NTI run.
+
+        Returns the verdict plus the critical-token list (when one was
+        produced) so the caller can plant a shape plan.
+        """
         policy = self.config.resilience.failure_policy
         failure_reasons: list[str] = []
         degraded = False
@@ -375,7 +702,7 @@ class JozaEngine:
             self.stats.degraded_verdicts += 1
         if failsafe:
             self.stats.failsafe_blocks += 1
-        return verdict
+        return verdict, tokens
 
     # ------------------------------------------------------------------
     # QueryGuard interface (enforcement)
@@ -422,6 +749,7 @@ class JozaEngine:
         never had to absorb a fault.
         """
         report: dict = dict(self.stats.resilience_counters())
+        report["shape_fastpath"] = self.stats.shape_counters()
         report["dropped_records"] = self.attack_log.dropped_records
         report["attack_log_capacity"] = self.attack_log.capacity
         report["failure_policy"] = self.config.resilience.failure_policy.value

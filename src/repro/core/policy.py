@@ -8,8 +8,15 @@ from dataclasses import dataclass, field
 from ..nti.inference import NTIConfig
 from ..pti.daemon import DaemonConfig
 from .resilience import FailurePolicy, ResilienceConfig
+from .shapecache import ShapeCacheConfig
 
-__all__ = ["RecoveryPolicy", "JozaConfig", "FailurePolicy", "ResilienceConfig"]
+__all__ = [
+    "RecoveryPolicy",
+    "JozaConfig",
+    "FailurePolicy",
+    "ResilienceConfig",
+    "ShapeCacheConfig",
+]
 
 
 class RecoveryPolicy(enum.Enum):
@@ -40,6 +47,10 @@ class JozaConfig:
     #: Fault-tolerance knobs: per-query analysis deadline, failure policy,
     #: audit-log capacity (DESIGN.md section 7).
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Query-shape fast path: bounded skeleton-keyed plan cache + shadow
+    #: validation sampling (DESIGN.md "shape fast path").  Active only when
+    #: both techniques are enabled (a plan encodes hybrid-pipeline results).
+    shape: ShapeCacheConfig = field(default_factory=ShapeCacheConfig)
     policy: RecoveryPolicy = RecoveryPolicy.TERMINATE
     enable_nti: bool = True
     enable_pti: bool = True

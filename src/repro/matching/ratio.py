@@ -15,6 +15,7 @@ arithmetic.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from .substring import SubstringMatch, TextProfile, best_substring_match
@@ -63,7 +64,7 @@ def match_with_ratio(
     threshold: float = DEFAULT_NTI_THRESHOLD,
     *,
     matcher: str = "auto",
-    profile: TextProfile | None = None,
+    profile: "TextProfile | Callable[[], TextProfile] | None" = None,
 ) -> RatioMatch | None:
     """Locate ``pattern`` in ``text`` and accept it if the ratio clears ``threshold``.
 
@@ -76,8 +77,10 @@ def match_with_ratio(
 
     ``matcher`` selects the matching core (see
     :func:`repro.matching.substring.best_substring_match`); ``profile`` is
-    an optional precomputed :class:`TextProfile` of ``text`` so NTI can
-    amortise the pruning tables across every input of a request.
+    an optional precomputed :class:`TextProfile` of ``text`` -- or a lazy
+    zero-argument factory for one -- so NTI can amortise the pruning tables
+    across every input of a request without building them for inputs that
+    short-circuit on exact containment.
 
     Returns ``None`` when no substring of ``text`` matches ``pattern``
     closely enough.

@@ -45,6 +45,7 @@ across every candidate input of a request (and cache them across requests).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from .bitparallel import build_peq, recover_start, substring_scan
@@ -112,6 +113,23 @@ class TextProfile:
             gram = text[i : i + 2]
             bigrams[gram] = bigrams.get(gram, 0) + 1
         self._bigrams = bigrams
+
+    @classmethod
+    def from_tables(
+        cls, text: str, chars: dict[str, int], bigrams: dict[str, int]
+    ) -> "TextProfile":
+        """Wrap precomputed multiset tables without rescanning ``text``.
+
+        Callers must supply the *exact* character and bigram multisets of
+        ``text`` -- the shape fast path assembles them incrementally from
+        per-shape segment tables plus the current literal slots, which is
+        ``O(slot text)`` instead of ``O(query)``.
+        """
+        profile = cls.__new__(cls)
+        profile.text = text
+        profile._chars = chars
+        profile._bigrams = bigrams
+        return profile
 
     def char_bound(self, pattern: str) -> int:
         """Lower bound on the substring distance from character multiplicities.
@@ -189,7 +207,7 @@ def best_substring_match(
     max_distance: int | None = None,
     *,
     matcher: str = "auto",
-    profile: TextProfile | None = None,
+    profile: "TextProfile | Callable[[], TextProfile] | None" = None,
 ) -> SubstringMatch | None:
     """Find the best approximate occurrence of ``pattern`` within ``text``.
 
@@ -205,6 +223,11 @@ def best_substring_match(
         profile: optional precomputed :class:`TextProfile` for ``text``
             (must satisfy ``profile.text == text``); avoids rebuilding the
             pruning tables when many patterns are matched against one text.
+            May also be a zero-argument callable returning such a profile:
+            it is invoked only if the bound heuristics are actually reached
+            (an exact ``str.find`` hit never needs the tables), letting
+            callers share a lazily-built profile across patterns without
+            paying for it on exact-containment traffic.
 
     Returns:
         The :class:`SubstringMatch` with minimal distance (ties broken by
@@ -226,7 +249,12 @@ def best_substring_match(
         # Heuristic 2: a pattern much longer than the text cannot fit.
         if n - m > max_distance:
             return None
-        tables = profile if profile is not None else TextProfile(text)
+        if profile is None:
+            tables = TextProfile(text)
+        elif callable(profile):
+            tables = profile()
+        else:
+            tables = profile
         # Heuristic 3: character-frequency lower bound.
         if tables.char_bound(pattern) > max_distance:
             return None

@@ -34,6 +34,7 @@ Performance structure (the per-request hot path of the whole system):
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from ..core.resilience import Deadline
@@ -124,13 +125,25 @@ class NTIAnalyzer:
         return out
 
     def _profile_for(self, query: str, holder: list) -> TextProfile:
-        """Lazily build/fetch the query's pruning tables (once per query)."""
-        if holder[0] is None:
+        """Lazily build/fetch the query's pruning tables (once per query).
+
+        ``holder[0]`` may start out as ``None`` (build or fetch from the
+        cross-request cache), a ready :class:`TextProfile`, or a
+        zero-argument factory (the shape fast path's incremental assembly);
+        whatever it was, the resolved profile is memoised back into the
+        holder so later inputs of the same query reuse it.
+        """
+        value = holder[0]
+        if value is None:
             if self.profile_cache is not None:
-                holder[0] = self.profile_cache.get_or_build(query)
+                value = self.profile_cache.get_or_build(query)
             else:
-                holder[0] = TextProfile(query)
-        return holder[0]
+                value = TextProfile(query)
+            holder[0] = value
+        elif callable(value):
+            value = value()
+            holder[0] = value
+        return value
 
     def _match(self, value: str, query: str, holder: list) -> RatioMatch | None:
         """One memoised substring-match computation."""
@@ -144,7 +157,9 @@ class NTIAnalyzer:
             query,
             self.config.threshold,
             matcher=self.config.matcher,
-            profile=self._profile_for(query, holder),
+            # Lazy: the pruning tables are only built/fetched if the match
+            # gets past the exact-containment short circuit.
+            profile=lambda: self._profile_for(query, holder),
         )
         if cache is not None:
             cache.put(value, query, result)
@@ -156,6 +171,8 @@ class NTIAnalyzer:
         context: RequestContext,
         tokens: list[Token] | None = None,
         deadline: Deadline | None = None,
+        values: list[str] | None = None,
+        profile: "TextProfile | Callable[[], TextProfile] | None" = None,
     ) -> AnalysisResult:
         """Run NTI over one query.
 
@@ -174,6 +191,17 @@ class NTIAnalyzer:
                 :class:`~repro.core.resilience.DeadlineExceeded` instead of
                 stalling the guard -- the engine then resolves the query
                 per its failure policy.
+            values: optional pre-computed candidate input list.  The shape
+                fast path passes the :func:`~repro.nti.sources.candidate_inputs`
+                output after pruning inputs that provably cannot cover any
+                critical token of the cached shape; ``None`` (the default)
+                enumerates the context as usual.
+            profile: optional pre-built pruning tables for ``query``, or a
+                zero-argument factory for them.  Must be *exact* (equal to
+                ``TextProfile(query)``); the shape fast path passes a lazy
+                factory assembling one from its per-shape segment template
+                instead of rescanning the query -- invoked only if some
+                input actually reaches the bound heuristics.
         """
         crit = tokens if tokens is not None else critical_tokens(query)
         markings: list[TaintMarking] = []
@@ -181,8 +209,10 @@ class NTIAnalyzer:
         # Pruning tables depend only on the query: built (or fetched from
         # the cross-request cache) at most once per analyze call, lazily on
         # the first match-cache miss, then shared across all inputs.
-        profile_holder: list = [None]
-        for value in candidate_inputs(context, query, self.config.threshold):
+        profile_holder: list = [profile]
+        if values is None:
+            values = candidate_inputs(context, query, self.config.threshold)
+        for value in values:
             if deadline is not None:
                 deadline.check("nti")
             if len(value) < self.config.min_input_length:
@@ -190,16 +220,21 @@ class NTIAnalyzer:
             matched = self._match(value, query, profile_holder)
             if matched is None:
                 continue
+            # Hoist the span once (RatioMatch.start/end are forwarding
+            # properties) and inline TaintMarking.covers for the per-token
+            # loop -- this runs for every matching input of every request.
+            span = matched.match
+            m_start, m_end = span.start, span.end
             marking = TaintMarking(
-                start=matched.start,
-                end=matched.end,
+                start=m_start,
+                end=m_end,
                 technique=Technique.NTI,
                 origin=value,
                 ratio=matched.ratio,
             )
             markings.append(marking)
             for token in crit:
-                if marking.covers(token):
+                if m_start <= token.start and token.end <= m_end:
                     detections.append(
                         Detection(
                             technique=Technique.NTI,

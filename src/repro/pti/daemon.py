@@ -116,6 +116,9 @@ class PTIDaemon:
         self.structure_cache = StructureCache(self.config.structure_cache_capacity)
         self.timings = StageTimings()
         self.queries_analyzed = 0
+        #: Fragment-store epoch the caches were built under; any in-place
+        #: store mutation (add/remove/reload) flushes them on next use.
+        self._cache_epoch = store.epoch
 
     @property
     def store(self) -> FragmentStore:
@@ -130,6 +133,7 @@ class PTIDaemon:
         self.analyzer = PTIAnalyzer(store, self.config.pti)
         self.query_cache.clear()
         self.structure_cache.clear()
+        self._cache_epoch = store.epoch
 
     def analyze_query(
         self, query: str, deadline: Deadline | None = None
@@ -146,6 +150,17 @@ class PTIDaemon:
         self.queries_analyzed += 1
         if deadline is not None:
             deadline.check("pti")
+        store = self.analyzer.store
+        if store.epoch != self._cache_epoch:
+            # The vocabulary changed in place (plugin add/remove): every
+            # cached verdict and the MRU fragment list were computed against
+            # the old epoch.  A removed fragment in the MRU would otherwise
+            # keep "covering" tokens (containment checks consult only the
+            # query text, not store membership).
+            self._cache_epoch = store.epoch
+            self.query_cache.clear()
+            self.structure_cache.clear()
+            self.analyzer.mru.clear()
         if self.config.use_query_cache:
             t0 = time.perf_counter()
             cached = self.query_cache.get(query)

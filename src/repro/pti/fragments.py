@@ -87,8 +87,13 @@ class FragmentStore:
         # lowercased critical-token text -> indexes of fragments containing it
         self._index: dict[str, list[int]] = {}
         # memoised immutable snapshot served by the ``fragments`` property;
-        # invalidated on insertion.
+        # invalidated on any mutation.
         self._snapshot: tuple[str, ...] | None = None
+        #: Explicit mutation counter.  Every add/remove/reload bumps it;
+        #: dependent caches (PTI query/structure caches, the shape cache)
+        #: key their validity on this value instead of guessing from
+        #: object identity or snapshot recomputation.
+        self._epoch = 0
         self.add_many(fragments)
 
     # ------------------------------------------------------------------
@@ -103,12 +108,17 @@ class FragmentStore:
             store.add_many(extract_fragments(source))
         return store
 
+    def _mutated(self) -> None:
+        """Record a mutation: bump the epoch and drop the memoised snapshot."""
+        self._epoch += 1
+        self._snapshot = None
+
     def add(self, fragment: str) -> None:
-        """Insert one fragment (idempotent)."""
+        """Insert one fragment (idempotent; no-ops do not bump the epoch)."""
         if not fragment or fragment in self._seen:
             return
         self._seen.add(fragment)
-        self._snapshot = None
+        self._mutated()
         index = len(self._fragments)
         self._fragments.append(fragment)
         for key in fragment_index_keys(fragment):
@@ -117,6 +127,41 @@ class FragmentStore:
     def add_many(self, fragments: Iterable[str]) -> None:
         for fragment in fragments:
             self.add(fragment)
+
+    def remove(self, fragment: str) -> bool:
+        """Remove one fragment (plugin uninstalled); returns True if present.
+
+        Removal invalidates positional index entries, so the index is
+        rebuilt; removal is rare (administrative action), lookups are hot.
+        """
+        if fragment not in self._seen:
+            return False
+        self._seen.discard(fragment)
+        self._mutated()
+        self._fragments.remove(fragment)
+        self._rebuild_index()
+        return True
+
+    def reload(self, fragments: Iterable[str]) -> None:
+        """Replace the whole vocabulary (bulk plugin update)."""
+        self._fragments = []
+        self._seen = set()
+        self._index = {}
+        self._mutated()
+        for fragment in fragments:
+            if not fragment or fragment in self._seen:
+                continue
+            self._seen.add(fragment)
+            index = len(self._fragments)
+            self._fragments.append(fragment)
+            for key in fragment_index_keys(fragment):
+                self._index.setdefault(key, []).append(index)
+
+    def _rebuild_index(self) -> None:
+        self._index = {}
+        for index, fragment in enumerate(self._fragments):
+            for key in fragment_index_keys(fragment):
+                self._index.setdefault(key, []).append(index)
 
     # ------------------------------------------------------------------
     # Queries
@@ -127,6 +172,16 @@ class FragmentStore:
 
     def __contains__(self, fragment: str) -> bool:
         return fragment in self._seen
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter; equal epochs imply equal contents.
+
+        (The converse does not hold -- a remove+re-add of the same fragment
+        bumps the epoch twice -- which only costs dependent caches a
+        spurious flush, never a stale hit.)
+        """
+        return self._epoch
 
     def __iter__(self):
         return iter(self._fragments)

@@ -62,40 +62,56 @@ class PTIAnalyzer:
 
     # ------------------------------------------------------------------
 
-    def _fragment_covers(self, fragment: str, query: str, token: Token) -> bool:
-        """Whether some occurrence of ``fragment`` in ``query`` contains the token.
+    def _covering_position(
+        self, fragment: str, query: str, token: Token
+    ) -> int | None:
+        """Start offset of an occurrence of ``fragment`` containing the token.
 
         Only occurrences overlapping the token can matter, so the search
         starts at the earliest position where the occurrence could still
-        cover the token.
+        cover the token.  Returns ``None`` when no occurrence covers it.
         """
         self.comparisons += 1
         flen = len(fragment)
         span = token.end - token.start
         if flen < span:
-            return False
+            return None
         # Earliest start such that start + flen >= token.end:
         search_from = max(token.end - flen, 0)
         pos = query.find(fragment, search_from, token.start + flen)
         while pos >= 0:
             if pos <= token.start and token.end <= pos + flen:
-                return True
+                return pos
             if pos > token.start:
                 break
             pos = query.find(fragment, pos + 1, token.start + flen)
-        return False
+        return None
 
-    def _cover_token(self, query: str, token: Token) -> str | None:
-        """Find a fragment covering ``token``; returns it or ``None``."""
+    def _fragment_covers(self, fragment: str, query: str, token: Token) -> bool:
+        """Whether some occurrence of ``fragment`` in ``query`` contains the token."""
+        return self._covering_position(fragment, query, token) is not None
+
+    def cover_token_witness(
+        self, query: str, token: Token
+    ) -> tuple[str, int] | None:
+        """Find a covering fragment *and* the occurrence that covers the token.
+
+        Returns ``(fragment, occurrence_start)`` or ``None``.  The witness
+        position is what the shape cache uses to classify a structure
+        token's coverage as slot-independent (occurrence confined to one
+        inter-literal segment) or literal-dependent (occurrence crosses a
+        slot, so it must be re-verified per query instance).
+        """
         tried: set[str] = set()
         if self.config.use_mru:
             for fragment in self.mru.items():
                 if fragment in tried:
                     continue
                 tried.add(fragment)
-                if self._fragment_covers(fragment, query, token):
+                pos = self._covering_position(fragment, query, token)
+                if pos is not None:
                     self.mru.touch(fragment)
-                    return fragment
+                    return fragment, pos
         if self.config.use_token_index:
             candidates = self.store.iter_candidates(token_index_key(token))
         else:
@@ -104,11 +120,17 @@ class PTIAnalyzer:
             if fragment in tried:
                 continue
             tried.add(fragment)
-            if self._fragment_covers(fragment, query, token):
+            pos = self._covering_position(fragment, query, token)
+            if pos is not None:
                 if self.config.use_mru:
                     self.mru.touch(fragment)
-                return fragment
+                return fragment, pos
         return None
+
+    def _cover_token(self, query: str, token: Token) -> str | None:
+        """Find a fragment covering ``token``; returns it or ``None``."""
+        witness = self.cover_token_witness(query, token)
+        return None if witness is None else witness[0]
 
     def analyze(
         self,

@@ -41,6 +41,7 @@ from .ast_nodes import (
 )
 from .lexer import tokenize, tokenize_significant
 from .parser import Parser, SqlParseError, critical_tokens, parse_statement
+from .skeleton import LiteralSlot, Skeleton, skeletonize
 from .structure import (
     signature_and_tokens,
     structure_signature,
@@ -90,6 +91,9 @@ __all__ = [
     "SqlParseError",
     "critical_tokens",
     "parse_statement",
+    "LiteralSlot",
+    "Skeleton",
+    "skeletonize",
     "structure_signature",
     "try_structure_signature",
     "try_query_signature",

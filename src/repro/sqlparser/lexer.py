@@ -113,8 +113,15 @@ def _is_ascii_digit(ch: str) -> bool:
     return ch in _ASCII_DIGITS
 
 
-def _lex_number(text: str, pos: int) -> tuple[int, object]:
-    """Lex a numeric literal; returns (end, value)."""
+def _scan_number(text: str, pos: int) -> tuple[int, str]:
+    """Span of a numeric literal starting at ``pos``: ``(end, kind)``.
+
+    ``kind`` is ``"hex"``, ``"int"`` or ``"float"``.  This is the single
+    source of truth for numeric spans: :func:`_lex_number` layers value
+    conversion on top, and the skeletonizer
+    (:mod:`repro.sqlparser.skeleton`) relies on the same spans so literal
+    slots always agree with :func:`tokenize`.
+    """
     n = len(text)
     i = pos
     if text.startswith(("0x", "0X"), pos):
@@ -122,7 +129,7 @@ def _lex_number(text: str, pos: int) -> tuple[int, object]:
         while i < n and text[i] in "0123456789abcdefABCDEF":
             i += 1
         if i > pos + 2:
-            return i, int(text[pos:i], 16)
+            return i, "hex"
         i = pos  # bare "0x" -- treat as plain number 0 then identifier
     seen_dot = False
     seen_exp = False
@@ -148,10 +155,18 @@ def _lex_number(text: str, pos: int) -> tuple[int, object]:
                 break
         else:
             break
-    raw = text[pos:i]
-    if seen_dot or seen_exp:
-        return i, float(raw)
-    return i, int(raw)
+    return i, ("float" if seen_dot or seen_exp else "int")
+
+
+def _lex_number(text: str, pos: int) -> tuple[int, object]:
+    """Lex a numeric literal; returns (end, value)."""
+    end, kind = _scan_number(text, pos)
+    raw = text[pos:end]
+    if kind == "hex":
+        return end, int(raw, 16)
+    if kind == "float":
+        return end, float(raw)
+    return end, int(raw)
 
 
 def _is_ident_start(ch: str) -> bool:

@@ -1,0 +1,198 @@
+"""Literal-masked query skeletons: the key of the query-shape fast path.
+
+Production SQL traffic is a small set of repeated query *shapes* differing
+only in literal values -- the observation behind the paper's structure cache
+(Section VI-A) and behind SQLBlock-style query profiling.  The skeletonizer
+canonicalizes a query into
+
+- a **skeleton key**: the query text with every string/number literal span
+  replaced by a typed slot marker (``\\x00s`` / ``\\x00n``).  Everything
+  else -- keywords, identifiers, operators, *whitespace and comments* -- is
+  preserved verbatim, so two queries share a key exactly when they are
+  character-identical outside their literal slots;
+- the **literal slot spans**: the ``[start, end)`` offsets and kind of each
+  masked literal in the original query.
+
+This is deliberately *stricter* than the PTI structure cache's
+whitespace-collapsing :func:`~repro.sqlparser.structure.token_signature`:
+PTI fragment matching is exact on raw query text, so a reusable analysis
+plan needs the inter-literal text to be byte-identical, not merely
+token-identical.
+
+Span agreement with the lexer is a hard invariant: the slot spans must be
+exactly the spans :func:`~repro.sqlparser.lexer.tokenize` assigns to its
+``STRING``/``NUMBER`` tokens (property-tested).  The scanner therefore
+consumes quoted identifiers, comments and identifier words as opaque
+regions -- so quotes inside comments, digits inside identifiers and ``--``
+markers inside strings can never be misread -- and reuses the lexer's
+numeric-span rules via the shared regex below.
+
+Unlike :func:`tokenize`, skeletonization allocates no per-token objects:
+one compiled-regex pass plus slicing.  That cost asymmetry is what makes
+the warm shape-cache path cheap (see ``repro/core/shapecache.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+__all__ = [
+    "SLOT_STRING",
+    "SLOT_NUMBER",
+    "STRING_MARK",
+    "NUMBER_MARK",
+    "LiteralSlot",
+    "Skeleton",
+    "skeletonize",
+]
+
+#: Slot kinds (typed slots: a string literal never shares a shape with a
+#: number literal in the same position).
+SLOT_STRING = "s"
+SLOT_NUMBER = "n"
+
+#: Markers substituted into the key.  ``\x00`` cannot appear in a token the
+#: lexer would classify differently, so marked keys never collide with the
+#: text of a different query.
+STRING_MARK = "\x00s"
+NUMBER_MARK = "\x00n"
+
+# One alternation per opaque/maskable region, mirroring the lexer exactly:
+#
+# - quoted strings: backslash escapes (incl. a lone trailing backslash) and
+#   doubled-quote escapes; unterminated strings run to end of input
+#   (lexer's ``_lex_quoted``);
+# - backtick identifiers: doubled-backtick escape only, no backslash;
+# - comments: ``/* ... */`` (unterminated swallows the rest), ``-- ...``
+#   and ``# ...`` to end of line;
+# - numbers: hex, decimal/float/scientific with the exact acceptance rules
+#   of ``_scan_number`` (exponent only after a digit, one dot, bare ``0x``
+#   falls back to ``0``).  Digit-initial alternatives carry a negative
+#   lookbehind for ASCII identifier characters: a digit run preceded by an
+#   ASCII word char is part of that identifier (``abc123`` never yields a
+#   number slot), which is exactly what an explicit identifier alternative
+#   used to enforce by consuming the whole word.  The lookbehind keeps the
+#   semantics while letting the scanner skip pure-ASCII identifiers
+#   entirely -- the per-match Python loop body then runs only for actual
+#   literals, comments and the rare non-ASCII word, which is what makes
+#   warm-path skeletonization cheap.  Dot-initial ``.5`` has no guard
+#   (``.`` is not an identifier character, so it can never sit inside a
+#   word), matching the lexer's behaviour on ``a.5``;
+# - non-ASCII words: a one-character lookbehind cannot classify a digit
+#   preceded by a char above 0x7f -- the lexer treats such a char as
+#   identifier *continuation* (``a\xa05`` is one identifier) but as
+#   *whitespace* when it would start a token and ``isspace()`` holds
+#   (``\x850`` lexes as whitespace + NUMBER).  Words containing any char
+#   above 0x7f are therefore consumed as opaque regions, with the lexer's
+#   exact start rule (``isspace`` wins over ident-start) enforced on the
+#   word's first character.  Pure-ASCII words never match this alternative,
+#   so the common case stays loop-free;
+# - skip runs: a last-resort alternative gulping runs of characters that
+#   can never start or influence a maskable region -- ASCII letters,
+#   ``_``/``$``, ASCII whitespace and operator punctuation.  Deliberately
+#   excluded: digits and ``.`` (a greedy gulp starting earlier would
+#   swallow a number that must become a slot), quote/backtick/comment
+#   starters (single quote, double quote, backtick, ``/``, ``-``, ``#``) and everything
+#   above 0x7f (ident-vs-whitespace ambiguity, handled above).  The gulp
+#   changes no semantics -- its characters were gap text anyway -- it only
+#   moves the scan from per-character alternation attempts to one C-level
+#   run per stretch of boring text, tried *after* the non-ASCII word
+#   alternative so it can never split ``a\xa05``-style identifiers.
+#
+# Anything not matched (lone ``.``, stray digits after identifiers,
+# backslashes, ...) is copied verbatim as gap text between matches.
+
+#: Characters above 0x7f the lexer's top-level ``isspace()`` check claims
+#: before identifier scanning ever sees them (U+3000 is the last Unicode
+#: space, but scan the whole BMP rather than trust that fact).
+_HIGH_SPACES = "".join(chr(c) for c in range(0x80, 0x10000) if chr(c).isspace())
+
+_SCANNER = re.compile(
+    rf"""
+      (?P<squote>'(?:''|\\[\s\S]?|[^'\\])*(?:'|\Z))
+    | (?P<dquote>"(?:""|\\[\s\S]?|[^"\\])*(?:"|\Z))
+    | (?P<btick>`(?:``|[^`])*(?:`|\Z))
+    | (?P<comment>/\*[\s\S]*?(?:\*/|\Z)|--[^\n]*|\#[^\n]*)
+    | (?P<number>(?<![0-9A-Za-z_$])
+        (?:0[xX][0-9a-fA-F]+
+          |\d+\.\d+(?:[eE][+-]?\d+)?
+          |\d+[eE][+-]?\d+
+          |\d+\.?)
+        |\.\d+(?:[eE][+-]?\d+)?)
+    | (?P<ident>(?:[A-Za-z_$][0-9A-Za-z_$]*[^\x00-\x7f]
+                  |(?![{_HIGH_SPACES}])[^\x00-\x7f])
+                (?:[0-9A-Za-z_$]|[^\x00-\x7f])*)
+    | (?P<skip>[A-Za-z_$\x20\t\n\r\x0b\x0c,*=<>()+;:?%&|!^~@\[\]{{}}]+)
+    """,
+    re.VERBOSE,
+)
+
+
+class LiteralSlot(NamedTuple):
+    """One masked literal: its exact span in the query and its kind.
+
+    A ``NamedTuple`` rather than a dataclass: two to three of these are
+    allocated per skeletonized query on the engine's hot path, and tuple
+    construction is several times cheaper than a frozen dataclass
+    ``__init__`` while staying immutable and field-compatible.
+    """
+
+    start: int
+    end: int
+    kind: str  # SLOT_STRING | SLOT_NUMBER
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class Skeleton(NamedTuple):
+    """A query's literal-masked key plus the spans that were masked.
+
+    Two queries with equal ``key`` are identical outside their slots: same
+    slot count, kinds and order, and byte-identical inter-slot segments.
+    Consequently their token streams correspond one-to-one with all
+    non-literal token spans shifted rigidly by the cumulative slot-length
+    difference -- the invariant the shape cache's analysis plans rely on.
+    """
+
+    key: str
+    slots: tuple[LiteralSlot, ...]
+
+
+# Group numbers of the scanner alternation, in source order; matching on
+# ``lastindex`` (an int) avoids the ``lastgroup`` name lookup in the hot
+# loop.  All inner groups are non-capturing, so ``lastindex`` is exactly
+# the matched alternative.
+_G_SQUOTE, _G_DQUOTE, _G_BTICK, _G_COMMENT, _G_NUMBER, _G_IDENT, _G_SKIP = range(
+    1, 8
+)
+
+
+def skeletonize(query: str) -> Skeleton:
+    """Compute the literal-masked skeleton of ``query`` in one regex pass."""
+    parts: list[str] = []
+    slots: list[LiteralSlot] = []
+    copied = 0
+    append = parts.append
+    add_slot = slots.append
+    for match in _SCANNER.finditer(query):
+        index = match.lastindex
+        if index == _G_NUMBER:
+            mark, kind = NUMBER_MARK, SLOT_NUMBER
+        elif index <= _G_DQUOTE:
+            mark, kind = STRING_MARK, SLOT_STRING
+        else:
+            # btick / comment / ident regions are consumed (so their
+            # contents cannot be misread as literals) but copied verbatim:
+            # they are part of the shape.
+            continue
+        start, end = match.span()
+        if copied != start:
+            append(query[copied:start])
+        append(mark)
+        add_slot(LiteralSlot(start, end, kind))
+        copied = end
+    append(query[copied:])
+    return Skeleton(key="".join(parts), slots=tuple(slots))

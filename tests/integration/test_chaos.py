@@ -29,6 +29,7 @@ from repro.core import (
     JozaEngine,
     ResilienceConfig,
     RetryPolicy,
+    ShapeCacheConfig,
 )
 from repro.phpapp.context import CapturedInput, RequestContext
 from repro.pti import FragmentStore
@@ -66,7 +67,11 @@ def make_engine(
     config = JozaConfig(
         resilience=ResilienceConfig(
             deadline_seconds=deadline, failure_policy=policy
-        )
+        ),
+        # The chaos suite exercises the daemon recovery machinery; the
+        # query-shape fast path would legitimately serve repeated shapes
+        # without touching the (faulty) daemon and starve the schedules.
+        shape=ShapeCacheConfig(enabled=False),
     )
     return JozaEngine(store, config, daemon=daemon), daemon
 

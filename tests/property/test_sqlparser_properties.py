@@ -7,12 +7,14 @@ from repro.sqlparser import (
     SqlParseError,
     critical_tokens,
     parse_statement,
+    skeletonize,
     structure_signature,
     token_signature,
     tokenize,
     tokenize_significant,
     try_query_signature,
 )
+from repro.sqlparser.skeleton import SLOT_NUMBER, SLOT_STRING
 from repro.sqlparser.tokens import TokenType
 
 any_text = st.text(max_size=60)
@@ -59,6 +61,48 @@ def test_critical_tokens_subset_of_stream(text):
 def test_critical_tokens_text_matches_source(text):
     for token in critical_tokens(text):
         assert text[token.start : token.end] == token.text
+
+
+# -- skeletonizer/lexer span agreement (the shape fast path's invariant) ----
+
+
+def _lexer_literal_spans(text):
+    out = []
+    for token in tokenize(text):
+        if token.type is TokenType.STRING:
+            out.append((token.start, token.end, SLOT_STRING))
+        elif token.type is TokenType.NUMBER:
+            out.append((token.start, token.end, SLOT_NUMBER))
+    return out
+
+
+@given(any_text)
+def test_skeleton_slots_agree_with_lexer_any_text(text):
+    skeleton = skeletonize(text)
+    assert [
+        (s.start, s.end, s.kind) for s in skeleton.slots
+    ] == _lexer_literal_spans(text)
+
+
+@given(sqlish)
+def test_skeleton_slots_agree_with_lexer_sqlish(text):
+    skeleton = skeletonize(text)
+    assert [
+        (s.start, s.end, s.kind) for s in skeleton.slots
+    ] == _lexer_literal_spans(text)
+
+
+@given(sqlish)
+def test_skeleton_key_reconstructs_the_query(text):
+    skeleton = skeletonize(text)
+    out, key_pos = [], 0
+    for slot in skeleton.slots:
+        mark = skeleton.key.index("\x00", key_pos)
+        out.append(skeleton.key[key_pos:mark])
+        out.append(text[slot.start : slot.end])
+        key_pos = mark + 2
+    out.append(skeleton.key[key_pos:])
+    assert "".join(out) == text
 
 
 # -- parser round-trips over generated statements ---------------------------

@@ -158,8 +158,10 @@ def test_cached_pti_verdict_still_runs_nti():
     query = "SELECT * FROM records WHERE ID=1 OR 1 = 1 LIMIT 5"
     # First pass: no inputs -> PTI-safe (tautology uses covered OR/=), cached.
     assert engine.inspect(query, ctx()).safe
-    # Second pass with the attacking input: NTI must still flag it.
+    # Second pass with the attacking input: NTI must still flag it.  The
+    # hit may be served by the shape fast path (plan planted on the first
+    # pass) or by the PTI query cache -- either way NTI is not skipped.
     verdict = engine.inspect(query, ctx("1 OR 1 = 1"))
     assert not verdict.safe
-    assert verdict.pti.from_cache == "query"
+    assert verdict.pti.from_cache in ("query", "shape")
     assert verdict.detected_by() == {Technique.NTI}

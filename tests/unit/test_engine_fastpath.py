@@ -1,0 +1,212 @@
+"""Unit tests for the query-shape fast path wired into the engine.
+
+Covers the acceptance criteria of the shape-cache issue: hit/miss/plant
+accounting, NTI still running on shape hits, unsafe shapes never being
+cached, fragment-store mutations provably invalidating cached PTI
+coverage, store swaps flushing plans, shadow validation, and the unified
+``cache_stats()`` introspection surface.
+"""
+
+from repro.core import (
+    JozaConfig,
+    JozaEngine,
+    ShapeCacheConfig,
+    Technique,
+)
+from repro.phpapp.context import CapturedInput, RequestContext
+from repro.pti import FragmentStore
+
+FRAGMENTS = ["SELECT * FROM records WHERE ID=", " LIMIT 5", " OR ", " = "]
+
+
+def ctx(*values):
+    return RequestContext(
+        inputs=[CapturedInput("get", f"p{i}", v) for i, v in enumerate(values)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hit / miss / plant accounting
+# ---------------------------------------------------------------------------
+
+
+def test_shape_hit_serves_plan_verdict_and_counts():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    query = "SELECT * FROM records WHERE ID=1 LIMIT 5"
+    first = engine.inspect(query, ctx("1"))
+    assert first.safe and first.pti.from_cache is None
+    assert engine.stats.shape_misses == 1
+    assert engine.stats.shape_plans_built == 1
+
+    # Same shape, different literal: served by the plan, not the daemon.
+    second = engine.inspect("SELECT * FROM records WHERE ID=42 LIMIT 5", ctx("42"))
+    assert second.safe
+    assert second.pti.from_cache == "shape"
+    assert second.nti is not None and second.nti.safe
+    assert engine.stats.shape_hits == 1
+
+
+def test_shape_hit_still_runs_nti_and_detects():
+    engine = JozaEngine.from_fragments(FRAGMENTS + ["1"])
+    query = "SELECT * FROM records WHERE ID=1 OR 1 = 1 LIMIT 5"
+    # Warm the shape with a benign (input-free) request.
+    assert engine.inspect(query, ctx()).safe
+    # Same shape with the attacking input: NTI must flag it on the hit.
+    verdict = engine.inspect(query, ctx("1 OR 1 = 1"))
+    assert not verdict.safe
+    assert verdict.detected_by() == {Technique.NTI}
+    assert verdict.pti.from_cache in ("query", "shape")
+
+
+def test_unsafe_shapes_are_never_cached():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    attack = "SELECT * FROM records WHERE ID=1 UNION SELECT 2 LIMIT 5"
+    for _ in range(3):
+        verdict = engine.inspect(attack, ctx("9"))
+        assert not verdict.safe
+        assert verdict.detected_by() == {Technique.PTI}
+    assert engine.stats.shape_plans_built == 0
+    assert len(engine.shape_cache) == 0
+    assert engine.stats.shape_misses == 3
+
+
+# ---------------------------------------------------------------------------
+# Epoch invalidation (acceptance criterion: a fragment-store mutation
+# provably invalidates cached PTI coverage)
+# ---------------------------------------------------------------------------
+
+
+def test_fragment_removal_invalidates_cached_pti_coverage():
+    engine = JozaEngine.from_fragments(["SELECT a FROM t WHERE id = ", " LIMIT 2"])
+    query = "SELECT a FROM t WHERE id = 1 LIMIT 2"
+    assert engine.inspect(query, ctx("1")).safe
+    warm = engine.inspect(query, ctx("1"))
+    assert warm.safe and warm.pti.from_cache == "shape"
+
+    # Plugin uninstalled: the only fragment covering LIMIT disappears.
+    # The cached plan proved coverage against the old vocabulary; serving
+    # it now would vouch an uncoverable query safe.
+    assert engine.store.remove(" LIMIT 2")
+
+    stale = engine.inspect("SELECT a FROM t WHERE id = 9 LIMIT 2", ctx("9"))
+    assert not stale.safe
+    assert stale.detected_by() == {Technique.PTI}
+    assert stale.pti.from_cache is None  # re-analysed, not served stale
+    assert engine.shape_cache.invalidations == 1
+
+
+def test_fragment_add_bumps_epoch_and_replans():
+    engine = JozaEngine.from_fragments(["SELECT a FROM t WHERE id = "])
+    query = "SELECT a FROM t WHERE id = 1 LIMIT 2"
+    # LIMIT uncovered: unsafe, and no plan planted.
+    assert not engine.inspect(query, ctx("1")).safe
+    assert engine.stats.shape_plans_built == 0
+
+    engine.store.add(" LIMIT 2")
+    healed = engine.inspect(query, ctx("1"))
+    assert healed.safe
+    assert engine.stats.shape_plans_built == 1
+    # And the healed shape now serves hits.
+    again = engine.inspect("SELECT a FROM t WHERE id = 7 LIMIT 2", ctx("7"))
+    assert again.safe and again.pti.from_cache == "shape"
+
+
+def test_refresh_fragments_store_swap_flushes_plans():
+    engine = JozaEngine.from_fragments(["SELECT a FROM t WHERE id = ", " LIMIT 2"])
+    query = "SELECT a FROM t WHERE id = 1 LIMIT 2"
+    assert engine.inspect(query, ctx("1")).safe
+    assert engine.inspect(query, ctx("1")).pti.from_cache == "shape"
+
+    # Whole-store swap (bulk plugin update) to a vocabulary that no longer
+    # covers LIMIT.  Epochs of distinct stores are incomparable, so the
+    # engine must flush on store identity, not epoch value.
+    engine.daemon.refresh_fragments(FragmentStore(["SELECT a FROM t WHERE id = "]))
+    verdict = engine.inspect(query, ctx("1"))
+    assert not verdict.safe
+    assert verdict.detected_by() == {Technique.PTI}
+
+
+# ---------------------------------------------------------------------------
+# Shadow validation
+# ---------------------------------------------------------------------------
+
+
+def test_shadow_validation_counts_and_never_diverges():
+    engine = JozaEngine.from_fragments(
+        FRAGMENTS, JozaConfig(shape=ShapeCacheConfig(shadow_rate=1.0, shadow_seed=7))
+    )
+    for i in range(6):
+        verdict = engine.inspect(
+            f"SELECT * FROM records WHERE ID={i} LIMIT 5", ctx(str(i))
+        )
+        assert verdict.safe
+    assert engine.stats.shape_hits >= 4
+    assert engine.stats.shadow_checks == engine.stats.shape_hits
+    assert engine.stats.shadow_divergences == 0
+
+
+def test_shadow_rate_zero_never_samples():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    for i in range(4):
+        engine.inspect(f"SELECT * FROM records WHERE ID={i} LIMIT 5", ctx(str(i)))
+    assert engine.stats.shape_hits >= 1
+    assert engine.stats.shadow_checks == 0
+
+
+# ---------------------------------------------------------------------------
+# Configuration gates
+# ---------------------------------------------------------------------------
+
+
+def test_fastpath_disabled_by_config_or_single_technique():
+    off = JozaEngine.from_fragments(
+        FRAGMENTS, JozaConfig(shape=ShapeCacheConfig(enabled=False))
+    )
+    assert off.shape_cache is None
+    query = "SELECT * FROM records WHERE ID=1 LIMIT 5"
+    assert off.inspect(query, ctx("1")).safe
+    assert off.inspect(query, ctx("1")).pti.from_cache == "query"
+    assert off.stats.shape_hits == off.stats.shape_misses == 0
+
+    # The plan encodes joint PTI+NTI state; with either technique off the
+    # fast path stays out of the way.
+    pti_only = JozaEngine.from_fragments(FRAGMENTS, JozaConfig(enable_nti=False))
+    assert pti_only.shape_cache is None
+    nti_only = JozaEngine.from_fragments([], JozaConfig(enable_pti=False))
+    assert nti_only.shape_cache is None
+
+
+# ---------------------------------------------------------------------------
+# Introspection surfaces
+# ---------------------------------------------------------------------------
+
+
+def test_cache_stats_unifies_all_cache_families():
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    query = "SELECT * FROM records WHERE ID=1 LIMIT 5"
+    engine.inspect(query, ctx("1"))
+    engine.inspect(query, ctx("1"))
+    stats = engine.cache_stats()
+    assert set(stats) == {"nti", "pti", "shape"}
+    assert set(stats["pti"]) == {"query", "structure"}
+    for family in stats["pti"].values():
+        assert {"hits", "misses", "hit_rate", "entries"} <= set(family)
+    plans = stats["shape"]["plans"]
+    assert plans["entries"] == 1.0
+    assert plans["shape_hits"] >= 1.0  # engine counters merged in
+    # Deprecated alias still answers with the NTI slice.
+    assert engine.nti_cache_stats() == stats["nti"]
+
+
+def test_resilience_report_and_export_carry_shape_counters():
+    import json
+
+    engine = JozaEngine.from_fragments(FRAGMENTS)
+    query = "SELECT * FROM records WHERE ID=1 LIMIT 5"
+    engine.check_query(query, ctx("1"))
+    engine.check_query(query, ctx("1"))
+    report = engine.resilience_report()
+    assert report["shape_fastpath"] == engine.stats.shape_counters()
+    payload = json.loads(engine.export_attack_log())
+    resilience = payload["application_stats"]["resilience"]
+    assert resilience["shape_fastpath"]["shape_hits"] >= 1

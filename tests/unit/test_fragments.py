@@ -104,3 +104,47 @@ def test_incremental_add_updates_index():
     store.add(" UNION ALL ")
     assert store.candidates_for("union") == [" UNION ALL "]
     assert store.candidates_for("all") == [" UNION ALL "]
+
+
+# ---------------------------------------------------------------------------
+# Epoch counter (dependent caches key their validity on it)
+# ---------------------------------------------------------------------------
+
+
+def test_epoch_bumps_on_add_remove_reload():
+    store = FragmentStore(["a SELECT"])
+    epoch = store.epoch
+    store.add("b SELECT")
+    assert store.epoch == epoch + 1
+    assert store.remove("b SELECT")
+    assert store.epoch == epoch + 2
+    store.reload(["c SELECT"])
+    assert store.epoch == epoch + 3
+    assert store.fragments == ("c SELECT",)
+
+
+def test_epoch_stable_on_noop_mutations():
+    store = FragmentStore(["a SELECT"])
+    epoch = store.epoch
+    store.add("a SELECT")  # duplicate
+    store.add("")  # empty
+    assert not store.remove("missing")
+    assert store.epoch == epoch
+
+
+def test_remove_rebuilds_index_and_snapshot():
+    store = FragmentStore([" UNION ALL ", " OR "])
+    before = store.fragments
+    assert store.remove(" UNION ALL ")
+    assert store.candidates_for("union") == []
+    assert store.candidates_for("all") == []
+    assert " UNION ALL " not in store
+    assert store.fragments == (" OR ",)
+    assert before == (" UNION ALL ", " OR ")  # old snapshot untouched
+
+
+def test_reload_drops_duplicates_and_empties():
+    store = FragmentStore(["old"])
+    store.reload(["x SELECT", "", "x SELECT", "y"])
+    assert store.fragments == ("x SELECT", "y")
+    assert store.candidates_for("select") == ["x SELECT"]

@@ -186,7 +186,6 @@ class JozaEngine:
         #: rechecks; bound to the daemon's current store object.
         self._shape_analyzer: PTIAnalyzer | None = None
         self._shape_store: FragmentStore | None = None
-        self._shape_epoch: int | None = None
         self._shadow_rng = _random.Random(shape_cfg.shadow_seed)
 
     # ------------------------------------------------------------------
@@ -249,8 +248,14 @@ class JozaEngine:
         Layout::
 
             {"nti":   {"match": {...}, "profile": {...}},
-             "pti":   {"query": {...}, "structure": {...}},
-             "shape": {"plans": {... incl. engine fast-path counters}}}
+             "pti":   {"query": {...}, "structure": {...}, "matcher": {...}},
+             "shape": {"plans": {... incl. engine fast-path counters},
+                       "pti_matcher": {... recheck analyzer counters}}}
+
+        The ``matcher`` leaves carry the PTI matching-engine counters
+        (comparisons, automaton builds/nodes, occurrence-index reuse, MRU
+        prunes; DESIGN.md section 9) for the daemon's analyzer and for the
+        shape fast path's recheck analyzer respectively.
 
         Each leaf carries ``hits`` / ``misses`` / ``hit_rate`` / ``entries``
         (floats, bench-reporting convention); PTI entries appear only when
@@ -273,6 +278,10 @@ class JozaEngine:
                 "hit_rate": stats.hit_rate,
                 "entries": float(len(cache)),
             }
+        analyzer = getattr(self.daemon, "analyzer", None)
+        matcher_stats = getattr(analyzer, "matcher_stats", None)
+        if callable(matcher_stats):
+            pti["matcher"] = matcher_stats()
         out["pti"] = pti
         if self.shape_cache is not None:
             plans = self.shape_cache.snapshot_stats()
@@ -280,7 +289,10 @@ class JozaEngine:
                 (key, float(value))
                 for key, value in self.stats.shape_counters().items()
             )
-            out["shape"] = {"plans": plans}
+            shape: dict[str, dict[str, float]] = {"plans": plans}
+            if self._shape_analyzer is not None:
+                shape["pti_matcher"] = self._shape_analyzer.matcher_stats()
+            out["shape"] = shape
         return out
 
     # ------------------------------------------------------------------
@@ -412,23 +424,19 @@ class JozaEngine:
 
         Guards both invalidation axes: a *swapped* store object (daemon
         ``refresh_fragments``) flushes the cache outright -- epochs of
-        distinct stores are incomparable -- and an *in-place* epoch bump
-        clears the analyzer's MRU (a removed fragment lingering there would
-        keep covering tokens, since containment checks consult only the
-        query text).  The cache itself syncs on the epoch at get/put time.
+        distinct stores are incomparable -- while *in-place* epoch bumps
+        are handled by the analyzer's own staleness guard (MRU prune,
+        automaton recompile, occurrence-memo drop; see
+        :meth:`~repro.pti.inference.PTIAnalyzer.cover_token_witness`).
+        The cache itself syncs on the epoch at get/put time.
         """
         store = getattr(self.daemon, "store", None)
         if store is None:  # pragma: no cover - store-less custom daemon
             return None, None
         if store is not self._shape_store:
             self._shape_store = store
-            self._shape_epoch = store.epoch
             self._shape_analyzer = PTIAnalyzer(store, self.config.daemon.pti)
             self.shape_cache.clear()
-        elif store.epoch != self._shape_epoch:
-            self._shape_epoch = store.epoch
-            if self._shape_analyzer is not None:
-                self._shape_analyzer.mru.clear()
         return store, self._shape_analyzer
 
     def _apply_plan(
@@ -461,7 +469,9 @@ class JozaEngine:
                 # literals, re-prove it.  The stored witness usually
                 # re-occurs at the same token-relative offset (one verbatim
                 # startswith, inlined from ShapePlan.witness_holds); only
-                # misses pay the full fragment search.
+                # misses pay the fragment search -- and under the automaton
+                # matcher all misses of one query share a single streaming
+                # pass via the analyzer's occurrence-index memo.
                 startswith = query.startswith
                 for index, witness, rel, wlen in plan.recheck_witnesses:
                     start, end = spans[index]

@@ -1,5 +1,6 @@
 """Positive taint inference component (paper Sections III-B, IV-C, VI-A)."""
 
+from .automaton import FragmentAutomaton, OccurrenceIndex
 from .caches import CacheStats, MRUFragmentCache, QueryCache, StructureCache
 from .daemon import (
     DaemonConfig,
@@ -9,9 +10,16 @@ from .daemon import (
     SubprocessPTIDaemon,
 )
 from .fragments import FragmentStore
-from .inference import PTIAnalyzer, PTIConfig
+from .inference import (
+    AUTO_AUTOMATON_MIN_FRAGMENTS,
+    PTI_MATCHER_CHOICES,
+    PTIAnalyzer,
+    PTIConfig,
+)
 
 __all__ = [
+    "FragmentAutomaton",
+    "OccurrenceIndex",
     "CacheStats",
     "MRUFragmentCache",
     "QueryCache",
@@ -24,4 +32,6 @@ __all__ = [
     "FragmentStore",
     "PTIAnalyzer",
     "PTIConfig",
+    "PTI_MATCHER_CHOICES",
+    "AUTO_AUTOMATON_MIN_FRAGMENTS",
 ]

@@ -115,6 +115,21 @@ class MRUFragmentCache:
         self._items.insert(0, fragment)
         del self._items[self.capacity :]
 
+    def prune(self, is_valid) -> bool:
+        """Drop entries rejected by ``is_valid`` (fragment-store membership).
+
+        Called by the analyzer's epoch guard after a store mutation: a
+        removed fragment lingering in the MRU would keep "covering" critical
+        tokens (containment checks consult only the query text, never store
+        membership) -- stale trust that fails open.  Surviving fragments
+        keep their recency order, so the working set is not cold-started by
+        an unrelated add.  Returns ``True`` when anything was dropped.
+        """
+        kept = [fragment for fragment in self._items if is_valid(fragment)]
+        changed = len(kept) != len(self._items)
+        self._items = kept
+        return changed
+
     def clear(self) -> None:
         self._items.clear()
 

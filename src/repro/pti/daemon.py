@@ -94,6 +94,12 @@ class DaemonConfig:
 
     ``strict_tokens`` selects the Ray/Ligatti-style token policy in which
     identifiers are critical too (paper Section II's adjustable policy).
+
+    The embedded :class:`~repro.pti.inference.PTIConfig` carries the
+    matching-engine selector (``matcher=auto|scan|automaton``, DESIGN.md
+    section 9); because the whole config is pickled into
+    :class:`SubprocessPTIDaemon` children, the one-pass automaton engine is
+    threaded through the real subprocess deployment unchanged.
     """
 
     use_query_cache: bool = True
@@ -153,14 +159,12 @@ class PTIDaemon:
         store = self.analyzer.store
         if store.epoch != self._cache_epoch:
             # The vocabulary changed in place (plugin add/remove): every
-            # cached verdict and the MRU fragment list were computed against
-            # the old epoch.  A removed fragment in the MRU would otherwise
-            # keep "covering" tokens (containment checks consult only the
-            # query text, not store membership).
+            # cached verdict was computed against the old epoch.  The
+            # analyzer guards its own derived state (MRU prune, automaton
+            # recompile) via the same epoch on its next call.
             self._cache_epoch = store.epoch
             self.query_cache.clear()
             self.structure_cache.clear()
-            self.analyzer.mru.clear()
         if self.config.use_query_cache:
             t0 = time.perf_counter()
             cached = self.query_cache.get(query)

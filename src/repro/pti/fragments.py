@@ -13,6 +13,12 @@ Matching inside queries is **case-sensitive** (Taintless explicitly
 "matches the letter case of attack tokens with those available in the
 application"), so the index is a recall-complete prefilter whose candidates
 are verified with exact ``str.find``.
+
+The store serves two matching engines (DESIGN.md section 9): the per-token
+scan consumes :meth:`FragmentStore.iter_candidates`, while the one-pass
+Aho-Corasick engine (:mod:`repro.pti.automaton`) compiles the whole
+vocabulary once per :attr:`FragmentStore.epoch` and ignores the index
+entirely.
 """
 
 from __future__ import annotations
@@ -90,9 +96,10 @@ class FragmentStore:
         # invalidated on any mutation.
         self._snapshot: tuple[str, ...] | None = None
         #: Explicit mutation counter.  Every add/remove/reload bumps it;
-        #: dependent caches (PTI query/structure caches, the shape cache)
-        #: key their validity on this value instead of guessing from
-        #: object identity or snapshot recomputation.
+        #: dependent caches (PTI query/structure caches, the MRU list, the
+        #: compiled Aho-Corasick automaton, the shape cache) key their
+        #: validity on this value instead of guessing from object identity
+        #: or snapshot recomputation.
         self._epoch = 0
         self.add_many(fragments)
 

@@ -7,15 +7,35 @@ cover one token ("PTI does not allow the critical token OR to be created by
 combining the single-letter fragments O and R"), and a comment is one
 critical token that must sit inside one fragment.
 
-The matcher applies the daemon's two optimizations (Section VI-A):
+Two matching engines implement that rule (DESIGN.md section 9), selected by
+:attr:`PTIConfig.matcher`:
 
-1. critical tokens are extracted first, and only fragments containing a
-   token's text (via the store's inverted index) are tried against it;
-2. an MRU list of recently-matching fragments is tried before the index,
-   exploiting the application's query working set.
+- ``"scan"`` -- the paper's per-token search with the daemon's two
+  Section VI-A optimizations: critical tokens are extracted first and only
+  inverted-index candidates containing a token's text are tried, after an
+  MRU list of recently-matching fragments.  Kept verbatim as the
+  differential oracle (it mirrors the published system).
+- ``"automaton"`` -- the one-pass engine: an Aho-Corasick automaton
+  (:mod:`repro.pti.automaton`) compiled per fragment-store epoch streams
+  the query once, emits every fragment-occurrence interval, and answers
+  each token's coverage with an interval-stabbing lookup.
+  ``O(|query| + occurrences + tokens log occurrences)`` instead of
+  ``O(tokens x candidates)``.
+- ``"auto"`` (default) resolves to the automaton once the vocabulary is
+  large enough for the per-character walk to beat a handful of
+  ``str.find`` calls (:data:`AUTO_AUTOMATON_MIN_FRAGMENTS`), and to the
+  scan below that.
 
-Counters on the analyzer record how many fragment comparisons were
-performed, which the Figure 7 bench uses to show the optimization effect.
+Counters on the analyzer record how much matching work was performed, which
+the Figure 7 bench uses to show the optimization effect.  **Semantics
+change with the matcher**: the scan counts fragment-vs-token containment
+checks; the automaton counts node transitions (goto steps + fail follows).
+
+The analyzer also owns its staleness guard: every public entry point
+epoch-checks the fragment store and, on mutation, prunes revoked fragments
+from the MRU (a removed fragment lingering there would keep "covering"
+tokens -- containment checks consult only the query text, never store
+membership) and drops the compiled automaton and per-query occurrence memo.
 """
 
 from __future__ import annotations
@@ -25,10 +45,28 @@ from dataclasses import dataclass
 from ..core.verdict import AnalysisResult, Detection, TaintMarking, Technique
 from ..sqlparser.parser import critical_tokens
 from ..sqlparser.tokens import Token
+from .automaton import FragmentAutomaton, OccurrenceIndex
 from .caches import MRUFragmentCache
 from .fragments import FragmentStore, token_index_key
 
-__all__ = ["PTIConfig", "PTIAnalyzer"]
+__all__ = [
+    "PTIConfig",
+    "PTIAnalyzer",
+    "PTI_MATCHER_CHOICES",
+    "AUTO_AUTOMATON_MIN_FRAGMENTS",
+]
+
+#: Valid values of :attr:`PTIConfig.matcher` (mirrors the NTI
+#: ``matcher=auto|dp|bitparallel`` surface).
+PTI_MATCHER_CHOICES = ("auto", "scan", "automaton")
+
+#: ``matcher="auto"`` switches to the automaton at this vocabulary size.
+#: Below it, a token's candidate list is a handful of C-level ``str.find``
+#: calls, which beat a per-character Python automaton walk; above it the
+#: one-pass engine wins and keeps winning (its cost is store-size
+#: independent).  Evaluated per call, so stores that grow past the
+#: threshold switch over automatically.
+AUTO_AUTOMATON_MIN_FRAGMENTS = 16
 
 
 @dataclass(frozen=True)
@@ -36,16 +74,31 @@ class PTIConfig:
     """Tunables for the PTI component.
 
     Attributes:
-        use_mru: try the most-recently-used fragment list first.
+        use_mru: try the most-recently-used fragment list first (scan
+            matcher only; the automaton has no per-token search to skip).
         use_token_index: restrict the fragment scan to index candidates;
             disabling both knobs yields the unoptimized full scan of the
             paper's initial implementation (Figure 7's "unoptimized" bar).
         mru_capacity: size of the MRU list.
+        matcher: matching-engine selector -- ``"auto"`` (automaton for
+            vocabularies of at least
+            :data:`AUTO_AUTOMATON_MIN_FRAGMENTS` fragments, scan below),
+            ``"scan"`` (the per-token oracle) or ``"automaton"``.  All
+            produce identical verdicts, detections and marking spans; the
+            knob exists for the matcher ablation and differential testing.
     """
 
     use_mru: bool = True
     use_token_index: bool = True
     mru_capacity: int = 64
+    matcher: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.matcher not in PTI_MATCHER_CHOICES:
+            raise ValueError(
+                f"unknown pti matcher {self.matcher!r}; "
+                f"expected one of {PTI_MATCHER_CHOICES}"
+            )
 
 
 class PTIAnalyzer:
@@ -57,9 +110,102 @@ class PTIAnalyzer:
         self.store = store
         self.config = config or PTIConfig()
         self.mru = MRUFragmentCache(self.config.mru_capacity)
-        #: Total fragment-vs-token containment checks performed (Fig. 7).
+        #: Total matching work performed (Fig. 7).  Unit depends on the
+        #: matcher: fragment-vs-token containment checks for the scan,
+        #: automaton node transitions for the one-pass engine.
         self.comparisons = 0
+        #: Fragment-store epoch the MRU/automaton state is valid for.
+        self._epoch = store.epoch
+        #: Lazily compiled Aho-Corasick automaton (automaton matcher).
+        self._automaton: FragmentAutomaton | None = None
+        #: Last-query occurrence-index memo: one streaming pass serves every
+        #: token of a query -- including the shape cache's per-hit recheck
+        #: tokens, which arrive as separate ``cover_token_witness`` calls.
+        self._occ_query: str | None = None
+        self._occ_index: OccurrenceIndex | None = None
+        # Observability (surfaced via JozaEngine.cache_stats()).
+        self.automaton_builds = 0
+        self.occ_index_builds = 0
+        self.occ_index_reuses = 0
+        self.mru_prunes = 0
 
+    # ------------------------------------------------------------------
+    # Matcher selection & staleness guard
+    # ------------------------------------------------------------------
+
+    @property
+    def resolved_matcher(self) -> str:
+        """The engine ``"auto"`` resolves to right now (store-size aware)."""
+        matcher = self.config.matcher
+        if matcher != "auto":
+            return matcher
+        return (
+            "automaton"
+            if len(self.store) >= AUTO_AUTOMATON_MIN_FRAGMENTS
+            else "scan"
+        )
+
+    def _sync_store(self) -> None:
+        """Epoch-check against the store; drop stale derived state.
+
+        Bugfix (previously the MRU was *never* invalidated on store
+        mutation): after ``remove()``/``reload()`` a revoked fragment in
+        the MRU could still cover critical tokens -- stale trust that
+        fails open.  The MRU is pruned against current store membership
+        (surviving fragments keep their recency), and the compiled
+        automaton plus the per-query occurrence memo are dropped so the
+        one-pass engine is recompiled over the new vocabulary.
+        """
+        epoch = self.store.epoch
+        if epoch != self._epoch:
+            self._epoch = epoch
+            if self.mru.prune(self.store.__contains__):
+                self.mru_prunes += 1
+            self._automaton = None
+            self._occ_query = None
+            self._occ_index = None
+
+    def occurrence_index(self, query: str) -> OccurrenceIndex:
+        """The query's fragment-occurrence interval index (memoised).
+
+        Compiles the automaton on first use per store epoch, then serves
+        repeated lookups for the *same* query string (the per-token loop of
+        :meth:`analyze`, the engine's shape-cache recheck path) from the
+        single streaming pass already performed.
+        """
+        self._sync_store()
+        previous = self._occ_query
+        if previous is not None and (previous is query or previous == query):
+            self.occ_index_reuses += 1
+            return self._occ_index
+        automaton = self._automaton
+        if automaton is None:
+            automaton = self._automaton = FragmentAutomaton.from_store(self.store)
+            self.automaton_builds += 1
+        index = automaton.index(query)
+        self.comparisons += index.transitions
+        self.occ_index_builds += 1
+        self._occ_query = query
+        self._occ_index = index
+        return index
+
+    def matcher_stats(self) -> dict[str, float]:
+        """Matching-engine counters for the unified cache introspection."""
+        automaton = self._automaton
+        return {
+            "comparisons": float(self.comparisons),
+            "automaton_builds": float(self.automaton_builds),
+            "automaton_nodes": float(automaton.node_count if automaton else 0),
+            "automaton_fragments": float(
+                len(automaton.fragments) if automaton else 0
+            ),
+            "occ_index_builds": float(self.occ_index_builds),
+            "occ_index_reuses": float(self.occ_index_reuses),
+            "mru_prunes": float(self.mru_prunes),
+        }
+
+    # ------------------------------------------------------------------
+    # Scan matcher (the per-token oracle)
     # ------------------------------------------------------------------
 
     def _covering_position(
@@ -91,17 +237,8 @@ class PTIAnalyzer:
         """Whether some occurrence of ``fragment`` in ``query`` contains the token."""
         return self._covering_position(fragment, query, token) is not None
 
-    def cover_token_witness(
-        self, query: str, token: Token
-    ) -> tuple[str, int] | None:
-        """Find a covering fragment *and* the occurrence that covers the token.
-
-        Returns ``(fragment, occurrence_start)`` or ``None``.  The witness
-        position is what the shape cache uses to classify a structure
-        token's coverage as slot-independent (occurrence confined to one
-        inter-literal segment) or literal-dependent (occurrence crosses a
-        slot, so it must be re-verified per query instance).
-        """
+    def _scan_witness(self, query: str, token: Token) -> tuple[str, int] | None:
+        """Per-token MRU + index candidate search (the scan matcher)."""
         tried: set[str] = set()
         if self.config.use_mru:
             for fragment in self.mru.items():
@@ -126,6 +263,32 @@ class PTIAnalyzer:
                     self.mru.touch(fragment)
                 return fragment, pos
         return None
+
+    # ------------------------------------------------------------------
+    # Public coverage API (matcher-dispatching)
+    # ------------------------------------------------------------------
+
+    def cover_token_witness(
+        self, query: str, token: Token
+    ) -> tuple[str, int] | None:
+        """Find a covering fragment *and* the occurrence that covers the token.
+
+        Returns ``(fragment, occurrence_start)`` or ``None``.  The witness
+        position is always the exact start of a real occurrence; the shape
+        cache uses it to classify a structure token's coverage as
+        slot-independent (occurrence confined to one inter-literal segment)
+        or literal-dependent (occurrence crosses a slot, so it must be
+        re-verified per query instance).
+
+        Which covering fragment is returned may differ between matchers
+        (the scan returns the first MRU/index candidate that covers, the
+        automaton a canonical max-reach occurrence); coverage *existence*
+        -- and therefore every verdict -- is identical.
+        """
+        self._sync_store()
+        if self.resolved_matcher == "automaton":
+            return self.occurrence_index(query).witness(token.start, token.end)
+        return self._scan_witness(query, token)
 
     def _cover_token(self, query: str, token: Token) -> str | None:
         """Find a fragment covering ``token``; returns it or ``None``."""

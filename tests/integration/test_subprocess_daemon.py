@@ -67,3 +67,39 @@ def test_engine_with_subprocess_daemon_blocks_attacks():
         )
         assert attack.blocked
         assert engine.stats.attacks_blocked == 1
+
+
+@pytest.mark.parametrize("matcher", ["scan", "automaton"])
+def test_subprocess_daemon_matcher_parity(matcher):
+    """The PTI matcher choice is pickled into the child and honoured there."""
+    from repro.pti import PTIConfig
+
+    config = DaemonConfig(
+        use_query_cache=False,
+        use_structure_cache=False,
+        pti=PTIConfig(matcher=matcher),
+    )
+    with SubprocessPTIDaemon(FragmentStore(FRAGMENTS), config) as daemon:
+        assert daemon.analyze_query("SELECT a FROM t WHERE id = 1").safe
+        assert daemon.analyze_query("SELECT a FROM t WHERE id = 1 OR 2").safe
+        unsafe = daemon.analyze_query(
+            "SELECT a FROM t WHERE id = 1 UNION SELECT 2"
+        )
+        assert not unsafe.safe
+
+
+def test_engine_pti_matcher_threads_into_subprocess_daemon():
+    """JozaConfig(pti_matcher=...) reaches the subprocess child's analyzer."""
+    app = build_testbed(num_posts=4)
+    store = FragmentStore.from_sources(app.all_sources())
+    cfg = JozaConfig(pti_matcher="automaton")
+    assert cfg.daemon.pti.matcher == "automaton"
+    with SubprocessPTIDaemon(store, cfg.daemon) as daemon:
+        engine = JozaEngine(store, cfg, daemon=daemon)
+        app.install_guard(engine)
+        assert app.handle(HttpRequest(path="/post", get={"id": "1"})).ok()
+        defn = plugin_by_name("linklibrary")
+        attack = app.handle(
+            make_request(defn, "-1 UNION SELECT 1, user_pass, 3 FROM wp_users#")
+        )
+        assert attack.blocked

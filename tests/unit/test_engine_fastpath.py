@@ -188,8 +188,11 @@ def test_cache_stats_unifies_all_cache_families():
     engine.inspect(query, ctx("1"))
     stats = engine.cache_stats()
     assert set(stats) == {"nti", "pti", "shape"}
-    assert set(stats["pti"]) == {"query", "structure"}
-    for family in stats["pti"].values():
+    assert set(stats["pti"]) == {"query", "structure", "matcher"}
+    for name, family in stats["pti"].items():
+        if name == "matcher":
+            assert {"comparisons", "automaton_builds"} <= set(family)
+            continue
         assert {"hits", "misses", "hit_rate", "entries"} <= set(family)
     plans = stats["shape"]["plans"]
     assert plans["entries"] == 1.0

@@ -1,0 +1,293 @@
+"""Concurrent-throughput harness for the PTI daemon pool.
+
+The deployment claim of DESIGN.md section 10: multiplexing requests over a
+:class:`~repro.pti.pool.DaemonPool` of subprocess workers overlaps the
+children's per-query service time, so aggregate guard throughput scales
+with offered concurrency even on a single-core host (parent threads block
+in ``poll``/``recv`` with the GIL released while children analyse).
+
+The harness drives the *same* seeded schedules through an engine backed by
+a 4-worker pool of :class:`~repro.testbed.concurrency.PacedPTIDaemon`
+workers (child sleeps a fixed pace per query, modeling the native daemon's
+service time at production vocabulary scale), once from 1 client thread
+and once from 4, and reports aggregate queries/second plus the scaling
+factor.  The machine-readable sidecar lands in
+``benchmarks/results/BENCH_concurrent_throughput.json``.
+
+Gates (enforced both as a pytest test and in script mode):
+
+- aggregate throughput at 4 threads >= 2.0x the 1-thread run in
+  ``--smoke`` mode (CI-sized), >= 2.5x in the full run;
+- **zero verdict divergences**: the 4-thread run's verdicts are identical,
+  item by item, to the 1-thread replay of the same schedules;
+- attack parity: every injected attack is blocked in both runs;
+- zero sheds: the pool is sized for the offered load, so any shed here is
+  an admission-control bug, not backpressure working as intended.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_concurrent_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.reporting import render_kv, save_json
+from repro.core import (
+    FailurePolicy,
+    JozaConfig,
+    JozaEngine,
+    ResilienceConfig,
+    ShapeCacheConfig,
+)
+from repro.pti import DaemonPool, FragmentStore
+from repro.testbed.concurrency import (
+    SWARM_FRAGMENTS,
+    PacedPTIDaemon,
+    VerdictRecord,
+    build_workload,
+    fail_open_keys,
+    run_swarm,
+)
+
+SIDE_CAR = "BENCH_concurrent_throughput"
+SMOKE_GATE = 2.0
+FULL_GATE = 2.5
+POOL_SIZE = 4
+
+
+def make_pool_engine(
+    *, pace: float, seed: int
+) -> tuple[JozaEngine, DaemonPool]:
+    store = FragmentStore(SWARM_FRAGMENTS)
+    pool = DaemonPool(
+        store,
+        size=POOL_SIZE,
+        max_queue=64,
+        admission_timeout=30.0,
+        seed=seed,
+        daemon_factory=lambda s, c, i: PacedPTIDaemon(
+            s, c, pace_seconds=pace, persistent=True
+        ),
+    )
+    config = JozaConfig(
+        resilience=ResilienceConfig(
+            deadline_seconds=30.0, failure_policy=FailurePolicy.FAIL_CLOSED
+        ),
+        # Every inspect must round-trip to a child: the measurement is pool
+        # overlap of daemon service time, not cache hit rates.
+        shape=ShapeCacheConfig(enabled=False),
+    )
+    return JozaEngine(store, config, daemon=pool), pool
+
+
+def flatten(records: dict, schedules) -> list[VerdictRecord]:
+    """Records in deterministic schedule order, whatever the thread count."""
+    out = []
+    for t, schedule in enumerate(schedules):
+        for i in range(len(schedule)):
+            out.append(records[(t, i)])
+    return out
+
+
+def run_concurrent_bench(
+    *, queries_per_thread: int, pace: float, seed: int, smoke: bool
+) -> dict:
+    schedules = build_workload(
+        seed, POOL_SIZE, queries_per_thread, fault_rate=0.0, attack_rate=0.2
+    )
+    total = POOL_SIZE * queries_per_thread
+    runs: dict[str, dict] = {}
+    flattened: dict[str, list[VerdictRecord]] = {}
+    sheds = 0
+
+    for label, shape in (
+        ("threads_1", [[item for s in schedules for item in s]]),
+        (f"threads_{POOL_SIZE}", schedules),
+    ):
+        engine, pool = make_pool_engine(pace=pace, seed=seed)
+        try:
+            result = run_swarm(engine, shape, join_timeout=600.0)
+            if result.errors:
+                raise RuntimeError(f"swarm errors in {label}: {result.errors}")
+            snapshot = pool.resilience_snapshot()
+            sheds += snapshot["sheds_total"]
+            fail_open = fail_open_keys(result.records, shape)
+            runs[label] = {
+                "client_threads": len(shape),
+                "queries": total,
+                "elapsed_seconds": result.elapsed_seconds,
+                "throughput_qps": total / max(result.elapsed_seconds, 1e-9),
+                "checkouts": snapshot["checkouts"],
+                "sheds_total": snapshot["sheds_total"],
+                "saturation_wait_p95": snapshot["saturation_wait_p95"],
+                "fail_open": len(fail_open),
+            }
+            ordered = flatten(result.records, shape)
+            flattened[label] = ordered
+        finally:
+            pool.close()
+
+    serial, concurrent = flattened["threads_1"], flattened[f"threads_{POOL_SIZE}"]
+    divergences = sum(1 for a, b in zip(serial, concurrent) if a != b)
+    attacks = sum(
+        item.is_attack for schedule in schedules for item in schedule
+    )
+    blocked = sum(1 for record in concurrent if not record.safe)
+    scaling = runs[f"threads_{POOL_SIZE}"]["throughput_qps"] / max(
+        runs["threads_1"]["throughput_qps"], 1e-9
+    )
+    gate = SMOKE_GATE if smoke else FULL_GATE
+    return {
+        "config": {
+            "mode": "smoke" if smoke else "full",
+            "pool_size": POOL_SIZE,
+            "queries_per_thread": queries_per_thread,
+            "total_queries": total,
+            "pace_seconds": pace,
+            "seed": seed,
+            "gate_min_scaling": gate,
+        },
+        "runs": runs,
+        "scaling_x": scaling,
+        "verdicts": {
+            "divergences": divergences,
+            "expected_attacks": attacks,
+            "blocked": blocked,
+            "fail_open": runs[f"threads_{POOL_SIZE}"]["fail_open"],
+        },
+        "sheds_total": sheds,
+    }
+
+
+def check_gates(payload: dict) -> list[str]:
+    failures = []
+    gate = payload["config"]["gate_min_scaling"]
+    if payload["scaling_x"] < gate:
+        failures.append(
+            f"throughput scaling {payload['scaling_x']:.2f}x below gate {gate}x"
+        )
+    if payload["verdicts"]["divergences"] != 0:
+        failures.append(
+            f"{payload['verdicts']['divergences']} verdict divergences "
+            f"between 1-thread and {POOL_SIZE}-thread runs"
+        )
+    if payload["verdicts"]["blocked"] < payload["verdicts"]["expected_attacks"]:
+        failures.append("concurrent run missed injected attacks")
+    if payload["verdicts"]["fail_open"] != 0:
+        failures.append("concurrent run let an attack through (fail-open)")
+    if payload["sheds_total"] != 0:
+        failures.append(
+            f"pool shed {payload['sheds_total']} requests under a load it is "
+            "sized for"
+        )
+    return failures
+
+
+def render(payload: dict) -> str:
+    one = payload["runs"]["threads_1"]
+    many = payload["runs"][f"threads_{POOL_SIZE}"]
+    pairs = [
+        ("mode", payload["config"]["mode"]),
+        (
+            "pool size / queries",
+            f"{payload['config']['pool_size']} / "
+            f"{payload['config']['total_queries']}",
+        ),
+        ("child pace", f"{payload['config']['pace_seconds']*1e3:.1f} ms/query"),
+        ("1 thread", f"{one['throughput_qps']:.1f} q/s ({one['elapsed_seconds']:.2f}s)"),
+        (
+            f"{POOL_SIZE} threads",
+            f"{many['throughput_qps']:.1f} q/s ({many['elapsed_seconds']:.2f}s)",
+        ),
+        ("scaling", f"{payload['scaling_x']:.2f}x (gate {payload['config']['gate_min_scaling']}x)"),
+        ("divergences", payload["verdicts"]["divergences"]),
+        (
+            "attacks blocked",
+            f"{payload['verdicts']['blocked']} "
+            f"(>= {payload['verdicts']['expected_attacks']} injected)",
+        ),
+        ("sheds", payload["sheds_total"]),
+    ]
+    return render_kv("Daemon pool: aggregate throughput vs client threads", pairs)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (smoke-sized; the bench job's scaling gate)
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_throughput_smoke(benchmark):
+    payload = run_concurrent_bench(
+        queries_per_thread=25, pace=0.01, seed=1337, smoke=True
+    )
+    try:
+        from conftest import RESULTS_DIR, emit
+
+        emit("concurrent_throughput", render(payload))
+        save_json(SIDE_CAR, payload, results_dir=RESULTS_DIR)
+    except ImportError:  # pragma: no cover - running outside benchmarks/
+        pass
+    failures = check_gates(payload)
+    assert not failures, failures
+
+    # Timed representative operation: one pooled round-trip.
+    engine, pool = make_pool_engine(pace=0.0, seed=1337)
+    try:
+        from repro.phpapp.context import CapturedInput, RequestContext
+
+        context = RequestContext(inputs=[CapturedInput("get", "p0", "7")])
+        query = "SELECT * FROM records WHERE ID=7 LIMIT 5"
+        engine.inspect(query, context)  # warm the child
+        benchmark(lambda: engine.inspect(query, context))
+    finally:
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Script entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workload with the looser 2.0x scaling gate",
+    )
+    parser.add_argument("--queries-per-thread", type=int, default=None)
+    parser.add_argument(
+        "--pace",
+        type=float,
+        default=0.01,
+        help="child service time per query, seconds",
+    )
+    parser.add_argument("--seed", type=int, default=1337)
+    args = parser.parse_args(argv)
+    queries = args.queries_per_thread or (25 if args.smoke else 100)
+
+    payload = run_concurrent_bench(
+        queries_per_thread=queries, pace=args.pace, seed=args.seed,
+        smoke=args.smoke,
+    )
+    print(render(payload))
+    path = save_json(SIDE_CAR, payload)
+    print(f"[sidecar saved to {path}]")
+
+    failures = check_gates(payload)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"gates passed: scaling {payload['scaling_x']:.2f}x >= "
+            f"{payload['config']['gate_min_scaling']}x, zero divergences, "
+            "zero sheds"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,8 @@ from .resilience import (
     Deadline,
     DeadlineExceeded,
     FailurePolicy,
+    OverloadPolicy,
+    PoolSaturated,
     PTIFailure,
     ResilienceConfig,
     RetryPolicy,
@@ -52,6 +54,8 @@ __all__ = [
     "Deadline",
     "DeadlineExceeded",
     "FailurePolicy",
+    "OverloadPolicy",
+    "PoolSaturated",
     "PTIFailure",
     "ResilienceConfig",
     "RetryPolicy",

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import inspect as _inspect
 import random as _random
+import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -45,6 +47,7 @@ from .resilience import (
     Deadline,
     DeadlineExceeded,
     FailurePolicy,
+    PoolSaturated,
     PTIFailure,
     RingLog,
 )
@@ -92,6 +95,12 @@ class EngineStats:
     how often the runtime absorbed a fault instead of analysing normally.
     A healthy deployment shows zeros; anything else is the resilience
     layer earning its keep.
+
+    Thread-safety: every mutation goes through :meth:`bump`, which applies
+    all its deltas under one lock -- a snapshot taken by another thread
+    (``resilience_counters``/``shape_counters``) therefore never observes a
+    half-applied update, and no increment is ever lost to a read-modify-
+    write race (DESIGN.md section 10).
     """
 
     queries_checked: int = 0
@@ -108,6 +117,9 @@ class EngineStats:
     degraded_verdicts: int = 0
     #: Queries blocked because analysis was unavailable (not detections).
     failsafe_blocks: int = 0
+    #: Queries shed by pool admission control (queue full / no worker in
+    #: time); every shed is also resolved fail-closed or degraded above.
+    load_shed: int = 0
     #: Shape fast path (DESIGN.md "shape fast path"): queries fully served
     #: by a cached per-shape analysis plan ...
     shape_hits: int = 0
@@ -122,24 +134,42 @@ class EngineStats:
     shadow_checks: int = 0
     #: ... and how many disagreed (must stay zero; cold verdict wins).
     shadow_divergences: int = 0
+    #: Internal counter lock (not a counter).
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: float) -> None:
+        """Atomically apply counter deltas (e.g. ``bump(shape_hits=1)``).
+
+        All deltas of one call commit under a single lock acquisition, so
+        related counters (say ``degraded_verdicts`` + ``failsafe_blocks``)
+        move together from any observer's point of view.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def resilience_counters(self) -> dict[str, int]:
-        return {
-            "deadline_exceeded": self.deadline_exceeded,
-            "breaker_open": self.breaker_open,
-            "degraded_verdicts": self.degraded_verdicts,
-            "failsafe_blocks": self.failsafe_blocks,
-        }
+        with self._lock:
+            return {
+                "deadline_exceeded": self.deadline_exceeded,
+                "breaker_open": self.breaker_open,
+                "degraded_verdicts": self.degraded_verdicts,
+                "failsafe_blocks": self.failsafe_blocks,
+                "load_shed": self.load_shed,
+            }
 
     def shape_counters(self) -> dict[str, int]:
-        return {
-            "shape_hits": self.shape_hits,
-            "shape_misses": self.shape_misses,
-            "shape_fallthroughs": self.shape_fallthroughs,
-            "shape_plans_built": self.shape_plans_built,
-            "shadow_checks": self.shadow_checks,
-            "shadow_divergences": self.shadow_divergences,
-        }
+        with self._lock:
+            return {
+                "shape_hits": self.shape_hits,
+                "shape_misses": self.shape_misses,
+                "shape_fallthroughs": self.shape_fallthroughs,
+                "shape_plans_built": self.shape_plans_built,
+                "shadow_checks": self.shadow_checks,
+                "shadow_divergences": self.shadow_divergences,
+            }
 
 
 class JozaEngine:
@@ -186,7 +216,14 @@ class JozaEngine:
         #: rechecks; bound to the daemon's current store object.
         self._shape_analyzer: PTIAnalyzer | None = None
         self._shape_store: FragmentStore | None = None
+        self._shadow_seed = shape_cfg.shadow_seed
         self._shadow_rng = _random.Random(shape_cfg.shadow_seed)
+        #: Guards the engine's lazily-built derived state: the shape
+        #: store/analyzer pair (must swap together), the in-process PTI
+        #: fallback and the daemon deadline feature-detection flag.  Held
+        #: only for check-and-assign work, never across analysis
+        #: (DESIGN.md section 10).
+        self._state_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -307,28 +344,34 @@ class JozaEngine:
         so deadline support is feature-detected once per engine.
         """
         if self._daemon_accepts_deadline is None:
-            try:
-                parameters = _inspect.signature(
-                    self.daemon.analyze_query
-                ).parameters
-                self._daemon_accepts_deadline = "deadline" in parameters or any(
-                    p.kind is _inspect.Parameter.VAR_KEYWORD
-                    for p in parameters.values()
-                )
-            except (TypeError, ValueError):  # pragma: no cover - exotic fakes
-                self._daemon_accepts_deadline = False
+            with self._state_lock:
+                if self._daemon_accepts_deadline is None:
+                    try:
+                        parameters = _inspect.signature(
+                            self.daemon.analyze_query
+                        ).parameters
+                        self._daemon_accepts_deadline = (
+                            "deadline" in parameters
+                            or any(
+                                p.kind is _inspect.Parameter.VAR_KEYWORD
+                                for p in parameters.values()
+                            )
+                        )
+                    except (TypeError, ValueError):  # pragma: no cover
+                        self._daemon_accepts_deadline = False
         if self._daemon_accepts_deadline:
             return self.daemon.analyze_query(query, deadline=deadline)
         return self.daemon.analyze_query(query)
 
     def _fallback_pti(self) -> PTIDaemon | None:
         """The in-process PTI fallback, if a fragment store is reachable."""
-        if self._fallback_daemon is None:
-            store = getattr(self.daemon, "store", None)
-            if store is None:  # pragma: no cover - store-less custom daemon
-                return None
-            self._fallback_daemon = PTIDaemon(store, self.config.daemon)
-        return self._fallback_daemon
+        with self._state_lock:
+            if self._fallback_daemon is None:
+                store = getattr(self.daemon, "store", None)
+                if store is None:  # pragma: no cover - store-less daemon
+                    return None
+                self._fallback_daemon = PTIDaemon(store, self.config.daemon)
+            return self._fallback_daemon
 
     def inspect(
         self,
@@ -357,7 +400,7 @@ class JozaEngine:
         inputs) without touching the daemon; any doubt falls through to the
         cold path below.  Only clean, fully-safe cold analyses plant plans.
         """
-        self.stats.queries_checked += 1
+        self.stats.bump(queries_checked=1)
         if deadline is None:
             deadline = self.config.resilience.start_deadline()
         cache = self.shape_cache
@@ -368,29 +411,36 @@ class JozaEngine:
         skeleton: Skeleton | None = None
         plan: ShapePlan | None = None
         store = analyzer = None
+        epoch0 = -1
         t0 = time.perf_counter()
         try:
             store, analyzer = self._shape_state()
             if store is not None:
+                # Pin the epoch *before* analysis: the same value keys the
+                # lookup and any later plant, so a store mutation racing
+                # the cold path makes the plant stale (refused by
+                # ShapeCache.put) instead of tagging an old-vocabulary
+                # plan with the new epoch.
+                epoch0 = store.epoch
                 skeleton = skeletonize(query)
-                plan = cache.get(skeleton.key, store.epoch)
+                plan = cache.get(skeleton.key, epoch0)
         except (KeyboardInterrupt, SystemExit):  # pragma: no cover
             raise
         except Exception:  # pragma: no cover - defensive: fast path is
             plan = None  # best-effort; the cold path is always correct.
         finally:
-            self.stats.pti_seconds += time.perf_counter() - t0
+            self.stats.bump(pti_seconds=time.perf_counter() - t0)
         if plan is not None:
             verdict = self._apply_plan(
                 plan, skeleton, query, context, deadline, analyzer
             )
             if verdict is not None:
-                self.stats.shape_hits += 1
+                self.stats.bump(shape_hits=1)
                 shadow = self._shadow_validate(query, context, verdict)
                 return verdict if shadow is None else shadow
-            self.stats.shape_fallthroughs += 1
+            self.stats.bump(shape_fallthroughs=1)
         else:
-            self.stats.shape_misses += 1
+            self.stats.bump(shape_misses=1)
 
         # -- cold path + plan planting --------------------------------
         verdict, tokens = self._inspect_cold(query, context, deadline)
@@ -405,14 +455,14 @@ class JozaEngine:
             try:
                 new_plan = build_plan(query, skeleton, tokens, analyzer)
                 if new_plan is not None:
-                    cache.put(skeleton.key, new_plan, store.epoch)
-                    self.stats.shape_plans_built += 1
+                    cache.put(skeleton.key, new_plan, epoch0)
+                    self.stats.bump(shape_plans_built=1)
             except (KeyboardInterrupt, SystemExit):  # pragma: no cover
                 raise
             except Exception:  # pragma: no cover - defensive
                 pass
             finally:
-                self.stats.pti_seconds += time.perf_counter() - t0
+                self.stats.bump(pti_seconds=time.perf_counter() - t0)
         return verdict
 
     # ------------------------------------------------------------------
@@ -430,14 +480,22 @@ class JozaEngine:
         :meth:`~repro.pti.inference.PTIAnalyzer.cover_token_witness`).
         The cache itself syncs on the epoch at get/put time.
         """
-        store = getattr(self.daemon, "store", None)
-        if store is None:  # pragma: no cover - store-less custom daemon
-            return None, None
-        if store is not self._shape_store:
-            self._shape_store = store
-            self._shape_analyzer = PTIAnalyzer(store, self.config.daemon.pti)
-            self.shape_cache.clear()
-        return store, self._shape_analyzer
+        with self._state_lock:
+            # Read the daemon's store pointer *inside* the lock: reading it
+            # first and locking second would let a concurrent
+            # ``refresh_fragments`` swap in a newer store between the two,
+            # and this thread would then re-install the older one -- plans
+            # planted against a superseded vocabulary are stale trust.
+            store = getattr(self.daemon, "store", None)
+            if store is None:  # pragma: no cover - store-less custom daemon
+                return None, None
+            if store is not self._shape_store:
+                self._shape_store = store
+                self._shape_analyzer = PTIAnalyzer(
+                    store, self.config.daemon.pti
+                )
+                self.shape_cache.clear()
+            return store, self._shape_analyzer
 
     def _apply_plan(
         self,
@@ -493,7 +551,7 @@ class JozaEngine:
         except Exception:
             return None
         finally:
-            self.stats.pti_seconds += time.perf_counter() - t0
+            self.stats.bump(pti_seconds=time.perf_counter() - t0)
 
         t0 = time.perf_counter()
         try:
@@ -530,10 +588,10 @@ class JozaEngine:
         except Exception:
             return None
         finally:
-            self.stats.nti_seconds += time.perf_counter() - t0
+            self.stats.bump(nti_seconds=time.perf_counter() - t0)
 
         if not nti_result.safe:
-            self.stats.nti_detections += 1
+            self.stats.bump(nti_detections=1)
         return QueryVerdict(
             query=query,
             safe=nti_result.safe,
@@ -568,17 +626,35 @@ class JozaEngine:
         counter is bumped and the *cold* verdict is returned (trust the
         reference pipeline).  The cold re-run's time lands in the usual
         stat buckets, so shadowing visibly costs what it costs.
+
+        Sampling determinism: with ``shadow_seed`` set, the decision is a
+        pure function of ``(seed, query)`` -- a CRC32-derived uniform in
+        ``[0, 1)`` -- so whether a given query is shadowed does not depend
+        on thread interleaving or ``PYTHONHASHSEED`` (the concurrency chaos
+        harness relies on this for serial == concurrent replay).  Without a
+        seed, the shared RNG is sampled under the state lock.
         """
         rate = self.config.shape.shadow_rate
-        if rate <= 0.0 or self._shadow_rng.random() >= rate:
+        if rate <= 0.0:
             return None
-        self.stats.shadow_checks += 1
+        if self._shadow_seed is not None:
+            digest = zlib.crc32(
+                query.encode("utf-8", "surrogatepass"),
+                self._shadow_seed & 0xFFFFFFFF,
+            )
+            sample = digest / 4294967296.0
+        else:
+            with self._state_lock:
+                sample = self._shadow_rng.random()
+        if sample >= rate:
+            return None
+        self.stats.bump(shadow_checks=1)
         cold, _ = self._inspect_cold(
             query, context, self.config.resilience.start_deadline()
         )
         if cold.safe == fast.safe and cold.detected_by() == fast.detected_by():
             return None
-        self.stats.shadow_divergences += 1
+        self.stats.bump(shadow_divergences=1)
         return cold
 
     def _inspect_cold(
@@ -598,6 +674,11 @@ class JozaEngine:
 
         pti_result: AnalysisResult | None = None
         pti_failed = False
+        #: Pool admission control refused the query.  ``None`` = no shed;
+        #: ``True`` = SHED_FAIL_CLOSED (verdict must be failsafe);
+        #: ``False`` = DEGRADE_TO_OTHER_TECHNIQUE (NTI-only is acceptable
+        #: -- the operator opted in at the pool level).
+        shed_fail_closed: bool | None = None
         tokens = None
         if self.config.enable_pti:
             t0 = time.perf_counter()
@@ -606,12 +687,17 @@ class JozaEngine:
                 pti_result = reply.result
                 tokens = reply.tokens
             except DeadlineExceeded as exc:
-                self.stats.deadline_exceeded += 1
+                self.stats.bump(deadline_exceeded=1)
                 failure_reasons.append(f"pti: {exc}")
+                pti_failed = True
+            except PoolSaturated as exc:
+                self.stats.bump(load_shed=1)
+                shed_fail_closed = exc.fail_closed
+                failure_reasons.append(f"pti: {exc.reason}")
                 pti_failed = True
             except PTIFailure as exc:
                 if isinstance(exc, DaemonUnavailable) and exc.breaker_open:
-                    self.stats.breaker_open += 1
+                    self.stats.bump(breaker_open=1)
                 failure_reasons.append(f"pti: {exc.reason}")
                 pti_failed = True
             except (KeyboardInterrupt, SystemExit):  # pragma: no cover
@@ -623,8 +709,14 @@ class JozaEngine:
                 failure_reasons.append(f"pti: unexpected {exc!r}")
                 pti_failed = True
             finally:
-                self.stats.pti_seconds += time.perf_counter() - t0
-            if pti_failed and policy is FailurePolicy.FALLBACK_IN_PROCESS:
+                self.stats.bump(pti_seconds=time.perf_counter() - t0)
+            # A shed is deliberate load management: running the analysis
+            # in-process anyway would defeat it, so the fallback is skipped.
+            if (
+                pti_failed
+                and shed_fail_closed is None
+                and policy is FailurePolicy.FALLBACK_IN_PROCESS
+            ):
                 fallback = self._fallback_pti()
                 if fallback is not None:
                     t0 = time.perf_counter()
@@ -636,14 +728,14 @@ class JozaEngine:
                         pti_failed = False
                         degraded = True  # fault isolation lost: flag it
                     except DeadlineExceeded as exc:
-                        self.stats.deadline_exceeded += 1
+                        self.stats.bump(deadline_exceeded=1)
                         failure_reasons.append(f"pti-fallback: {exc}")
                     except (KeyboardInterrupt, SystemExit):  # pragma: no cover
                         raise
                     except Exception as exc:  # pragma: no cover - defensive
                         failure_reasons.append(f"pti-fallback: {exc!r}")
                     finally:
-                        self.stats.pti_seconds += time.perf_counter() - t0
+                        self.stats.bump(pti_seconds=time.perf_counter() - t0)
 
         nti_result: AnalysisResult | None = None
         nti_failed = False
@@ -663,7 +755,7 @@ class JozaEngine:
                         technique=Technique.NTI, safe=True
                     )
             except DeadlineExceeded as exc:
-                self.stats.deadline_exceeded += 1
+                self.stats.bump(deadline_exceeded=1)
                 failure_reasons.append(f"nti: {exc}")
                 nti_failed = True
             except (KeyboardInterrupt, SystemExit):  # pragma: no cover
@@ -672,7 +764,7 @@ class JozaEngine:
                 failure_reasons.append(f"nti: unexpected {exc!r}")
                 nti_failed = True
             finally:
-                self.stats.nti_seconds += time.perf_counter() - t0
+                self.stats.bump(nti_seconds=time.perf_counter() - t0)
 
         # ------------------------------------------------------------------
         # Failure resolution (never fail open).
@@ -680,8 +772,18 @@ class JozaEngine:
         failsafe = False
         if pti_failed or nti_failed:
             survivor = nti_result if pti_failed else pti_result
-            can_degrade = (
+            # The pool's OverloadPolicy overrides the engine policy for
+            # shed requests: SHED_FAIL_CLOSED must block regardless of how
+            # forgiving the FailurePolicy is; DEGRADE_TO_OTHER_TECHNIQUE
+            # permits an NTI-only verdict even under a fail-closed engine
+            # policy (the operator opted in at the pool level).
+            allow_degrade = (
                 policy is FailurePolicy.DEGRADE_TO_OTHER_TECHNIQUE
+                or shed_fail_closed is False
+            )
+            can_degrade = (
+                allow_degrade
+                and shed_fail_closed is not True
                 and not (pti_failed and nti_failed)
                 and survivor is not None
             )
@@ -705,13 +807,13 @@ class JozaEngine:
             failure_reasons=failure_reasons,
         )
         if not pti_failed and pti_result is not None and not pti_result.safe:
-            self.stats.pti_detections += 1
+            self.stats.bump(pti_detections=1)
         if not nti_failed and nti_result is not None and not nti_result.safe:
-            self.stats.nti_detections += 1
+            self.stats.bump(nti_detections=1)
         if degraded:
-            self.stats.degraded_verdicts += 1
+            self.stats.bump(degraded_verdicts=1)
         if failsafe:
-            self.stats.failsafe_blocks += 1
+            self.stats.bump(failsafe_blocks=1)
         return verdict, tokens
 
     # ------------------------------------------------------------------
@@ -730,7 +832,7 @@ class JozaEngine:
         if verdict.safe:
             return
         if verdict.detected_by():
-            self.stats.attacks_blocked += 1
+            self.stats.bump(attacks_blocked=1)
         self.attack_log.append(
             AttackRecord(query=query, verdict=verdict, request_path=context.path)
         )
@@ -760,6 +862,11 @@ class JozaEngine:
         """
         report: dict = dict(self.stats.resilience_counters())
         report["shape_fastpath"] = self.stats.shape_counters()
+        report["shadow_sampling"] = {
+            "rate": self.config.shape.shadow_rate,
+            "seed": self._shadow_seed,
+            "deterministic": self._shadow_seed is not None,
+        }
         report["dropped_records"] = self.attack_log.dropped_records
         report["attack_log_capacity"] = self.attack_log.capacity
         report["failure_policy"] = self.config.resilience.failure_policy.value

@@ -38,6 +38,7 @@ from __future__ import annotations
 import collections
 import enum
 import random
+import threading
 import time
 import typing
 from dataclasses import dataclass
@@ -50,6 +51,8 @@ __all__ = [
     "DaemonCrash",
     "CorruptReply",
     "DaemonUnavailable",
+    "PoolSaturated",
+    "OverloadPolicy",
     "FailurePolicy",
     "RetryPolicy",
     "BreakerState",
@@ -181,6 +184,44 @@ class DaemonUnavailable(PTIFailure):
         self.breaker_open = breaker_open
 
 
+class PoolSaturated(PTIFailure):
+    """The daemon pool shed this request (admission queue full / no worker).
+
+    ``shed`` is always ``True`` (the engine keys its load-shedding counters
+    on it); ``fail_closed`` carries the pool's :class:`OverloadPolicy`
+    decision: ``True`` forces a failsafe block regardless of the engine's
+    :class:`FailurePolicy`, ``False`` lets the verdict degrade to the other
+    inference technique (the operator opted into availability-over-depth
+    at the pool level).
+    """
+
+    def __init__(self, reason: str, *, fail_closed: bool = True) -> None:
+        super().__init__(reason)
+        self.shed = True
+        self.fail_closed = fail_closed
+
+
+class OverloadPolicy(enum.Enum):
+    """What a saturated :class:`~repro.pti.pool.DaemonPool` does with excess.
+
+    ``SHED_FAIL_CLOSED`` (default): a request that cannot be admitted (the
+    bounded queue is full, or no worker frees up within the deadline-bounded
+    admission wait) is *shed*: the engine records a failsafe block with a
+    ``shed`` reason.  Overload degrades availability, never the security
+    invariant -- exactly the posture of :attr:`FailurePolicy.FAIL_CLOSED`
+    extended from "one faulty daemon" to "a saturated service".
+
+    ``DEGRADE_TO_OTHER_TECHNIQUE``: shed requests skip PTI and are vetted by
+    NTI alone (flagged ``degraded``, counted in ``degraded_verdicts``).
+    Meaningful because the hybrid's blind spots are complementary (paper
+    Table IV), but it *is* a security downgrade under overload -- an
+    attacker able to saturate the pool buys themselves NTI-only vetting.
+    """
+
+    SHED_FAIL_CLOSED = "shed_fail_closed"
+    DEGRADE_TO_OTHER_TECHNIQUE = "degrade_to_other_technique"
+
+
 class FailurePolicy(enum.Enum):
     """What the engine does when an analysis technique is unavailable.
 
@@ -277,6 +318,13 @@ class CircuitBreaker:
 
     The clock is injectable for deterministic tests.  The breaker is a pure
     state machine -- it never sleeps and never spawns anything itself.
+
+    Thread safety: every transition runs under an internal lock, so the
+    breaker can guard a daemon shared by N request threads.  The critical
+    atomicity is the half-open probe token: ``allow`` consumes a probe slot
+    and exactly ``half_open_probes`` concurrent callers may win it -- a torn
+    check-then-increment would let a thundering herd through a half-open
+    breaker, exactly the spawn storm it exists to prevent.
     """
 
     def __init__(
@@ -294,6 +342,7 @@ class CircuitBreaker:
         self.reset_timeout = reset_timeout
         self.half_open_probes = half_open_probes
         self._clock = clock
+        self._lock = threading.RLock()
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at: float | None = None
@@ -303,9 +352,8 @@ class CircuitBreaker:
         self.times_reclosed = 0
         self.rejections = 0
 
-    @property
-    def state(self) -> BreakerState:
-        """Current state, applying the open -> half-open timeout transition."""
+    def _current_state(self) -> BreakerState:
+        """Lock held: apply the open -> half-open timeout transition."""
         if (
             self._state is BreakerState.OPEN
             and self._opened_at is not None
@@ -315,53 +363,63 @@ class CircuitBreaker:
             self._probes_in_flight = 0
         return self._state
 
+    @property
+    def state(self) -> BreakerState:
+        """Current state, applying the open -> half-open timeout transition."""
+        with self._lock:
+            return self._current_state()
+
     def allow(self) -> bool:
         """Whether one operation may proceed now.
 
-        In half-open state each ``allow`` consumes one probe slot; callers
-        must follow up with :meth:`record_success` or
+        In half-open state each ``allow`` atomically consumes one probe
+        slot; callers must follow up with :meth:`record_success` or
         :meth:`record_failure`.
         """
-        state = self.state
-        if state is BreakerState.CLOSED:
-            return True
-        if state is BreakerState.HALF_OPEN:
-            if self._probes_in_flight < self.half_open_probes:
-                self._probes_in_flight += 1
+        with self._lock:
+            state = self._current_state()
+            if state is BreakerState.CLOSED:
                 return True
+            if state is BreakerState.HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                self.rejections += 1
+                return False
             self.rejections += 1
             return False
-        self.rejections += 1
-        return False
 
     def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._probes_in_flight = max(self._probes_in_flight - 1, 0)
-        if self._state is not BreakerState.CLOSED:
-            self._state = BreakerState.CLOSED
-            self._opened_at = None
-            self.times_reclosed += 1
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+            if self._state is not BreakerState.CLOSED:
+                self._state = BreakerState.CLOSED
+                self._opened_at = None
+                self.times_reclosed += 1
 
     def record_failure(self) -> None:
-        self._consecutive_failures += 1
-        self._probes_in_flight = max(self._probes_in_flight - 1, 0)
-        if self._state is BreakerState.HALF_OPEN or (
-            self._state is BreakerState.CLOSED
-            and self._consecutive_failures >= self.failure_threshold
-        ):
-            self._state = BreakerState.OPEN
-            self._opened_at = self._clock()
-            self.times_opened += 1
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+            if self._state is BreakerState.HALF_OPEN or (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = BreakerState.OPEN
+                self._opened_at = self._clock()
+                self.times_opened += 1
 
     def snapshot(self) -> dict[str, object]:
-        """Counters + state for the audit export."""
-        return {
-            "state": self.state.value,
-            "consecutive_failures": self._consecutive_failures,
-            "times_opened": self.times_opened,
-            "times_reclosed": self.times_reclosed,
-            "rejections": self.rejections,
-        }
+        """Counters + state for the audit export (one consistent read)."""
+        with self._lock:
+            return {
+                "state": self._current_state().value,
+                "consecutive_failures": self._consecutive_failures,
+                "times_opened": self.times_opened,
+                "times_reclosed": self.times_reclosed,
+                "rejections": self.rejections,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -410,15 +468,23 @@ class RingLog:
     record and increment :attr:`dropped_records` -- under an attack flood
     the most recent evidence is what an operator wants, and memory stays
     bounded.
+
+    Thread safety: ``append`` is a check-then-count-then-push sequence; two
+    unsynchronized appenders at capacity could both observe "full" before
+    either pushed (double-counted drop) or interleave count and push (lost
+    drop).  Every mutation and the drop counter therefore share one lock;
+    iteration snapshots the deque so concurrent appends never invalidate a
+    reader mid-walk.
     """
 
-    __slots__ = ("_capacity", "_items", "dropped_records")
+    __slots__ = ("_capacity", "_items", "_lock", "dropped_records")
 
     def __init__(self, capacity: int = 10_000) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._capacity = capacity
         self._items: "collections.deque" = collections.deque(maxlen=capacity)
+        self._lock = threading.Lock()
         self.dropped_records = 0
 
     @property
@@ -426,13 +492,15 @@ class RingLog:
         return self._capacity
 
     def append(self, item) -> None:
-        if len(self._items) == self._capacity:
-            self.dropped_records += 1
-        self._items.append(item)
+        with self._lock:
+            if len(self._items) == self._capacity:
+                self.dropped_records += 1
+            self._items.append(item)
 
     def clear(self) -> None:
         """Drop all records (keeps the cumulative drop counter)."""
-        self._items.clear()
+        with self._lock:
+            self._items.clear()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -441,12 +509,14 @@ class RingLog:
         return bool(self._items)
 
     def __iter__(self):
-        return iter(self._items)
+        with self._lock:
+            return iter(tuple(self._items))
 
     def __getitem__(self, index):
-        if isinstance(index, slice):
-            return list(self._items)[index]
-        return self._items[index]
+        with self._lock:
+            if isinstance(index, slice):
+                return list(self._items)[index]
+            return self._items[index]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -40,6 +40,7 @@ added fragment can improve; either way the cached plan is stale).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -112,6 +113,14 @@ class ShapePlan:
     Built from a *clean, fully-safe* cold-path analysis of one instance of
     the shape (see :func:`build_plan`); applied by the engine to later
     instances sharing the skeleton key.
+
+    Concurrency: a plan is immutable in everything verdict-relevant (key,
+    slots, tokens, witnesses, filters).  The mutable members are pure
+    memos -- ``_memo``, ``_profile_template``, ``hits`` -- whose races are
+    benign by construction: every writer stores a value any other writer
+    would also have computed (single dict-slot assignments are atomic
+    under the GIL), so the worst interleaving costs a recomputation or a
+    lost hit-count increment, never a wrong span or profile.
     """
 
     __slots__ = (
@@ -385,6 +394,13 @@ class ShapeCache:
     :meth:`get`/:meth:`put`; when it differs from the epoch the cached
     plans were built under, the entire cache is dropped (every plan embeds
     coverage decisions against the old store).
+
+    Thread-safe: the epoch sync, the LRU rewiring and the counters all run
+    under one internal lock, so a fragment reload racing N fast-path
+    lookups can only produce misses (cold-path fallthrough), never a plan
+    from a torn epoch (DESIGN.md section 10).  ``put`` refuses epochs older
+    than the one already synced, so a slow cold path cannot re-plant a plan
+    built against a superseded vocabulary.
     """
 
     _UNSYNCED = object()
@@ -395,10 +411,13 @@ class ShapeCache:
         self.capacity = capacity
         self._store: OrderedDict[str, ShapePlan] = OrderedDict()
         self._epoch: object = self._UNSYNCED
+        self._lock = threading.RLock()
         self.stats = CacheStats()
         #: Number of epoch-change flushes observed.
         self.invalidations = 0
         self.insertions = 0
+        #: Stale ``put`` attempts refused (plan built under an older epoch).
+        self.stale_puts = 0
 
     def _sync_epoch(self, epoch: int) -> None:
         if self._epoch is not epoch and self._epoch != epoch:
@@ -408,41 +427,73 @@ class ShapeCache:
             self._epoch = epoch
 
     def get(self, key: str, epoch: int) -> ShapePlan | None:
-        self._sync_epoch(epoch)
-        plan = self._store.get(key)
-        if plan is None:
-            self.stats.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.stats.hits += 1
-        plan.hits += 1
-        return plan
+        with self._lock:
+            current = self._epoch
+            if (
+                current is not self._UNSYNCED
+                and isinstance(current, int)
+                and epoch < current
+            ):
+                # Stale reader: this thread pinned its epoch before a store
+                # mutation another thread has already synced us to.  Serve
+                # a miss (its cold path is always correct) rather than
+                # syncing *backwards*, which would flush every
+                # current-epoch plan and briefly re-open the stale-put
+                # window.
+                self.stats.misses += 1
+                return None
+            self._sync_epoch(epoch)
+            plan = self._store.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            plan.hits += 1
+            return plan
 
     def put(self, key: str, plan: ShapePlan, epoch: int) -> None:
-        self._sync_epoch(epoch)
-        self._store[key] = plan
-        self._store.move_to_end(key)
-        self.insertions += 1
-        while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
+        with self._lock:
+            current = self._epoch
+            if (
+                current is not self._UNSYNCED
+                and isinstance(current, int)
+                and epoch < current
+            ):
+                # A cold path that started before a store mutation finished
+                # after it: its plan proves coverage against a vocabulary
+                # that no longer exists.  Refusing it means the next query
+                # of the shape rebuilds cold -- fall-through, never a
+                # stale-trust hit.
+                self.stale_puts += 1
+                return
+            self._sync_epoch(epoch)
+            self._store[key] = plan
+            self._store.move_to_end(key)
+            self.insertions += 1
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
 
     def clear(self) -> None:
-        self._store.clear()
-        self._epoch = self._UNSYNCED
+        with self._lock:
+            self._store.clear()
+            self._epoch = self._UNSYNCED
 
     def __len__(self) -> int:
         return len(self._store)
 
     def snapshot_stats(self) -> dict[str, float]:
-        return {
-            "hits": float(self.stats.hits),
-            "misses": float(self.stats.misses),
-            "hit_rate": self.stats.hit_rate,
-            "entries": float(len(self._store)),
-            "capacity": float(self.capacity),
-            "invalidations": float(self.invalidations),
-            "insertions": float(self.insertions),
-        }
+        with self._lock:
+            return {
+                "hits": float(self.stats.hits),
+                "misses": float(self.stats.misses),
+                "hit_rate": self.stats.hit_rate,
+                "entries": float(len(self._store)),
+                "capacity": float(self.capacity),
+                "invalidations": float(self.invalidations),
+                "insertions": float(self.insertions),
+                "stale_puts": float(self.stale_puts),
+            }
 
 
 def build_plan(

@@ -28,6 +28,7 @@ bench reporting layer can surface NTI and PTI cache behaviour uniformly.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable
 
@@ -47,6 +48,10 @@ class _KeyedLRUCache:
     The PTI :class:`~repro.pti.caches._LRUCache` maps plain strings and
     conflates "absent" with "cached None"; NTI caches need tuple keys and
     cached negatives, hence the sentinel-based protocol here.
+
+    Thread-safe: LRU reads rewire the recency list, so lookup and store
+    both take the internal lock (held only for the O(1) dict work; cached
+    payloads are immutable, so sharing them across threads is free).
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -54,26 +59,30 @@ class _KeyedLRUCache:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def lookup(self, key: Hashable) -> object:
         """Return the cached payload or the module sentinel on a miss."""
-        store = self._store
-        if key in store:
-            store.move_to_end(key)
-            self.stats.hits += 1
-            return store[key]
-        self.stats.misses += 1
-        return _MISSING
+        with self._lock:
+            store = self._store
+            if key in store:
+                store.move_to_end(key)
+                self.stats.hits += 1
+                return store[key]
+            self.stats.misses += 1
+            return _MISSING
 
     def store(self, key: Hashable, value: object) -> None:
-        self._store[key] = value
-        self._store.move_to_end(key)
-        while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
     def __len__(self) -> int:
         return len(self._store)

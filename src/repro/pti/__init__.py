@@ -10,6 +10,7 @@ from .daemon import (
     SubprocessPTIDaemon,
 )
 from .fragments import FragmentStore
+from .pool import DaemonPool, PoolWorker
 from .inference import (
     AUTO_AUTOMATON_MIN_FRAGMENTS,
     PTI_MATCHER_CHOICES,
@@ -30,6 +31,8 @@ __all__ = [
     "StageTimings",
     "SubprocessPTIDaemon",
     "FragmentStore",
+    "DaemonPool",
+    "PoolWorker",
     "PTIAnalyzer",
     "PTIConfig",
     "PTI_MATCHER_CHOICES",

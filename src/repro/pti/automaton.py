@@ -174,7 +174,17 @@ class FragmentAutomaton:
 
     @classmethod
     def from_store(cls, store) -> "FragmentAutomaton":
-        """Compile over a :class:`~repro.pti.fragments.FragmentStore`."""
+        """Compile over a :class:`~repro.pti.fragments.FragmentStore`.
+
+        Uses the store's copy-on-write snapshot when available so the
+        fragment tuple and the recorded epoch come from the *same* state --
+        a concurrent mutation between the two reads would otherwise tag an
+        old vocabulary with a new epoch (stale trust that never expires).
+        """
+        snapshot = getattr(store, "snapshot", None)
+        if callable(snapshot):
+            state = snapshot()
+            return cls(state.fragments, epoch=state.epoch)
         return cls(store.iter_all(), epoch=store.epoch)
 
     # ------------------------------------------------------------------

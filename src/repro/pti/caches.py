@@ -20,6 +20,7 @@ structure into an attack.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 __all__ = ["QueryCache", "StructureCache", "MRUFragmentCache", "CacheStats"]
@@ -46,31 +47,41 @@ class CacheStats:
 
 
 class _LRUCache:
-    """Bounded LRU map from string key to an arbitrary cached payload."""
+    """Bounded LRU map from string key to an arbitrary cached payload.
+
+    Thread-safe: even a *read* mutates an LRU (``move_to_end`` rewires the
+    recency list), so every operation takes the internal lock.  The lock is
+    held only for the O(1) dict work -- never across analysis -- keeping
+    the critical section in the nanosecond range (DESIGN.md section 10).
+    """
 
     def __init__(self, capacity: int = 10_000) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._store: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def get(self, key: str):
-        if key in self._store:
-            self._store.move_to_end(key)
-            self.stats.hits += 1
-            return self._store[key]
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.stats.hits += 1
+                return self._store[key]
+            self.stats.misses += 1
+            return None
 
     def put(self, key: str, value) -> None:
-        self._store[key] = value
-        self._store.move_to_end(key)
-        while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -101,19 +112,22 @@ class MRUFragmentCache:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._items: list[str] = []
+        self._lock = threading.Lock()
 
     def items(self) -> list[str]:
-        """Fragments in most-recently-used-first order."""
-        return list(self._items)
+        """Fragments in most-recently-used-first order (stable copy)."""
+        with self._lock:
+            return list(self._items)
 
     def touch(self, fragment: str) -> None:
         """Record that ``fragment`` just matched; moves it to the front."""
-        try:
-            self._items.remove(fragment)
-        except ValueError:
-            pass
-        self._items.insert(0, fragment)
-        del self._items[self.capacity :]
+        with self._lock:
+            try:
+                self._items.remove(fragment)
+            except ValueError:
+                pass
+            self._items.insert(0, fragment)
+            del self._items[self.capacity :]
 
     def prune(self, is_valid) -> bool:
         """Drop entries rejected by ``is_valid`` (fragment-store membership).
@@ -125,13 +139,15 @@ class MRUFragmentCache:
         keep their recency order, so the working set is not cold-started by
         an unrelated add.  Returns ``True`` when anything was dropped.
         """
-        kept = [fragment for fragment in self._items if is_valid(fragment)]
-        changed = len(kept) != len(self._items)
-        self._items = kept
-        return changed
+        with self._lock:
+            kept = [fragment for fragment in self._items if is_valid(fragment)]
+            changed = len(kept) != len(self._items)
+            self._items = kept
+            return changed
 
     def clear(self) -> None:
-        self._items.clear()
+        with self._lock:
+            self._items.clear()
 
     def __len__(self) -> int:
         return len(self._items)

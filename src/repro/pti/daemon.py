@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import multiprocessing
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -122,6 +123,13 @@ class PTIDaemon:
         self.structure_cache = StructureCache(self.config.structure_cache_capacity)
         self.timings = StageTimings()
         self.queries_analyzed = 0
+        #: Serializes the analysis pipeline.  The individual caches are
+        #: independently locked, but the epoch-flush is check-then-act and
+        #: the stage timings are read-modify-write; one in-process daemon
+        #: shared by N threads must not interleave them.  In-process match
+        #: work is GIL-serialized anyway -- parallel PTI throughput comes
+        #: from the subprocess pool (DESIGN.md section 10).
+        self._lock = threading.RLock()
         #: Fragment-store epoch the caches were built under; any in-place
         #: store mutation (add/remove/reload) flushes them on next use.
         self._cache_epoch = store.epoch
@@ -136,10 +144,11 @@ class PTIDaemon:
         Cached verdicts were computed against the old vocabulary, so both
         caches are invalidated.
         """
-        self.analyzer = PTIAnalyzer(store, self.config.pti)
-        self.query_cache.clear()
-        self.structure_cache.clear()
-        self._cache_epoch = store.epoch
+        with self._lock:
+            self.analyzer = PTIAnalyzer(store, self.config.pti)
+            self.query_cache.clear()
+            self.structure_cache.clear()
+            self._cache_epoch = store.epoch
 
     def analyze_query(
         self, query: str, deadline: Deadline | None = None
@@ -152,7 +161,17 @@ class PTIDaemon:
         one that can realistically run long).  On expiry
         :class:`~repro.core.resilience.DeadlineExceeded` propagates to the
         engine, which resolves it per its failure policy.
+
+        Thread-safe: the whole pipeline runs under the daemon lock, so an
+        epoch flush can never interleave with another thread's cache fill
+        and the stage timings stay consistent.
         """
+        with self._lock:
+            return self._analyze_query_locked(query, deadline)
+
+    def _analyze_query_locked(
+        self, query: str, deadline: Deadline | None
+    ) -> DaemonReply:
         self.queries_analyzed += 1
         if deadline is not None:
             deadline.check("pti")
@@ -306,6 +325,19 @@ class SubprocessPTIDaemon:
         self.timings = StageTimings()
         self._conn = None
         self._process: multiprocessing.Process | None = None
+        #: Guards the ``_conn``/``_process`` slots (check-spawn-assign,
+        #: discard, close are each atomic).  Reentrant: ``_round_trip``
+        #: holds it during checkout and may call ``_discard_child``.
+        self._lifecycle = threading.RLock()
+        #: Serializes pipe I/O: the persistent pipe is strict FIFO, so two
+        #: threads interleaving send/recv would desynchronize replies.
+        #: ``close()`` deliberately does NOT take this lock -- it swaps the
+        #: slots under ``_lifecycle`` and closes the pipe, which surfaces
+        #: in a blocked reader as ``OSError`` -> ``DaemonCrash`` (the
+        #: in-flight request fails closed; no child is leaked).
+        self._io_lock = threading.Lock()
+        #: Guards counters mutated outside the I/O critical section.
+        self._stats_lock = threading.Lock()
         # Observability counters (surfaced via resilience_snapshot()).
         self.spawns = 0
         self.retries = 0
@@ -321,14 +353,16 @@ class SubprocessPTIDaemon:
     @property
     def store(self) -> FragmentStore:
         """The fragment vocabulary (rebuilt lazily after a refresh)."""
-        if self._store is None:
-            self._store = FragmentStore(self.fragments)
-        return self._store
+        with self._lifecycle:
+            if self._store is None:
+                self._store = FragmentStore(self.fragments)
+            return self._store
 
     def refresh_fragments(self, store: FragmentStore) -> None:
         """Swap the fragment set; the child is restarted on next use."""
-        self.fragments = store.fragments
-        self._store = store
+        with self._lifecycle:
+            self.fragments = store.fragments
+            self._store = store
         self.close()
 
     # ------------------------------------------------------------------
@@ -381,10 +415,17 @@ class SubprocessPTIDaemon:
             process.join(timeout=1.0)
 
     def _discard_child(self, conn, process) -> None:
-        """Drop a failed child; clears persistent state when it matches."""
-        if self.persistent and conn is self._conn:
-            self._conn = None
-            self._process = None
+        """Drop a failed child; clears persistent state when it matches.
+
+        The slot check-and-clear is atomic under the lifecycle lock so a
+        concurrent ``close()`` (which swaps the slots first) and a failing
+        round trip both reap *their own* child exactly once -- reaping an
+        already-reaped process is a no-op, so the overlap is harmless.
+        """
+        with self._lifecycle:
+            if self.persistent and conn is self._conn:
+                self._conn = None
+                self._process = None
         self._reap(conn, process)
 
     # ------------------------------------------------------------------
@@ -405,14 +446,25 @@ class SubprocessPTIDaemon:
         return safe, from_cache, tokens, child_deltas
 
     def _round_trip(self, query: str, deadline: Deadline) -> DaemonReply:
-        """One spawn-if-needed + send + bounded receive attempt."""
-        if self.persistent:
-            if self._process is None or not self._process.is_alive():
-                self._discard_child(self._conn, self._process)
-                self._conn, self._process = self._spawn()
-            conn, process = self._conn, self._process
-        else:
-            conn, process = self._spawn()
+        """One spawn-if-needed + send + bounded receive attempt.
+
+        Serialized on the I/O lock (the pipe is strict FIFO); the child
+        checkout is additionally atomic under the lifecycle lock so a
+        concurrent ``close()`` or ``refresh_fragments()`` can never observe
+        a half-assigned ``(_conn, _process)`` pair or leak a child.
+        """
+        with self._io_lock:
+            return self._round_trip_io(query, deadline)
+
+    def _round_trip_io(self, query: str, deadline: Deadline) -> DaemonReply:
+        with self._lifecycle:
+            if self.persistent:
+                if self._process is None or not self._process.is_alive():
+                    self._discard_child(self._conn, self._process)
+                    self._conn, self._process = self._spawn()
+                conn, process = self._conn, self._process
+            else:
+                conn, process = self._spawn()
         t0 = time.perf_counter()
         try:
             try:
@@ -478,7 +530,8 @@ class SubprocessPTIDaemon:
         if deadline is None:
             deadline = Deadline.unbounded()
         if self.breaker is not None and not self.breaker.allow():
-            self.unavailable += 1
+            with self._stats_lock:
+                self.unavailable += 1
             raise DaemonUnavailable(
                 "circuit breaker open: daemon spawn/IPC suspended",
                 breaker_open=True,
@@ -486,7 +539,8 @@ class SubprocessPTIDaemon:
         last_failure: PTIFailure | None = None
         for attempt in range(self.retry.max_attempts):
             if attempt:
-                self.retries += 1
+                with self._stats_lock:
+                    self.retries += 1
                 delay = deadline.bound(self.retry.delay(attempt - 1, self._rng))
                 if delay:
                     time.sleep(delay)
@@ -503,7 +557,8 @@ class SubprocessPTIDaemon:
             if self.breaker is not None:
                 self.breaker.record_success()
             return reply
-        self.unavailable += 1
+        with self._stats_lock:
+            self.unavailable += 1
         reason = last_failure.reason if last_failure is not None else "unknown"
         raise DaemonUnavailable(
             f"daemon analysis failed after {self.retry.max_attempts} "
@@ -539,9 +594,18 @@ class SubprocessPTIDaemon:
         gets the graceful shutdown message; a hung or half-dead one is
         escalated terminate -> kill with bounded joins so no zombie (nor
         stuck parent) survives ``close()``.
+
+        Safe against a concurrent in-flight round trip: the slots are
+        swapped out atomically under the lifecycle lock, then the pipe is
+        closed from this thread.  A reader blocked in ``poll``/``recv`` on
+        that pipe observes ``OSError``, which the round trip converts into
+        :class:`~repro.core.resilience.DaemonCrash` (fail-closed) and whose
+        ``_discard_child`` reaps its own handle -- already-reaped children
+        make that a no-op, so no child is leaked and none double-freed.
         """
-        conn, self._conn = self._conn, None
-        process, self._process = self._process, None
+        with self._lifecycle:
+            conn, self._conn = self._conn, None
+            process, self._process = self._process, None
         if conn is not None:
             try:
                 conn.send(None)

@@ -24,7 +24,8 @@ entirely.
 from __future__ import annotations
 
 import re
-from typing import Iterable
+import threading
+from typing import Iterable, NamedTuple
 
 from ..phpapp.source import extract_fragments
 from ..sqlparser.tokens import (
@@ -84,23 +85,49 @@ def token_index_key(token: Token) -> str:
     return token.text.lower()
 
 
+class _StoreState(NamedTuple):
+    """One immutable epoch of the fragment vocabulary.
+
+    The store's entire readable surface -- fragment tuple, membership set,
+    inverted index, epoch number -- lives in a single immutable object that
+    mutations *replace* rather than edit.  Readers grab ``store._state``
+    once (one atomic attribute load under the GIL) and work against a
+    self-consistent snapshot: the index positions always resolve into the
+    fragment tuple of the *same* epoch, no matter how many reloads happen
+    mid-iteration on other threads.
+    """
+
+    fragments: tuple[str, ...]
+    seen: frozenset
+    index: dict  # lowercased key -> tuple of positions into ``fragments``
+    epoch: int
+
+
+def _build_index(fragments: tuple[str, ...]) -> dict:
+    index: dict[str, list[int]] = {}
+    for position, fragment in enumerate(fragments):
+        for key in fragment_index_keys(fragment):
+            index.setdefault(key, []).append(position)
+    return {key: tuple(positions) for key, positions in index.items()}
+
+
 class FragmentStore:
-    """Deduplicated fragment set with a critical-token inverted index."""
+    """Deduplicated fragment set with a critical-token inverted index.
+
+    Concurrency model (DESIGN.md section 10): reads are lock-free against
+    copy-on-write :class:`_StoreState` snapshots; mutations serialize on an
+    internal lock, build the successor state off to the side, and publish
+    it with one reference assignment.  A reader therefore always sees some
+    *complete* epoch -- possibly one that is already stale, never a torn
+    mix of two -- and stale reads are safe by the epoch protocol: every
+    dependent cache revalidates against :attr:`epoch` before trusting
+    derived state, and a stale verdict is simply the verdict of a
+    serialization in which the read happened before the mutation.
+    """
 
     def __init__(self, fragments: Iterable[str] = ()) -> None:
-        self._fragments: list[str] = []
-        self._seen: set[str] = set()
-        # lowercased critical-token text -> indexes of fragments containing it
-        self._index: dict[str, list[int]] = {}
-        # memoised immutable snapshot served by the ``fragments`` property;
-        # invalidated on any mutation.
-        self._snapshot: tuple[str, ...] | None = None
-        #: Explicit mutation counter.  Every add/remove/reload bumps it;
-        #: dependent caches (PTI query/structure caches, the MRU list, the
-        #: compiled Aho-Corasick automaton, the shape cache) key their
-        #: validity on this value instead of guessing from object identity
-        #: or snapshot recomputation.
-        self._epoch = 0
+        self._mutation_lock = threading.RLock()
+        self._state = _StoreState((), frozenset(), {}, 0)
         self.add_many(fragments)
 
     # ------------------------------------------------------------------
@@ -115,70 +142,84 @@ class FragmentStore:
             store.add_many(extract_fragments(source))
         return store
 
-    def _mutated(self) -> None:
-        """Record a mutation: bump the epoch and drop the memoised snapshot."""
-        self._epoch += 1
-        self._snapshot = None
-
     def add(self, fragment: str) -> None:
         """Insert one fragment (idempotent; no-ops do not bump the epoch)."""
-        if not fragment or fragment in self._seen:
-            return
-        self._seen.add(fragment)
-        self._mutated()
-        index = len(self._fragments)
-        self._fragments.append(fragment)
-        for key in fragment_index_keys(fragment):
-            self._index.setdefault(key, []).append(index)
+        self.add_many((fragment,))
 
     def add_many(self, fragments: Iterable[str]) -> None:
-        for fragment in fragments:
-            self.add(fragment)
+        """Insert fragments; one copy-on-write state swap for the batch.
+
+        The epoch advances by the number of fragments actually inserted
+        (preserving the seed's one-bump-per-add counting); no-op batches
+        publish nothing at all.
+        """
+        with self._mutation_lock:
+            state = self._state
+            seen = set(state.seen)
+            added: list[str] = []
+            for fragment in fragments:
+                if not fragment or fragment in seen:
+                    continue
+                seen.add(fragment)
+                added.append(fragment)
+            if not added:
+                return
+            new_fragments = state.fragments + tuple(added)
+            self._state = _StoreState(
+                new_fragments,
+                frozenset(seen),
+                _build_index(new_fragments),
+                state.epoch + len(added),
+            )
 
     def remove(self, fragment: str) -> bool:
         """Remove one fragment (plugin uninstalled); returns True if present.
 
-        Removal invalidates positional index entries, so the index is
-        rebuilt; removal is rare (administrative action), lookups are hot.
+        Removal invalidates positional index entries, so the successor
+        state's index is rebuilt; removal is rare (administrative action),
+        lookups are hot.
         """
-        if fragment not in self._seen:
-            return False
-        self._seen.discard(fragment)
-        self._mutated()
-        self._fragments.remove(fragment)
-        self._rebuild_index()
-        return True
+        with self._mutation_lock:
+            state = self._state
+            if fragment not in state.seen:
+                return False
+            new_fragments = tuple(f for f in state.fragments if f != fragment)
+            self._state = _StoreState(
+                new_fragments,
+                state.seen - {fragment},
+                _build_index(new_fragments),
+                state.epoch + 1,
+            )
+            return True
 
     def reload(self, fragments: Iterable[str]) -> None:
         """Replace the whole vocabulary (bulk plugin update)."""
-        self._fragments = []
-        self._seen = set()
-        self._index = {}
-        self._mutated()
-        for fragment in fragments:
-            if not fragment or fragment in self._seen:
-                continue
-            self._seen.add(fragment)
-            index = len(self._fragments)
-            self._fragments.append(fragment)
-            for key in fragment_index_keys(fragment):
-                self._index.setdefault(key, []).append(index)
-
-    def _rebuild_index(self) -> None:
-        self._index = {}
-        for index, fragment in enumerate(self._fragments):
-            for key in fragment_index_keys(fragment):
-                self._index.setdefault(key, []).append(index)
+        with self._mutation_lock:
+            state = self._state
+            seen: set[str] = set()
+            kept: list[str] = []
+            for fragment in fragments:
+                if not fragment or fragment in seen:
+                    continue
+                seen.add(fragment)
+                kept.append(fragment)
+            new_fragments = tuple(kept)
+            self._state = _StoreState(
+                new_fragments,
+                frozenset(seen),
+                _build_index(new_fragments),
+                state.epoch + 1,
+            )
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (lock-free snapshot reads)
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._fragments)
+        return len(self._state.fragments)
 
     def __contains__(self, fragment: str) -> bool:
-        return fragment in self._seen
+        return fragment in self._state.seen
 
     @property
     def epoch(self) -> int:
@@ -188,30 +229,29 @@ class FragmentStore:
         bumps the epoch twice -- which only costs dependent caches a
         spurious flush, never a stale hit.)
         """
-        return self._epoch
+        return self._state.epoch
+
+    def snapshot(self) -> _StoreState:
+        """The current immutable state (fragments/membership/index/epoch).
+
+        The concurrency-aware way to do multi-field reads: one attribute
+        load yields a self-consistent epoch that later mutations can never
+        tear.  The automaton compiler and the chaos harness use this to
+        pin "the store as of one instant".
+        """
+        return self._state
 
     def __iter__(self):
-        return iter(self._fragments)
+        return iter(self._state.fragments)
 
     @property
     def fragments(self) -> tuple[str, ...]:
-        """All fragments, in insertion order.
-
-        Served as a memoised immutable snapshot: the previous
-        implementation copied the whole list on *every* access, which bench
-        and evaluation code paths hit per request.  The tuple is rebuilt
-        only after an insertion invalidates it; iteration-only hot paths
-        should still prefer :meth:`iter_all`, which never materialises
-        anything.
-        """
-        snapshot = self._snapshot
-        if snapshot is None:
-            snapshot = self._snapshot = tuple(self._fragments)
-        return snapshot
+        """All fragments, in insertion order (immutable snapshot, O(1))."""
+        return self._state.fragments
 
     def iter_all(self):
-        """Iterate all fragments without copying (hot path)."""
-        return iter(self._fragments)
+        """Iterate one consistent snapshot without copying (hot path)."""
+        return iter(self._state.fragments)
 
     def candidates_for(self, token_text: str) -> list[str]:
         """Fragments that contain ``token_text`` (case-insensitive prefilter).
@@ -222,17 +262,19 @@ class FragmentStore:
         return list(self.iter_candidates(token_text))
 
     def iter_candidates(self, token_text: str):
-        """Non-copying iterator over index candidates (hot path)."""
-        fragments = self._fragments
-        for index in self._index.get(token_text.lower(), ()):
-            yield fragments[index]
+        """Iterator over index candidates of one consistent snapshot."""
+        state = self._state
+        fragments = state.fragments
+        for position in state.index.get(token_text.lower(), ()):
+            yield fragments[position]
 
     def stats(self) -> dict[str, int]:
         """Extraction statistics (reported by Table III's bench)."""
+        state = self._state
         return {
-            "fragments": len(self._fragments),
-            "indexed_tokens": len(self._index),
-            "total_characters": sum(len(f) for f in self._fragments),
+            "fragments": len(state.fragments),
+            "indexed_tokens": len(state.index),
+            "total_characters": sum(len(f) for f in state.fragments),
         }
 
     # ------------------------------------------------------------------
@@ -245,7 +287,7 @@ class FragmentStore:
         """Serialise the fragment list (the index is rebuilt on load)."""
         import json
 
-        return json.dumps({"version": 1, "fragments": self._fragments})
+        return json.dumps({"version": 1, "fragments": list(self._state.fragments)})
 
     @classmethod
     def from_json(cls, text: str) -> "FragmentStore":

@@ -40,6 +40,7 @@ membership) and drops the compiled automaton and per-query occurrence memo.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..core.verdict import AnalysisResult, Detection, TaintMarking, Technique
@@ -110,6 +111,15 @@ class PTIAnalyzer:
         self.store = store
         self.config = config or PTIConfig()
         self.mru = MRUFragmentCache(self.config.mru_capacity)
+        #: Guards the derived-state block (epoch guard, compiled automaton,
+        #: occurrence memo) so concurrent callers cannot interleave a stale
+        #: prune with a fresh compile.  Reentrant because the public
+        #: entry points nest (``analyze`` -> ``cover_token_witness`` ->
+        #: ``occurrence_index``).  Held across the in-process match work --
+        #: acceptable because in-process Python matching is GIL-serialized
+        #: anyway; parallel PTI throughput comes from the subprocess pool
+        #: (DESIGN.md section 10).
+        self._lock = threading.RLock()
         #: Total matching work performed (Fig. 7).  Unit depends on the
         #: matcher: fragment-vs-token containment checks for the scan,
         #: automaton node transitions for the one-pass engine.
@@ -173,21 +183,24 @@ class PTIAnalyzer:
         :meth:`analyze`, the engine's shape-cache recheck path) from the
         single streaming pass already performed.
         """
-        self._sync_store()
-        previous = self._occ_query
-        if previous is not None and (previous is query or previous == query):
-            self.occ_index_reuses += 1
-            return self._occ_index
-        automaton = self._automaton
-        if automaton is None:
-            automaton = self._automaton = FragmentAutomaton.from_store(self.store)
-            self.automaton_builds += 1
-        index = automaton.index(query)
-        self.comparisons += index.transitions
-        self.occ_index_builds += 1
-        self._occ_query = query
-        self._occ_index = index
-        return index
+        with self._lock:
+            self._sync_store()
+            previous = self._occ_query
+            if previous is not None and (previous is query or previous == query):
+                self.occ_index_reuses += 1
+                return self._occ_index
+            automaton = self._automaton
+            if automaton is None:
+                automaton = self._automaton = FragmentAutomaton.from_store(
+                    self.store
+                )
+                self.automaton_builds += 1
+            index = automaton.index(query)
+            self.comparisons += index.transitions
+            self.occ_index_builds += 1
+            self._occ_query = query
+            self._occ_index = index
+            return index
 
     def matcher_stats(self) -> dict[str, float]:
         """Matching-engine counters for the unified cache introspection."""
@@ -285,10 +298,13 @@ class PTIAnalyzer:
         automaton a canonical max-reach occurrence); coverage *existence*
         -- and therefore every verdict -- is identical.
         """
-        self._sync_store()
-        if self.resolved_matcher == "automaton":
-            return self.occurrence_index(query).witness(token.start, token.end)
-        return self._scan_witness(query, token)
+        with self._lock:
+            self._sync_store()
+            if self.resolved_matcher == "automaton":
+                return self.occurrence_index(query).witness(
+                    token.start, token.end
+                )
+            return self._scan_witness(query, token)
 
     def _cover_token(self, query: str, token: Token) -> str | None:
         """Find a fragment covering ``token``; returns it or ``None``."""

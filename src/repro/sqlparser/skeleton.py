@@ -116,10 +116,10 @@ _SCANNER = re.compile(
     | (?P<comment>/\*[\s\S]*?(?:\*/|\Z)|--[^\n]*|\#[^\n]*)
     | (?P<number>(?<![0-9A-Za-z_$])
         (?:0[xX][0-9a-fA-F]+
-          |\d+\.\d+(?:[eE][+-]?\d+)?
-          |\d+[eE][+-]?\d+
-          |\d+\.?)
-        |\.\d+(?:[eE][+-]?\d+)?)
+          |[0-9]+\.[0-9]+(?:[eE][+-]?[0-9]+)?
+          |[0-9]+[eE][+-]?[0-9]+
+          |[0-9]+\.?)
+        |\.[0-9]+(?:[eE][+-]?[0-9]+)?)
     | (?P<ident>(?:[A-Za-z_$][0-9A-Za-z_$]*[^\x00-\x7f]
                   |(?![{_HIGH_SPACES}])[^\x00-\x7f])
                 (?:[0-9A-Za-z_$]|[^\x00-\x7f])*)

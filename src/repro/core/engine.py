@@ -43,6 +43,7 @@ from ..sqlparser.skeleton import Skeleton, skeletonize
 from .policy import JozaConfig, RecoveryPolicy
 from .shapecache import ShapeCache, ShapePlan, build_plan
 from .resilience import (
+    CorruptReply,
     DaemonUnavailable,
     Deadline,
     DeadlineExceeded,
@@ -134,6 +135,13 @@ class EngineStats:
     shadow_checks: int = 0
     #: ... and how many disagreed (must stay zero; cold verdict wins).
     shadow_divergences: int = 0
+    #: Batched inspection (DESIGN.md section 11): ``inspect_batch`` calls ...
+    batch_calls: int = 0
+    #: ... queries that arrived inside them ...
+    batch_queries: int = 0
+    #: ... and how many one-IPC-exchange daemon batches they issued (cold
+    #: queries only; fast-path hits never reach the daemon).
+    batch_daemon_batches: int = 0
     #: Internal counter lock (not a counter).
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
@@ -169,6 +177,14 @@ class EngineStats:
                 "shape_plans_built": self.shape_plans_built,
                 "shadow_checks": self.shadow_checks,
                 "shadow_divergences": self.shadow_divergences,
+            }
+
+    def batch_counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "batch_calls": self.batch_calls,
+                "batch_queries": self.batch_queries,
+                "batch_daemon_batches": self.batch_daemon_batches,
             }
 
 
@@ -330,6 +346,12 @@ class JozaEngine:
             if self._shape_analyzer is not None:
                 shape["pti_matcher"] = self._shape_analyzer.matcher_stats()
             out["shape"] = shape
+        out["batching"] = {
+            "calls": {
+                key: float(value)
+                for key, value in self.stats.batch_counters().items()
+            }
+        }
         return out
 
     # ------------------------------------------------------------------
@@ -444,26 +466,189 @@ class JozaEngine:
 
         # -- cold path + plan planting --------------------------------
         verdict, tokens = self._inspect_cold(query, context, deadline)
-        if (
-            skeleton is not None
-            and store is not None
-            and analyzer is not None
-            and tokens is not None
-            and self._plan_cacheable(verdict)
-        ):
+        if skeleton is not None and store is not None and analyzer is not None:
+            self._maybe_plant_plan(
+                query, skeleton, epoch0, analyzer, verdict, tokens
+            )
+        return verdict
+
+    def _call_daemon_batch(
+        self, queries: list[str], deadline: Deadline
+    ) -> list[tuple[str, object] | None]:
+        """One batched daemon exchange, as per-query PTI outcomes.
+
+        A daemon exposing ``analyze_batch`` gets the whole list in one
+        call (one IPC exchange, one deadline clamp for subprocess-backed
+        daemons); its single success or failure becomes every query's
+        outcome -- the batch succeeds or fails closed *as a unit*, and
+        ``_inspect_cold`` re-raises the captured failure per query so the
+        existing policy resolution applies unchanged.  A daemon without
+        ``analyze_batch`` returns ``None`` outcomes, which make
+        ``_inspect_cold`` perform its usual per-query call.
+        """
+        batch = getattr(self.daemon, "analyze_batch", None)
+        if not callable(batch):
+            return [None] * len(queries)
+        t0 = time.perf_counter()
+        try:
+            replies = batch(queries, deadline=deadline)
+            if len(replies) != len(queries):
+                raise CorruptReply(
+                    f"daemon batch returned {len(replies)} replies "
+                    f"for {len(queries)} queries"
+                )
+        except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+            raise
+        except Exception as exc:
+            return [("err", exc)] * len(queries)
+        finally:
+            # _inspect_cold re-times its (now trivial) PTI leg; the real
+            # batched exchange is attributed here, once.
+            self.stats.bump(
+                pti_seconds=time.perf_counter() - t0, batch_daemon_batches=1
+            )
+        return [("ok", reply) for reply in replies]
+
+    def inspect_batch(
+        self,
+        queries: Iterable[str],
+        context: RequestContext,
+        deadline: Deadline | None = None,
+    ) -> list[QueryVerdict]:
+        """Inspect a batch of queries from one request context.
+
+        Verdict-equivalent to ``[inspect(q, context) for q in queries]``
+        (property-tested, including the paper's evasion payloads) but with
+        the per-query fixed costs paid once per batch:
+
+        - **one epoch pin** -- the fragment-store epoch is read once and
+          keys every plan lookup *and* every plan plant of the batch.  A
+          store mutation racing the batch makes affected lookups miss and
+          affected plants get refused by the cache's stale-put guard
+          (``ShapeCache.put``), so the whole batch observes one consistent
+          epoch -- it can never mix trust from two vocabularies;
+        - **one daemon exchange** -- every query the fast path could not
+          serve goes to the daemon in a single ``analyze_batch`` call (one
+          IPC round-trip, one deadline clamp on the wire; see
+          ``repro/pti/wire.py``), taking the daemon lock once;
+        - **one candidate enumeration** -- NTI candidate inputs depend on
+          the query only through its length
+          (:func:`~repro.nti.sources.candidate_inputs`), so the batch
+          memoises the enumeration per distinct query length instead of
+          re-deduplicating the context per query.
+
+        Fail-closed semantics are per batch on the PTI leg: a failed
+        batched exchange resolves every cold query of the batch through
+        the same :class:`~repro.core.resilience.FailurePolicy` machinery
+        as a failed single call -- a recorded failsafe block or flagged
+        degraded verdict, never a silent pass.  One deadline bounds the
+        whole batch.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        self.stats.bump(
+            queries_checked=len(queries),
+            batch_calls=1,
+            batch_queries=len(queries),
+        )
+        if deadline is None:
+            deadline = self.config.resilience.start_deadline()
+
+        # Batch-level NTI candidate memo (exact: candidate_inputs depends
+        # on the query only through len(query)).
+        threshold = self.config.nti.threshold
+        memo: dict[int, list[str]] = {}
+
+        def candidates(query: str) -> list[str]:
+            values = memo.get(len(query))
+            if values is None:
+                values = memo[len(query)] = candidate_inputs(
+                    context, query, threshold
+                )
+            return values
+
+        results: list[QueryVerdict | None] = [None] * len(queries)
+        cold: list[int] = []
+        skeletons: list[Skeleton | None] = [None] * len(queries)
+        cache = self.shape_cache
+        store = analyzer = None
+        epoch0 = -1
+
+        # -- fast path: skeleton + plan lookup per query, one epoch pin --
+        if cache is not None:
             t0 = time.perf_counter()
             try:
-                new_plan = build_plan(query, skeleton, tokens, analyzer)
-                if new_plan is not None:
-                    cache.put(skeleton.key, new_plan, epoch0)
-                    self.stats.bump(shape_plans_built=1)
+                store, analyzer = self._shape_state()
+                if store is not None:
+                    epoch0 = store.epoch
             except (KeyboardInterrupt, SystemExit):  # pragma: no cover
                 raise
             except Exception:  # pragma: no cover - defensive
-                pass
+                store = analyzer = None
             finally:
                 self.stats.bump(pti_seconds=time.perf_counter() - t0)
-        return verdict
+        if store is not None:
+            for index, query in enumerate(queries):
+                plan = None
+                t0 = time.perf_counter()
+                try:
+                    skeleton = skeletonize(query)
+                    skeletons[index] = skeleton
+                    plan = cache.get(skeleton.key, epoch0)
+                except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                    raise
+                except Exception:  # pragma: no cover - defensive
+                    plan = None
+                finally:
+                    self.stats.bump(pti_seconds=time.perf_counter() - t0)
+                if plan is not None:
+                    verdict = self._apply_plan(
+                        plan,
+                        skeletons[index],
+                        query,
+                        context,
+                        deadline,
+                        analyzer,
+                        candidates=candidates,
+                    )
+                    if verdict is not None:
+                        self.stats.bump(shape_hits=1)
+                        shadow = self._shadow_validate(query, context, verdict)
+                        results[index] = verdict if shadow is None else shadow
+                        continue
+                    self.stats.bump(shape_fallthroughs=1)
+                else:
+                    self.stats.bump(shape_misses=1)
+                cold.append(index)
+        else:
+            cold = list(range(len(queries)))
+
+        # -- cold path: one batched daemon exchange + per-query resolution --
+        if cold:
+            outcomes: list[tuple[str, object] | None]
+            if self.config.enable_pti:
+                outcomes = self._call_daemon_batch(
+                    [queries[i] for i in cold], deadline
+                )
+            else:
+                outcomes = [None] * len(cold)
+            for outcome, index in zip(outcomes, cold):
+                query = queries[index]
+                verdict, tokens = self._inspect_cold(
+                    query,
+                    context,
+                    deadline,
+                    pti_outcome=outcome,
+                    candidates=candidates,
+                )
+                results[index] = verdict
+                skeleton = skeletons[index]
+                if skeleton is not None and analyzer is not None:
+                    self._maybe_plant_plan(
+                        query, skeleton, epoch0, analyzer, verdict, tokens
+                    )
+        return results
 
     # ------------------------------------------------------------------
     # Shape fast path internals
@@ -505,12 +690,16 @@ class JozaEngine:
         context: RequestContext,
         deadline,
         analyzer: PTIAnalyzer,
+        candidates=None,
     ) -> QueryVerdict | None:
         """Replay a cached plan on one query instance; ``None`` = fall through.
 
         Fast-path time is attributed to the same ``pti_seconds`` /
         ``nti_seconds`` buckets as the cold path so overhead accounting
         (``attributed_overhead_pct``) stays comparable across modes.
+        ``candidates`` optionally supplies the NTI candidate-input
+        enumeration (``inspect_batch``'s per-length memo); ``None`` means
+        enumerate per query, exactly as the serial path does.
         """
         t0 = time.perf_counter()
         try:
@@ -557,9 +746,14 @@ class JozaEngine:
         try:
             if context.non_empty_values():
                 threshold = self.config.nti.threshold
+                pool = (
+                    candidate_inputs(context, query, threshold)
+                    if candidates is None
+                    else candidates(query)
+                )
                 values = [
                     value
-                    for value in candidate_inputs(context, query, threshold)
+                    for value in pool
                     if plan.input_can_cover(value, threshold)
                 ]
                 if values:
@@ -598,6 +792,40 @@ class JozaEngine:
             pti=pti_result,
             nti=nti_result,
         )
+
+    def _maybe_plant_plan(
+        self,
+        query: str,
+        skeleton: Skeleton,
+        epoch0: int,
+        analyzer: PTIAnalyzer,
+        verdict: QueryVerdict,
+        tokens,
+    ) -> None:
+        """Plant a shape plan after a clean cold analysis (best-effort).
+
+        ``epoch0`` is the epoch pinned *before* the analysis ran; the
+        cache refuses the put if the store has moved on since (stale
+        trust), which is exactly the mid-batch-mutation guarantee
+        ``inspect_batch`` relies on.
+        """
+        if tokens is None or not self._plan_cacheable(verdict):
+            return
+        cache = self.shape_cache
+        if cache is None:
+            return
+        t0 = time.perf_counter()
+        try:
+            new_plan = build_plan(query, skeleton, tokens, analyzer)
+            if new_plan is not None:
+                cache.put(skeleton.key, new_plan, epoch0)
+                self.stats.bump(shape_plans_built=1)
+        except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+            raise
+        except Exception:  # pragma: no cover - defensive
+            pass
+        finally:
+            self.stats.bump(pti_seconds=time.perf_counter() - t0)
 
     @staticmethod
     def _plan_cacheable(verdict: QueryVerdict) -> bool:
@@ -662,11 +890,24 @@ class JozaEngine:
         query: str,
         context: RequestContext,
         deadline,
+        pti_outcome: tuple[str, object] | None = None,
+        candidates=None,
     ) -> tuple[QueryVerdict, list | None]:
         """The reference pipeline: full PTI (daemon) + NTI run.
 
         Returns the verdict plus the critical-token list (when one was
         produced) so the caller can plant a shape plan.
+
+        ``pti_outcome`` lets :meth:`inspect_batch` inject the result of an
+        already-performed batched daemon exchange: ``("ok", reply)`` stands
+        in for a successful ``_call_daemon`` and ``("err", exc)`` re-raises
+        the captured failure *inside* the same ``try`` block -- so every
+        failure class (deadline, shed, typed PTI failure, unexpected
+        exception) flows through exactly the per-query resolution logic
+        below, and batch semantics equal serial semantics by construction.
+        ``candidates`` (a ``query -> list[str]`` callable) likewise lets
+        the batch reuse one memoised NTI candidate enumeration; ``None``
+        keeps the analyzer's own enumeration.
         """
         policy = self.config.resilience.failure_policy
         failure_reasons: list[str] = []
@@ -683,7 +924,13 @@ class JozaEngine:
         if self.config.enable_pti:
             t0 = time.perf_counter()
             try:
-                reply = self._call_daemon(query, deadline)
+                if pti_outcome is not None:
+                    kind, payload = pti_outcome
+                    if kind == "err":
+                        raise payload
+                    reply = payload
+                else:
+                    reply = self._call_daemon(query, deadline)
                 pti_result = reply.result
                 tokens = reply.tokens
             except DeadlineExceeded as exc:
@@ -747,9 +994,21 @@ class JozaEngine:
                         tokens = critical_tokens(
                             query, strict=self.config.strict_tokens
                         )
-                    nti_result = self.nti.analyze(
-                        query, context, tokens, deadline=deadline
-                    )
+                    if candidates is None:
+                        # Exactly the serial call shape: the NTI slot is
+                        # duck-typed (tests install fakes without a
+                        # ``values`` parameter).
+                        nti_result = self.nti.analyze(
+                            query, context, tokens, deadline=deadline
+                        )
+                    else:
+                        nti_result = self.nti.analyze(
+                            query,
+                            context,
+                            tokens,
+                            deadline=deadline,
+                            values=candidates(query),
+                        )
                 else:
                     nti_result = AnalysisResult(
                         technique=Technique.NTI, safe=True
@@ -867,6 +1126,7 @@ class JozaEngine:
             "seed": self._shadow_seed,
             "deterministic": self._shadow_seed is not None,
         }
+        report["batching"] = self.stats.batch_counters()
         report["dropped_records"] = self.attack_log.dropped_records
         report["attack_log_capacity"] = self.attack_log.capacity
         report["failure_policy"] = self.config.resilience.failure_policy.value

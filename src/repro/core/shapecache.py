@@ -12,9 +12,11 @@ A **shape** is the literal-masked skeleton of a query
 literals replaced by typed slot markers, everything else byte-identical.
 An **analysis plan** for a shape records
 
-- the critical-token stream as primitive :class:`PlanToken` records
-  (type/text/value/span/segment) -- real :class:`~repro.sqlparser.tokens.Token`
-  objects are only materialized when the hit actually needs them;
+- the critical-token stream as interned parallel primitive arrays
+  (type/text/value/span/segment; see :class:`ShapePlan`) -- real
+  :class:`~repro.sqlparser.tokens.Token` objects are only materialized
+  when the hit actually needs them, and :class:`PlanToken` records only
+  on introspection;
 - for each token, whether its PTI coverage is **slot-independent**: the
   witness fragment occurrence found at build time lies entirely within the
   token's inter-literal segment, so byte-identical segments (guaranteed by
@@ -40,6 +42,7 @@ added fragment can improve; either way the cached plan is stale).
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -115,18 +118,35 @@ class ShapePlan:
     instances sharing the skeleton key.
 
     Concurrency: a plan is immutable in everything verdict-relevant (key,
-    slots, tokens, witnesses, filters).  The mutable members are pure
-    memos -- ``_memo``, ``_profile_template``, ``hits`` -- whose races are
-    benign by construction: every writer stores a value any other writer
-    would also have computed (single dict-slot assignments are atomic
-    under the GIL), so the worst interleaving costs a recomputation or a
-    lost hit-count increment, never a wrong span or profile.
+    slots, token arrays, witnesses, filters).  The mutable members are pure
+    memos -- ``_memo``, ``_profile_template``, ``_tokens``, ``hits`` --
+    whose races are benign by construction: every writer stores a value any
+    other writer would also have computed (single dict-slot assignments are
+    atomic under the GIL), so the worst interleaving costs a recomputation
+    or a lost hit-count increment, never a wrong span or profile.
+
+    Storage: the critical-token stream lives in **interned parallel
+    arrays** (``tok_types`` / ``tok_texts`` / ``tok_values`` /
+    ``tok_starts`` / ``tok_ends`` / ``tok_segments``), not per-token
+    record objects.  Texts and string values pass through ``sys.intern``
+    -- critical tokens are keywords, operators and schema identifiers, a
+    tiny vocabulary shared across every cached shape, so a 2048-plan cache
+    keeps one ``"SELECT"`` instead of thousands -- and the hot replay
+    loops (:meth:`instantiate`, :meth:`materialize`) walk flat tuples
+    instead of chasing attributes through dataclass records.  The
+    :attr:`tokens` property rebuilds the :class:`PlanToken` view lazily
+    for introspection and tests.
     """
 
     __slots__ = (
         "key",
         "slots",
-        "tokens",
+        "tok_types",
+        "tok_texts",
+        "tok_values",
+        "tok_starts",
+        "tok_ends",
+        "tok_segments",
         "recheck_count",
         "min_token_len",
         "hits",
@@ -134,6 +154,7 @@ class ShapePlan:
         "_filters",
         "_profile_template",
         "_memo",
+        "_tokens",
     )
 
     def __init__(
@@ -144,8 +165,17 @@ class ShapePlan:
     ) -> None:
         self.key = key
         self.slots = slots
-        self.tokens = tokens
-        self.recheck_count = sum(1 for t in tokens if t.recheck)
+        # Explode the token records into interned parallel arrays; the
+        # records themselves are build-time scaffolding and are dropped.
+        self.tok_types = tuple(t.type for t in tokens)
+        self.tok_texts = tuple(sys.intern(t.text) for t in tokens)
+        self.tok_values = tuple(
+            sys.intern(t.value) if type(t.value) is str else t.value
+            for t in tokens
+        )
+        self.tok_starts = tuple(t.start for t in tokens)
+        self.tok_ends = tuple(t.end for t in tokens)
+        self.tok_segments = tuple(t.segment for t in tokens)
         #: Precomputed ``(token index, witness, witness_rel, len(witness))``
         #: for every recheck token, so the engine's per-hit re-proof loop
         #: iterates exactly the tokens that need it with all witness fields
@@ -157,14 +187,15 @@ class ShapePlan:
                 if t.recheck
             )
         )
+        self.recheck_count = len(self.recheck_witnesses)
         self.min_token_len = min(
-            (len(t.text) for t in tokens), default=0
+            (len(t) for t in self.tok_texts), default=0
         )
         self.hits = 0
         #: Per-token (text, length) pairs for the NTI input prefilter,
         #: shortest first so permissive inputs exit early.
         self._filters = tuple(
-            sorted(((t.text, len(t.text)) for t in tokens), key=lambda p: p[1])
+            sorted(((t, len(t)) for t in self.tok_texts), key=lambda p: p[1])
         )
         #: Lazily-built segment multiset tables for :meth:`profile_for`.
         self._profile_template: tuple | None = None
@@ -173,6 +204,49 @@ class ShapePlan:
         self._memo: dict[
             tuple[int, ...], tuple[list[tuple[int, int]], list[Token]]
         ] = {}
+        #: Lazy :class:`PlanToken` view (see :attr:`tokens`).
+        self._tokens: tuple[PlanToken, ...] | None = None
+
+    @property
+    def tokens(self) -> tuple[PlanToken, ...]:
+        """The critical-token stream as :class:`PlanToken` records.
+
+        Rebuilt lazily from the parallel arrays -- the replay hot path
+        never touches it; it exists for introspection and tests.  Witness
+        fields are normalised: they are populated exactly for recheck
+        tokens (the only tokens whose witnesses the plan consults).
+        """
+        view = self._tokens
+        if view is None:
+            witnesses = {
+                i: (witness, rel)
+                for i, witness, rel, _ in self.recheck_witnesses
+            }
+            none_pair = (None, 0)
+            view = self._tokens = tuple(
+                PlanToken(
+                    type=ttype,
+                    text=text,
+                    value=value,
+                    start=start,
+                    end=end,
+                    segment=segment,
+                    recheck=i in witnesses,
+                    witness=witnesses.get(i, none_pair)[0],
+                    witness_rel=witnesses.get(i, none_pair)[1],
+                )
+                for i, (ttype, text, value, start, end, segment) in enumerate(
+                    zip(
+                        self.tok_types,
+                        self.tok_texts,
+                        self.tok_values,
+                        self.tok_starts,
+                        self.tok_ends,
+                        self.tok_segments,
+                    )
+                )
+            )
+        return view
 
     # -- instantiation -------------------------------------------------
 
@@ -202,20 +276,25 @@ class ShapePlan:
             shift += new_slot.length - old_slot.length
             shifts[i + 1] = shift
         spans: list[tuple[int, int]] = []
-        for tok in self.tokens:
-            delta = shifts[tok.segment]
-            start = tok.start + delta
-            end = tok.end + delta
-            if query[start:end] != tok.text:
+        append = spans.append
+        for segment, start, end, text in zip(
+            self.tok_segments, self.tok_starts, self.tok_ends, self.tok_texts
+        ):
+            delta = shifts[segment]
+            start += delta
+            end += delta
+            if query[start:end] != text:
                 return None
-            spans.append((start, end))
+            append((start, end))
         return spans
 
     def materialize(self, spans: list[tuple[int, int]]) -> list[Token]:
         """Build real ``Token`` objects at the instantiated spans."""
         return [
-            Token(tok.type, tok.text, start, end, value=tok.value)
-            for tok, (start, end) in zip(self.tokens, spans)
+            Token(ttype, text, start, end, value=value)
+            for ttype, text, value, (start, end) in zip(
+                self.tok_types, self.tok_texts, self.tok_values, spans
+            )
         ]
 
     def instantiate_trusted(
@@ -360,7 +439,7 @@ class ShapePlan:
         for every plan token can only produce non-covering markings, so
         skipping them cannot change the verdict.
         """
-        if not self.tokens:
+        if not self.tok_texts:
             return False
         n = len(value)
         budget = int(threshold * n / (1.0 - threshold)) if threshold < 1.0 else n

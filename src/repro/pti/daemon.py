@@ -31,11 +31,13 @@ unvetted.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import random
 import threading
 import time
 from dataclasses import dataclass, field
 
+from . import wire
 from ..core.resilience import (
     CircuitBreaker,
     CorruptReply,
@@ -77,6 +79,11 @@ class StageTimings:
 
     def snapshot(self) -> dict[str, float]:
         return dict(self.seconds)
+
+
+# The wire format packs stage deltas positionally; the two stage tuples
+# must never drift apart.
+assert StageTimings.STAGES == wire.STAGES
 
 
 @dataclass
@@ -169,6 +176,22 @@ class PTIDaemon:
         with self._lock:
             return self._analyze_query_locked(query, deadline)
 
+    def analyze_batch(
+        self, queries: list[str], deadline: Deadline | None = None
+    ) -> list[DaemonReply]:
+        """Analyze a batch under ONE lock acquisition.
+
+        Semantically identical to ``[analyze_query(q) for q in queries]``
+        -- same caches, same epoch flush, same deadline checks -- but the
+        daemon lock is taken once for the whole batch, so concurrent
+        callers cannot interleave mid-batch and the per-query lock
+        round-trip cost is amortised away.  Because the epoch check runs
+        under the same continuously-held lock, every query in the batch is
+        served against one consistent fragment-store epoch.
+        """
+        with self._lock:
+            return [self._analyze_query_locked(q, deadline) for q in queries]
+
     def _analyze_query_locked(
         self, query: str, deadline: Deadline | None
     ) -> DaemonReply:
@@ -251,26 +274,80 @@ class PTIDaemon:
         return DaemonReply(safe=result.safe, result=result, tokens=tokens)
 
 
+def _reply_deltas(daemon: PTIDaemon, previous: dict[str, float]) -> dict[str, float]:
+    """Stage-timing deltas since ``previous``, updating it in place."""
+    current = daemon.timings.snapshot()
+    deltas = {k: current[k] - previous.get(k, 0.0) for k in current}
+    previous.clear()
+    previous.update(current)
+    return deltas
+
+
 def _daemon_loop(conn, fragments: list[str], config: DaemonConfig) -> None:
     """Child-process entry point: serve queries over the pipe until EOF.
 
     Each reply carries the child's per-stage timing deltas so the parent can
     attribute analysis time to parse/match/cache even across the process
     boundary (needed for the Figure 7 breakdown).
+
+    One loop serves both protocols, sniffed per message on the raw bytes
+    (``recv_bytes`` + explicit ``pickle.loads`` is exactly what
+    ``Connection.recv`` does internally, so the legacy path is
+    byte-compatible with old parents):
+
+    - legacy: a pickled query string (or ``None`` shutdown sentinel),
+      answered with a pickled ``(safe, from_cache, tokens, deltas)`` tuple;
+    - batch: a packed ``wire`` request frame (magic ``b"JZ"``; a pickle
+      can never start with those bytes), answered with one packed reply
+      frame -- one IPC exchange for the whole batch.  A reply the packed
+      format cannot express exactly (see ``wire.spans_from_tokens``) falls
+      back to a pickled verdict list, which the parent also accepts; a
+      malformed request frame ends the loop (the parent sees EOF ->
+      ``DaemonCrash`` -> fail-closed, never a made-up verdict).
     """
     daemon = PTIDaemon(FragmentStore(fragments), config)
     previous = daemon.timings.snapshot()
     while True:
         try:
-            message = conn.recv()
+            buf = conn.recv_bytes()
         except EOFError:
             break
+        if wire.is_frame(buf):
+            try:
+                queries = wire.unpack_batch_request(buf)
+            except wire.WireFormatError:
+                break
+            replies = daemon.analyze_batch(queries)
+            deltas = _reply_deltas(daemon, previous)
+            try:
+                verdicts = [
+                    (
+                        r.safe,
+                        r.from_cache,
+                        None
+                        if r.tokens is None
+                        else wire.spans_from_tokens(r.tokens),
+                    )
+                    for r in replies
+                ]
+                frame = wire.pack_batch_reply(verdicts, deltas)
+            except wire.WireFormatError:
+                conn.send_bytes(
+                    pickle.dumps(
+                        [
+                            (r.safe, r.from_cache, r.tokens, deltas)
+                            for r in replies
+                        ]
+                    )
+                )
+            else:
+                conn.send_bytes(frame)
+            continue
+        message = pickle.loads(buf)
         if message is None:
             break
         reply = daemon.analyze_query(message)
-        current = daemon.timings.snapshot()
-        deltas = {k: current[k] - previous.get(k, 0.0) for k in current}
-        previous = current
+        deltas = _reply_deltas(daemon, previous)
         conn.send((reply.safe, reply.from_cache, reply.tokens, deltas))
     conn.close()
 
@@ -302,6 +379,13 @@ class SubprocessPTIDaemon:
             breaking (the seed behavior).
         seed: RNG seed for backoff jitter (reproducible chaos runs).
     """
+
+    #: Whether this daemon's child loop understands packed ``wire`` batch
+    #: frames.  Subclasses that install their own child loop (the chaos
+    #: and pacing harnesses) set this False and :meth:`analyze_batch`
+    #: degrades to per-query legacy round-trips -- same verdicts, no
+    #: protocol assumptions about the replacement loop.
+    supports_batch_wire = True
 
     def __init__(
         self,
@@ -345,6 +429,8 @@ class SubprocessPTIDaemon:
         self.crashes = 0
         self.corrupt_replies = 0
         self.unavailable = 0
+        self.batches = 0
+        self.oversized_batches = 0
 
     # ------------------------------------------------------------------
     # Fragment access (engine fallback path + protect() refresh hook)
@@ -512,6 +598,191 @@ class SubprocessPTIDaemon:
             from_cache=from_cache,
         )
 
+    def _round_trip_batch(
+        self, queries: list[str], deadline: Deadline
+    ) -> list[DaemonReply]:
+        """One batched round-trip: one send, one deadline clamp, one recv.
+
+        The request is packed into a single pre-sized buffer
+        (``wire.pack_batch_request``) and handed to ``send_bytes`` -- no
+        per-query pickling, no length-prefix concatenation.  The reply is
+        sniffed: a packed frame decodes without pickle; a pickled verdict
+        list (the child's fallback for token streams the packed format
+        cannot express exactly) goes through the same per-item shape
+        validation as the legacy protocol.  Either way a count mismatch or
+        malformed payload raises ``CorruptReply`` -- the batch fails
+        closed as a unit, never partially.
+        """
+        with self._io_lock:
+            with self._lifecycle:
+                if self.persistent:
+                    if self._process is None or not self._process.is_alive():
+                        self._discard_child(self._conn, self._process)
+                        self._conn, self._process = self._spawn()
+                    conn, process = self._conn, self._process
+                else:
+                    conn, process = self._spawn()
+            t0 = time.perf_counter()
+            try:
+                try:
+                    request = wire.pack_batch_request(queries)
+                    conn.send_bytes(request)
+                    timeout = deadline.bound(self.recv_timeout)
+                    if timeout is not None and not conn.poll(timeout):
+                        self.timeouts += 1
+                        raise DaemonTimeout(
+                            f"daemon batch reply not received within {timeout:.3f}s"
+                        )
+                    payload = conn.recv_bytes()
+                except (EOFError, BrokenPipeError, ConnectionError, OSError) as exc:
+                    self.crashes += 1
+                    raise DaemonCrash(f"daemon pipe failed: {exc!r}") from exc
+                try:
+                    decoded, child_deltas = self._decode_batch(queries, payload)
+                except CorruptReply:
+                    self.corrupt_replies += 1
+                    raise
+            except PTIFailure:
+                self._discard_child(conn, process)
+                raise
+            elapsed = time.perf_counter() - t0
+            analysis = 0.0
+            for stage, dt in child_deltas.items():
+                self.timings.add(stage, dt)
+                analysis += dt
+            self.timings.add("ipc", max(elapsed - analysis, 0.0))
+            if not self.persistent:
+                try:
+                    conn.send(None)
+                    conn.close()
+                except (BrokenPipeError, OSError):  # pragma: no cover - defensive
+                    pass
+                self._reap(None, process)
+            return decoded
+
+    def _decode_batch(
+        self, queries: list[str], payload: bytes
+    ) -> tuple[list[DaemonReply], dict[str, float]]:
+        """Validate + decode one batch reply payload (packed or pickled)."""
+        if wire.is_frame(payload):
+            try:
+                verdicts, child_deltas = wire.unpack_batch_reply(payload)
+            except wire.WireFormatError as exc:
+                raise CorruptReply(f"malformed batch frame: {exc}") from exc
+            if len(verdicts) != len(queries):
+                raise CorruptReply(
+                    f"batch reply count {len(verdicts)} != request {len(queries)}"
+                )
+            replies: list[DaemonReply] = []
+            for query, (safe, from_cache, spans) in zip(queries, verdicts):
+                try:
+                    tokens = (
+                        None
+                        if spans is None
+                        else wire.tokens_from_spans(query, spans)
+                    )
+                except wire.WireFormatError as exc:
+                    raise CorruptReply(f"malformed batch token span: {exc}") from exc
+                replies.append(
+                    DaemonReply(
+                        safe=safe,
+                        result=AnalysisResult(
+                            technique=Technique.PTI, safe=safe, from_cache=from_cache
+                        ),
+                        tokens=tokens,
+                        from_cache=from_cache,
+                    )
+                )
+            return replies, child_deltas
+        # Child fell back to a pickled verdict list (rare: a token stream
+        # the packed format refuses to ship lossily).
+        try:
+            items = pickle.loads(payload)
+        except Exception as exc:
+            raise CorruptReply(f"unpicklable batch reply: {exc!r}") from exc
+        if not isinstance(items, list) or len(items) != len(queries):
+            raise CorruptReply(f"malformed batch reply list: {items!r:.120}")
+        replies = []
+        child_deltas: dict[str, float] = {}
+        for item in items:
+            safe, from_cache, tokens, child_deltas = self._decode(item)
+            replies.append(
+                DaemonReply(
+                    safe=safe,
+                    result=AnalysisResult(
+                        technique=Technique.PTI, safe=safe, from_cache=from_cache
+                    ),
+                    tokens=tokens,
+                    from_cache=from_cache,
+                )
+            )
+        # Every item carries the same batch-level delta block; attributing
+        # the last one once is the packed-path equivalent.
+        return replies, child_deltas
+
+    def analyze_batch(
+        self, queries: list[str], deadline: Deadline | None = None
+    ) -> list[DaemonReply]:
+        """Ship a whole batch to the child in one IPC exchange.
+
+        Same resilience contract as :meth:`analyze_query` -- breaker gate,
+        bounded receive, retry with backoff, typed failures only -- but
+        paid once per *batch*: the batch succeeds or fails closed as a
+        unit.  Oversized batches are refused before any I/O with the
+        reason recorded (``oversized_batches``); daemons whose child loop
+        does not speak the packed protocol degrade to per-query calls.
+        """
+        if not queries:
+            return []
+        if not self.supports_batch_wire:
+            return [self.analyze_query(q, deadline) for q in queries]
+        if len(queries) > wire.MAX_BATCH:
+            with self._stats_lock:
+                self.oversized_batches += 1
+            raise PTIFailure(
+                f"batch of {len(queries)} queries exceeds wire MAX_BATCH="
+                f"{wire.MAX_BATCH}; split the batch"
+            )
+        if deadline is None:
+            deadline = Deadline.unbounded()
+        if self.breaker is not None and not self.breaker.allow():
+            with self._stats_lock:
+                self.unavailable += 1
+            raise DaemonUnavailable(
+                "circuit breaker open: daemon spawn/IPC suspended",
+                breaker_open=True,
+            )
+        with self._stats_lock:
+            self.batches += 1
+        last_failure: PTIFailure | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                with self._stats_lock:
+                    self.retries += 1
+                delay = deadline.bound(self.retry.delay(attempt - 1, self._rng))
+                if delay:
+                    time.sleep(delay)
+            deadline.check("pti-daemon-batch")
+            try:
+                replies = self._round_trip_batch(queries, deadline)
+            except PTIFailure as failure:
+                last_failure = failure
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                    if not self.breaker.allow():
+                        break
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return replies
+        with self._stats_lock:
+            self.unavailable += 1
+        reason = last_failure.reason if last_failure is not None else "unknown"
+        raise DaemonUnavailable(
+            f"daemon batch analysis failed after {self.retry.max_attempts} "
+            f"attempt(s): {reason}"
+        ) from last_failure
+
     def analyze_query(
         self, query: str, deadline: Deadline | None = None
     ) -> DaemonReply:
@@ -578,6 +849,8 @@ class SubprocessPTIDaemon:
             "crashes": self.crashes,
             "corrupt_replies": self.corrupt_replies,
             "unavailable": self.unavailable,
+            "batches": self.batches,
+            "oversized_batches": self.oversized_batches,
         }
         if self.breaker is not None:
             out["breaker"] = self.breaker.snapshot()

@@ -266,6 +266,62 @@ class DaemonPool:
                 self._inflight -= 1
             self._admission.release()
 
+    def analyze_batch(
+        self, queries: list[str], deadline: Deadline | None = None
+    ) -> list[DaemonReply]:
+        """Run a whole batch through ONE admission slot and ONE worker.
+
+        The batch counts as a single request against the in-flight bound
+        and occupies one worker pipe for one batched round-trip -- that is
+        the point: under batch load the pool serves ``size`` *batches*
+        concurrently instead of ``size`` queries.  Shed/failure semantics
+        are identical to :meth:`analyze_query`, applied to the batch as a
+        unit (a shed batch is shed whole; the engine records a verdict for
+        every query in it either way).  Workers whose daemon predates
+        ``analyze_batch`` degrade to per-query calls on the same checkout.
+        """
+        if not queries:
+            return []
+        if self._closed:
+            raise DaemonUnavailable("daemon pool is closed")
+        if deadline is None:
+            deadline = Deadline.unbounded()
+        if not self._admission.acquire(blocking=False):
+            raise self._shed(
+                f"shed: admission queue full "
+                f"(in_flight={self.size + self.max_queue})",
+                "sheds_queue_full",
+            )
+        try:
+            with self._lock:
+                self._inflight += 1
+            worker = self._checkout(deadline)
+            try:
+                batch = getattr(worker.daemon, "analyze_batch", None)
+                if callable(batch):
+                    replies = batch(queries, deadline=deadline)
+                else:
+                    replies = [
+                        worker.daemon.analyze_query(q, deadline=deadline)
+                        for q in queries
+                    ]
+            except PTIFailure:
+                worker.failures += 1
+                worker.consecutive_failures += 1
+                self._release(worker)
+                raise
+            except BaseException:
+                self._release(worker)
+                raise
+            worker.served += len(queries)
+            worker.consecutive_failures = 0
+            self._release(worker)
+            return replies
+        finally:
+            with self._lock:
+                self._inflight -= 1
+            self._admission.release()
+
     def _checkout(self, deadline: Deadline) -> PoolWorker:
         timeout = deadline.bound(self.admission_timeout)
         if timeout is None:

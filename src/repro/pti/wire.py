@@ -1,0 +1,371 @@
+"""Zero-copy batch wire format for the PTI daemon pipe (DESIGN.md §11).
+
+The legacy daemon protocol pickles one query per ``Connection.send`` and
+one ``(safe, from_cache, tokens, deltas)`` tuple per reply.  Pickle is
+convenient but costs a full object-graph walk per query -- per-token
+dataclass reduction dominated the wire time in profiles -- and forces one
+IPC exchange (and one deadline clamp) per query.
+
+This module packs a whole *batch* into one struct-packed frame each way:
+
+``request``::
+
+    "JZ" | version:B | kind:B=1 | count:H          (6-byte header)
+    repeat count:  byte_len:I | utf-8 query bytes
+
+``reply``::
+
+    "JZ" | version:B | kind:B=2 | count:H          (6-byte header)
+    stage deltas: 5 doubles (spawn, ipc, parse, match, cache)
+    repeat count:
+        flags:B    bit0 = safe, bits1-2 = from_cache code
+                   (0 none / 1 "query" / 2 "structure"), bit3 = has_tokens
+        if has_tokens:  n:H  then n * (type_code:B | start:I | end:I)
+
+Key properties:
+
+- **Pre-sized buffers.**  Frames are assembled with ``struct.pack_into``
+  into one exactly-sized ``bytearray`` -- no length-prefix + payload
+  concatenation, no intermediate ``bytes`` per field.  The bytearray goes
+  straight to ``Connection.send_bytes`` (buffer protocol, no pickle).
+- **Tokens travel as spans.**  A reply token is ``(type_code, start,
+  end)``: 9 bytes instead of a pickled Token.  The receiver reslices
+  ``query[start:end]`` -- sharing the query string it already holds -- and
+  recomputes the semantic value.  This is *exact*, not approximate: the
+  critical-token types that cross the wire (KEYWORD, IDENTIFIER, OPERATOR,
+  PUNCTUATION, COMMENT) all derive ``value`` deterministically from
+  ``text`` (lowercased keyword, backtick-unquoted identifier, verbatim
+  otherwise).  :func:`spans_from_tokens` *verifies* that derivation per
+  token at pack time and refuses (``WireFormatError``) on any token it
+  could not reconstruct byte-exactly -- the daemon loop then falls back to
+  a pickled reply rather than ship a lossy one.
+- **Fail-closed decoding.**  Every unpack validates magic, version, kind,
+  counts, bounds and exact frame length; anything off raises
+  :class:`WireFormatError`, which the parent converts to
+  :class:`~repro.core.resilience.CorruptReply` (a typed PTI failure --
+  never a verdict).
+- **Protocol coexistence.**  Packed frames start with ``b"JZ"`` while every
+  pickle starts with ``b"\\x80"`` (protocol 2+ opcode), so a single child
+  loop can serve both by sniffing :func:`is_frame` on the raw bytes.
+
+Bounds: :data:`MAX_BATCH` queries per frame and :data:`MAX_FRAME` bytes
+per frame.  Oversized batches are a *caller* error, rejected before any
+I/O with a recorded reason, so a runaway batcher cannot wedge the pipe.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+from ..sqlparser.lexer import _string_value
+from ..sqlparser.tokens import Token, TokenType
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "KIND_REQUEST",
+    "KIND_REPLY",
+    "MAX_BATCH",
+    "MAX_FRAME",
+    "STAGES",
+    "WireFormatError",
+    "is_frame",
+    "pack_batch_request",
+    "unpack_batch_request",
+    "pack_batch_reply",
+    "unpack_batch_reply",
+    "spans_from_tokens",
+    "tokens_from_spans",
+]
+
+MAGIC = b"JZ"
+VERSION = 1
+KIND_REQUEST = 1
+KIND_REPLY = 2
+
+#: Hard per-frame bounds.  A batch larger than MAX_BATCH is rejected
+#: *before* any I/O; a frame larger than MAX_FRAME is rejected by both
+#: packer and unpacker (a length-prefix bomb cannot allocate unbounded
+#: memory in either process).
+MAX_BATCH = 256
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Stage order of the packed deltas block.  Mirrors
+#: ``StageTimings.STAGES`` (asserted where the daemon imports this
+#: module, so the two can never drift silently).
+STAGES = ("spawn", "ipc", "parse", "match", "cache")
+
+_HEADER = struct.Struct("<2sBBH")
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_DELTAS = struct.Struct("<5d")
+_TOKEN = struct.Struct("<BII")
+
+#: from_cache wire codes (2 bits of the verdict flags byte).
+_CACHE_CODES = {None: 0, "query": 1, "structure": 2}
+_CACHE_NAMES = {code: name for name, code in _CACHE_CODES.items()}
+
+#: Token types allowed on the wire -- exactly the types
+#: ``critical_tokens`` can emit.  Literals (STRING/NUMBER) never cross:
+#: their values are decoded objects that spans cannot reconstruct, and
+#: they are never critical tokens in the first place.
+_TYPE_CODES = {
+    TokenType.KEYWORD: 0,
+    TokenType.IDENTIFIER: 1,
+    TokenType.OPERATOR: 2,
+    TokenType.PUNCTUATION: 3,
+    TokenType.COMMENT: 4,
+}
+_CODE_TYPES = {code: ttype for ttype, code in _TYPE_CODES.items()}
+
+
+class WireFormatError(ValueError):
+    """A frame (or a batch about to become one) violates the wire format."""
+
+
+def is_frame(buf: bytes) -> bool:
+    """Whether ``buf`` is a packed frame (vs a legacy pickle payload).
+
+    Unambiguous: packed frames start with ``b"JZ"``; every pickle the
+    legacy protocol produces starts with the protocol-2+ opcode
+    ``b"\\x80"``.
+    """
+    return buf[:2] == MAGIC
+
+
+def _derived_value(ttype: TokenType, text: str) -> object:
+    """The semantic value the lexer assigns to a critical token's text.
+
+    Single source of truth for both ends of the wire: the packer verifies
+    a token's actual value equals this derivation (else it refuses to
+    pack), and the unpacker applies it -- making span round-trips
+    byte-exact by construction.
+    """
+    if ttype is TokenType.KEYWORD:
+        return text.lower()
+    if ttype is TokenType.IDENTIFIER and text[:1] == "`":
+        return _string_value(text, "`")
+    return text
+
+
+def spans_from_tokens(tokens: Iterable[Token]) -> list[tuple[int, int, int]]:
+    """Compress tokens to ``(type_code, start, end)`` wire spans.
+
+    Raises :class:`WireFormatError` for any token whose exact ``(type,
+    text, value)`` could not be rebuilt from its span alone -- unknown
+    type, span/text disagreement, or a value differing from the lexer
+    derivation.  Callers treat that as "this reply cannot use the packed
+    format", not as a failure of the analysis.
+    """
+    spans: list[tuple[int, int, int]] = []
+    for token in tokens:
+        code = _TYPE_CODES.get(token.type)
+        if code is None:
+            raise WireFormatError(f"token type not wire-packable: {token.type}")
+        if token.value != _derived_value(token.type, token.text):
+            raise WireFormatError(f"token value not derivable from span: {token!r}")
+        spans.append((code, token.start, token.end))
+    return spans
+
+
+def tokens_from_spans(
+    query: str, spans: Iterable[tuple[int, int, int]]
+) -> list[Token]:
+    """Rebuild exact :class:`Token` objects from wire spans.
+
+    ``text`` is resliced from ``query`` (sharing the string the caller
+    already holds) and ``value`` recomputed via the lexer's derivation
+    rules; the result is equal, field for field, to the tokens the remote
+    lexer produced.
+    """
+    n = len(query)
+    out: list[Token] = []
+    for code, start, end in spans:
+        ttype = _CODE_TYPES.get(code)
+        if ttype is None:
+            raise WireFormatError(f"unknown token type code: {code}")
+        if not (0 <= start <= end <= n):
+            raise WireFormatError(
+                f"token span [{start}:{end}) outside query of length {n}"
+            )
+        text = query[start:end]
+        out.append(Token(ttype, text, start, end, value=_derived_value(ttype, text)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Request frames
+# ----------------------------------------------------------------------
+
+
+def pack_batch_request(queries: Sequence[str]) -> bytearray:
+    """Pack a query batch into one pre-sized request frame.
+
+    Returns a :class:`bytearray` sized exactly to the frame; hand it to
+    ``Connection.send_bytes`` directly (it satisfies the buffer protocol,
+    so no further copy or pickling happens on send).
+    """
+    count = len(queries)
+    if count == 0:
+        raise WireFormatError("empty batch")
+    if count > MAX_BATCH:
+        raise WireFormatError(f"batch of {count} exceeds MAX_BATCH={MAX_BATCH}")
+    # surrogatepass: round-trips every Python str, including lone
+    # surrogates smuggled in by hostile byte sequences.
+    encoded = [q.encode("utf-8", "surrogatepass") for q in queries]
+    total = _HEADER.size + sum(_U32.size + len(qb) for qb in encoded)
+    if total > MAX_FRAME:
+        raise WireFormatError(f"frame of {total} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    frame = bytearray(total)
+    _HEADER.pack_into(frame, 0, MAGIC, VERSION, KIND_REQUEST, count)
+    offset = _HEADER.size
+    for qb in encoded:
+        _U32.pack_into(frame, offset, len(qb))
+        offset += _U32.size
+        frame[offset : offset + len(qb)] = qb
+        offset += len(qb)
+    return frame
+
+
+def _check_header(frame: bytes, expected_kind: int) -> int:
+    if len(frame) > MAX_FRAME:
+        raise WireFormatError(f"frame of {len(frame)} bytes exceeds MAX_FRAME")
+    if len(frame) < _HEADER.size:
+        raise WireFormatError(f"truncated header: {len(frame)} bytes")
+    magic, version, kind, count = _HEADER.unpack_from(frame, 0)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic: {magic!r}")
+    if version != VERSION:
+        raise WireFormatError(f"unsupported wire version: {version}")
+    if kind != expected_kind:
+        raise WireFormatError(f"unexpected frame kind: {kind} != {expected_kind}")
+    if not 0 < count <= MAX_BATCH:
+        raise WireFormatError(f"frame count out of range: {count}")
+    return count
+
+
+def unpack_batch_request(frame: bytes) -> list[str]:
+    """Decode a request frame back into its query list (fail-closed)."""
+    count = _check_header(frame, KIND_REQUEST)
+    queries: list[str] = []
+    offset = _HEADER.size
+    n = len(frame)
+    for _ in range(count):
+        if offset + _U32.size > n:
+            raise WireFormatError("truncated query length prefix")
+        (blen,) = _U32.unpack_from(frame, offset)
+        offset += _U32.size
+        if offset + blen > n:
+            raise WireFormatError("truncated query payload")
+        queries.append(
+            bytes(frame[offset : offset + blen]).decode("utf-8", "surrogatepass")
+        )
+        offset += blen
+    if offset != n:
+        raise WireFormatError(f"{n - offset} trailing bytes after request frame")
+    return queries
+
+
+# ----------------------------------------------------------------------
+# Reply frames
+# ----------------------------------------------------------------------
+
+_F_SAFE = 0x01
+_F_CACHE_SHIFT = 1
+_F_CACHE_MASK = 0x06
+_F_HAS_TOKENS = 0x08
+
+
+def pack_batch_reply(
+    verdicts: Sequence[tuple[bool, str | None, Sequence[tuple[int, int, int]] | None]],
+    deltas: dict[str, float],
+) -> bytearray:
+    """Pack per-query verdicts plus one batch-level stage-delta block.
+
+    Each verdict is ``(safe, from_cache, spans)`` with ``spans`` from
+    :func:`spans_from_tokens` (or ``None`` for a cache hit that carried no
+    tokens).  ``deltas`` holds the child's stage-timing deltas for the
+    whole batch -- one block per frame, since the parent attributes
+    timings per round-trip, not per query.
+    """
+    count = len(verdicts)
+    if count == 0:
+        raise WireFormatError("empty reply batch")
+    if count > MAX_BATCH:
+        raise WireFormatError(f"reply batch of {count} exceeds MAX_BATCH={MAX_BATCH}")
+    total = _HEADER.size + _DELTAS.size
+    for _safe, from_cache, spans in verdicts:
+        if from_cache not in _CACHE_CODES:
+            raise WireFormatError(f"unknown from_cache: {from_cache!r}")
+        total += 1
+        if spans is not None:
+            if len(spans) > 0xFFFF:
+                raise WireFormatError(f"too many tokens in reply: {len(spans)}")
+            total += _U16.size + _TOKEN.size * len(spans)
+    if total > MAX_FRAME:
+        raise WireFormatError(f"frame of {total} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    frame = bytearray(total)
+    _HEADER.pack_into(frame, 0, MAGIC, VERSION, KIND_REPLY, count)
+    offset = _HEADER.size
+    _DELTAS.pack_into(frame, offset, *(deltas.get(stage, 0.0) for stage in STAGES))
+    offset += _DELTAS.size
+    for safe, from_cache, spans in verdicts:
+        flags = (_F_SAFE if safe else 0) | (
+            _CACHE_CODES[from_cache] << _F_CACHE_SHIFT
+        )
+        if spans is not None:
+            flags |= _F_HAS_TOKENS
+        frame[offset] = flags
+        offset += 1
+        if spans is not None:
+            _U16.pack_into(frame, offset, len(spans))
+            offset += _U16.size
+            for code, start, end in spans:
+                _TOKEN.pack_into(frame, offset, code, start, end)
+                offset += _TOKEN.size
+    return frame
+
+
+def unpack_batch_reply(
+    frame: bytes,
+) -> tuple[
+    list[tuple[bool, str | None, list[tuple[int, int, int]] | None]],
+    dict[str, float],
+]:
+    """Decode a reply frame: ``(verdicts, stage_deltas)`` (fail-closed)."""
+    count = _check_header(frame, KIND_REPLY)
+    n = len(frame)
+    offset = _HEADER.size
+    if offset + _DELTAS.size > n:
+        raise WireFormatError("truncated stage-delta block")
+    values = _DELTAS.unpack_from(frame, offset)
+    offset += _DELTAS.size
+    deltas = dict(zip(STAGES, values))
+    verdicts: list[tuple[bool, str | None, list[tuple[int, int, int]] | None]] = []
+    for _ in range(count):
+        if offset >= n:
+            raise WireFormatError("truncated verdict flags")
+        flags = frame[offset]
+        offset += 1
+        if flags & ~(_F_SAFE | _F_CACHE_MASK | _F_HAS_TOKENS):
+            raise WireFormatError(f"unknown verdict flag bits: 0x{flags:02x}")
+        cache_code = (flags & _F_CACHE_MASK) >> _F_CACHE_SHIFT
+        if cache_code not in _CACHE_NAMES:
+            raise WireFormatError(f"unknown from_cache code: {cache_code}")
+        spans: list[tuple[int, int, int]] | None = None
+        if flags & _F_HAS_TOKENS:
+            if offset + _U16.size > n:
+                raise WireFormatError("truncated token count")
+            (ntok,) = _U16.unpack_from(frame, offset)
+            offset += _U16.size
+            if offset + _TOKEN.size * ntok > n:
+                raise WireFormatError("truncated token spans")
+            spans = []
+            for _ in range(ntok):
+                spans.append(_TOKEN.unpack_from(frame, offset))
+                offset += _TOKEN.size
+        verdicts.append((bool(flags & _F_SAFE), _CACHE_NAMES[cache_code], spans))
+    if offset != n:
+        raise WireFormatError(f"{n - offset} trailing bytes after reply frame")
+    return verdicts, deltas

@@ -49,7 +49,19 @@ __all__ = [
 
 
 class Node:
-    """Base class for all AST nodes."""
+    """Base class for all AST nodes.
+
+    The bases carry empty ``__slots__`` so the hot-path leaf nodes below can
+    opt out of per-instance ``__dict__`` entirely.  Only leaves whose fields
+    all lack defaults declare slots: a dataclass field *with* a default
+    becomes a class attribute, which collides with the slot descriptor of
+    the same name (a restriction of declaring ``__slots__`` manually, which
+    is what Python 3.9 -- the oldest CI interpreter -- requires; the
+    ``slots=True`` dataclass flag is 3.10+).  Leaves without slots simply
+    keep their ``__dict__`` -- no behaviour change.
+    """
+
+    __slots__ = ()
 
     def structure_key(self) -> tuple:
         """Hashable structural skeleton with data-node contents erased."""
@@ -59,10 +71,14 @@ class Node:
 class Expr(Node):
     """Base class for expressions."""
 
+    __slots__ = ()
+
 
 @dataclass(frozen=True)
 class Literal(Expr):
     """A constant: number, string, boolean or NULL.  This is a *data node*."""
+
+    __slots__ = ("value",)
 
     value: object
 
@@ -98,6 +114,8 @@ class Star(Expr):
 class Placeholder(Expr):
     """A prepared-statement placeholder, ``?`` or ``:name``."""
 
+    __slots__ = ("name",)
+
     name: str
 
     def structure_key(self) -> tuple:
@@ -107,6 +125,8 @@ class Placeholder(Expr):
 @dataclass(frozen=True)
 class Unary(Expr):
     """Unary operator application (``-x``, ``NOT x``)."""
+
+    __slots__ = ("op", "operand")
 
     op: str
     operand: Expr
@@ -118,6 +138,8 @@ class Unary(Expr):
 @dataclass(frozen=True)
 class Binary(Expr):
     """Binary operator application (arithmetic, comparison, AND/OR)."""
+
+    __slots__ = ("op", "left", "right")
 
     op: str
     left: Expr
@@ -229,6 +251,8 @@ class CaseExpr(Expr):
 class SubqueryExpr(Expr):
     """A parenthesised SELECT used as a scalar or row expression."""
 
+    __slots__ = ("select",)
+
     select: "Select | Union"
 
     def structure_key(self) -> tuple:
@@ -238,6 +262,8 @@ class SubqueryExpr(Expr):
 @dataclass(frozen=True)
 class ExistsExpr(Expr):
     """``EXISTS (subquery)``."""
+
+    __slots__ = ("select",)
 
     select: "Select | Union"
 
@@ -303,6 +329,8 @@ class OrderItem(Node):
 
 class Statement(Node):
     """Base class for executable statements."""
+
+    __slots__ = ()
 
 
 @dataclass(frozen=True)

@@ -186,55 +186,60 @@ def tokenize(query: str) -> list[Token]:
     tokens: list[Token] = []
     pos = 0
     n = len(query)
+    # Hot-path local bindings: this loop runs once per character class per
+    # query, so method/global lookups are hoisted out of it.
+    append = tokens.append
+    _Token = Token
+    _TT = TokenType
     while pos < n:
         ch = query[pos]
         if ch.isspace():
             end = pos + 1
             while end < n and query[end].isspace():
                 end += 1
-            tokens.append(Token(TokenType.WHITESPACE, query[pos:end], pos, end))
+            append(_Token(_TT.WHITESPACE, query[pos:end], pos, end))
             pos = end
             continue
         if ch == "#":
             end = _lex_line_comment(query, pos)
-            tokens.append(Token(TokenType.COMMENT, query[pos:end], pos, end))
+            append(_Token(_TT.COMMENT, query[pos:end], pos, end))
             pos = end
             continue
         if query.startswith("--", pos):
             # MySQL requires whitespace (or end) after --, but attack payloads
             # often use bare "--"; accept both.
             end = _lex_line_comment(query, pos)
-            tokens.append(Token(TokenType.COMMENT, query[pos:end], pos, end))
+            append(_Token(_TT.COMMENT, query[pos:end], pos, end))
             pos = end
             continue
         if query.startswith("/*", pos):
             end = _lex_block_comment(query, pos)
-            tokens.append(Token(TokenType.COMMENT, query[pos:end], pos, end))
+            append(_Token(_TT.COMMENT, query[pos:end], pos, end))
             pos = end
             continue
         if ch in "'\"`":
             end = _lex_quoted(query, pos, ch)
             raw = query[pos:end]
-            ttype = TokenType.IDENTIFIER if ch == "`" else TokenType.STRING
-            tokens.append(Token(ttype, raw, pos, end, value=_string_value(raw, ch)))
+            ttype = _TT.IDENTIFIER if ch == "`" else _TT.STRING
+            append(_Token(ttype, raw, pos, end, value=_string_value(raw, ch)))
             pos = end
             continue
-        if _is_ascii_digit(ch) or (
-            ch == "." and pos + 1 < n and _is_ascii_digit(query[pos + 1])
+        if ch in _ASCII_DIGITS or (
+            ch == "." and pos + 1 < n and query[pos + 1] in _ASCII_DIGITS
         ):
             end, value = _lex_number(query, pos)
-            tokens.append(Token(TokenType.NUMBER, query[pos:end], pos, end, value=value))
+            append(_Token(_TT.NUMBER, query[pos:end], pos, end, value=value))
             pos = end
             continue
         if ch == "?":
-            tokens.append(Token(TokenType.PLACEHOLDER, "?", pos, pos + 1))
+            append(_Token(_TT.PLACEHOLDER, "?", pos, pos + 1))
             pos += 1
             continue
         if ch == ":" and pos + 1 < n and _is_ident_start(query[pos + 1]):
             end = pos + 1
             while end < n and _is_ident_char(query[end]):
                 end += 1
-            tokens.append(Token(TokenType.PLACEHOLDER, query[pos:end], pos, end))
+            append(_Token(_TT.PLACEHOLDER, query[pos:end], pos, end))
             pos = end
             continue
         if _is_ident_start(ch):
@@ -243,35 +248,33 @@ def tokenize(query: str) -> list[Token]:
                 end += 1
             word = query[pos:end]
             if is_sql_keyword(word):
-                tokens.append(
-                    Token(TokenType.KEYWORD, word, pos, end, value=word.lower())
-                )
+                append(_Token(_TT.KEYWORD, word, pos, end, value=word.lower()))
             else:
-                tokens.append(Token(TokenType.IDENTIFIER, word, pos, end))
+                append(_Token(_TT.IDENTIFIER, word, pos, end))
             pos = end
             continue
         if ch in _PUNCTUATION:
-            tokens.append(Token(TokenType.PUNCTUATION, ch, pos, pos + 1))
+            append(_Token(_TT.PUNCTUATION, ch, pos, pos + 1))
             pos += 1
             continue
         if ch in _OPERATOR_STARTS or ch in "@:":
             if query.startswith("<=>", pos):
-                tokens.append(Token(TokenType.OPERATOR, "<=>", pos, pos + 3))
+                append(_Token(_TT.OPERATOR, "<=>", pos, pos + 3))
                 pos += 3
                 continue
             two = query[pos : pos + 2]
             if two in _TWO_CHAR_OPERATORS:
-                tokens.append(Token(TokenType.OPERATOR, two, pos, pos + 2))
+                append(_Token(_TT.OPERATOR, two, pos, pos + 2))
                 pos += 2
             else:
-                tokens.append(Token(TokenType.OPERATOR, ch, pos, pos + 1))
+                append(_Token(_TT.OPERATOR, ch, pos, pos + 1))
                 pos += 1
             continue
         # Unknown character: surface it as a critical one-char operator so
         # attack payloads using exotic bytes remain visible to the analyses.
-        tokens.append(Token(TokenType.OPERATOR, ch, pos, pos + 1))
+        append(_Token(_TT.OPERATOR, ch, pos, pos + 1))
         pos += 1
-    tokens.append(Token(TokenType.EOF, "", n, n))
+    append(_Token(_TT.EOF, "", n, n))
     return tokens
 
 

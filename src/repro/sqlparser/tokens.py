@@ -15,7 +15,7 @@ them critical would break common programs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = [
     "TokenType",
@@ -98,9 +98,34 @@ CRITICAL_OPERATORS = frozenset(
 CRITICAL_PUNCTUATION = frozenset({";"})
 
 
-@dataclass(frozen=True)
-class Token:
+class _TokenBase(NamedTuple):
+    """Field layout of :class:`Token` (see there for semantics)."""
+
+    type: TokenType
+    text: str
+    start: int
+    end: int
+    value: object = None
+
+
+class Token(_TokenBase):
     """A lexed SQL token with its exact source span.
+
+    A ``NamedTuple`` rather than a (frozen) dataclass: the lexer allocates
+    one of these per token of every analysed query -- whitespace and
+    stray-character operators included -- so this is the hottest allocation
+    site in the whole pipeline.  Tuple construction is several times
+    cheaper than a frozen-dataclass ``__init__`` (which pays
+    ``object.__setattr__`` per field), the instances carry no ``__dict__``,
+    and attribute reads compile to C-level item access.  Equality, hashing
+    and pickling (tokens cross the daemon pipe) keep the exact semantics of
+    the previous frozen dataclass: all five fields participate.
+
+    The NamedTuple metaclass refuses ``__new__`` overrides in its own body,
+    so the layout lives in :class:`_TokenBase` and this subclass layers the
+    value-defaulting rule (``value=None`` means "same as text", previously
+    ``__post_init__``) on top.  ``__slots__`` stays empty: the tuple items
+    are the storage.
 
     Attributes:
         type: lexical category.
@@ -113,15 +138,19 @@ class Token:
             raw text for other categories.
     """
 
-    type: TokenType
-    text: str
-    start: int
-    end: int
-    value: object = None
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.value is None:
-            object.__setattr__(self, "value", self.text)
+    def __new__(
+        cls,
+        type: TokenType,
+        text: str,
+        start: int,
+        end: int,
+        value: object = None,
+    ) -> "Token":
+        if value is None:
+            value = text
+        return tuple.__new__(cls, (type, text, start, end, value))
 
     @property
     def upper(self) -> str:

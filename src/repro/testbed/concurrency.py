@@ -151,6 +151,11 @@ def _paced_daemon_loop(conn, fragments, config, pace_seconds: float) -> None:
 class PacedPTIDaemon(SubprocessPTIDaemon):
     """A subprocess daemon whose child takes ``pace_seconds`` per query."""
 
+    #: The pacing child loop speaks only the legacy pickle protocol;
+    #: batch calls degrade to per-query round-trips (keeping the pacing
+    #: per query, which is what the concurrency harness measures).
+    supports_batch_wire = False
+
     def __init__(
         self,
         store: FragmentStore,

@@ -201,6 +201,11 @@ class ChaosPTIDaemon(SubprocessPTIDaemon):
     byte-for-byte the deployed one.
     """
 
+    #: The chaos child loop speaks only the legacy pickle protocol;
+    #: batch calls degrade to per-query round-trips (each of which the
+    #: fault schedule can still hit).
+    supports_batch_wire = False
+
     def __init__(
         self,
         store: FragmentStore,

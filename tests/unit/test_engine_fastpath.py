@@ -187,7 +187,8 @@ def test_cache_stats_unifies_all_cache_families():
     engine.inspect(query, ctx("1"))
     engine.inspect(query, ctx("1"))
     stats = engine.cache_stats()
-    assert set(stats) == {"nti", "pti", "shape"}
+    assert set(stats) == {"nti", "pti", "shape", "batching"}
+    assert stats["batching"]["calls"]["batch_calls"] == 0.0  # serial inspects
     assert set(stats["pti"]) == {"query", "structure", "matcher"}
     for name, family in stats["pti"].items():
         if name == "matcher":

@@ -1,0 +1,244 @@
+"""Unit tests for the packed batch wire format (``repro/pti/wire.py``).
+
+Three concerns, mirroring the module's contract:
+
+- **Round-trip exactness** -- request and reply frames decode to exactly
+  what was packed (fuzzed with hypothesis, including non-ASCII and lone
+  surrogates), and token spans rebuild field-for-field equal ``Token``
+  objects from the receiver's copy of the query string.
+- **Fail-closed decoding** -- every truncation of a valid frame, every
+  corrupted header field and any trailing garbage raises
+  :class:`~repro.pti.wire.WireFormatError`; the daemon's batch decoder
+  converts that (and count mismatches, and unpicklable payloads) to
+  :class:`~repro.core.resilience.CorruptReply`, never a verdict.
+- **Bounds** -- oversized batches are refused before any I/O with the
+  reason recorded on the daemon's resilience counters.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resilience import CorruptReply, PTIFailure
+from repro.pti import wire
+from repro.pti.daemon import SubprocessPTIDaemon
+from repro.pti.fragments import FragmentStore
+from repro.sqlparser.parser import critical_tokens
+from repro.sqlparser.tokens import Token, TokenType
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+QUERIES = st.lists(st.text(max_size=80), min_size=1, max_size=12)
+
+SPAN = st.tuples(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=500),
+).map(lambda t: (t[0], min(t[1], t[2]), max(t[1], t[2])))
+
+VERDICT = st.tuples(
+    st.booleans(),
+    st.sampled_from([None, "query", "structure"]),
+    st.one_of(st.none(), st.lists(SPAN, max_size=8)),
+)
+
+DELTAS = st.fixed_dictionaries(
+    {stage: st.floats(min_value=0.0, max_value=10.0) for stage in wire.STAGES}
+)
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+
+@given(QUERIES)
+@settings(max_examples=100, deadline=None)
+def test_request_round_trip(queries):
+    frame = wire.pack_batch_request(queries)
+    assert wire.is_frame(frame)
+    assert wire.unpack_batch_request(bytes(frame)) == queries
+
+
+def test_request_round_trips_lone_surrogates():
+    # Hostile byte sequences can smuggle lone surrogates into str; the
+    # surrogatepass codec must carry them across unchanged.
+    queries = ["SELECT '\ud800' FROM t", "plain"]
+    assert wire.unpack_batch_request(bytes(wire.pack_batch_request(queries))) == queries
+
+
+@given(st.lists(VERDICT, min_size=1, max_size=10), DELTAS)
+@settings(max_examples=100, deadline=None)
+def test_reply_round_trip(verdicts, deltas):
+    frame = wire.pack_batch_reply(verdicts, deltas)
+    assert wire.is_frame(frame)
+    decoded, decoded_deltas = wire.unpack_batch_reply(bytes(frame))
+    assert len(decoded) == len(verdicts)
+    for (safe, cache, spans), (dsafe, dcache, dspans) in zip(verdicts, decoded):
+        assert safe == dsafe and cache == dcache
+        if spans is None:
+            assert dspans is None
+        else:
+            assert [tuple(s) for s in dspans] == [tuple(s) for s in spans]
+    assert decoded_deltas == deltas
+
+
+def test_token_spans_round_trip_exactly():
+    queries = [
+        "SELECT a, b FROM `users` WHERE id = 1 AND name = 'x' -- t",
+        "UPDATE t SET x = 2 WHERE `weird id` = 'y' /* c */",
+        "DELETE FROM logs WHERE ts < 100 OR 1=1",
+    ]
+    for query in queries:
+        tokens = critical_tokens(query)
+        spans = wire.spans_from_tokens(tokens)
+        rebuilt = wire.tokens_from_spans(query, spans)
+        assert rebuilt == tokens
+        for orig, back in zip(tokens, rebuilt):
+            assert (orig.type, orig.text, orig.start, orig.end, orig.value) == (
+                back.type,
+                back.text,
+                back.start,
+                back.end,
+                back.value,
+            )
+
+
+def test_pickle_payloads_are_never_frames():
+    for obj in (None, "SELECT 1", (True, None, [], {}), [1, 2, 3]):
+        assert not wire.is_frame(pickle.dumps(obj))
+    assert wire.is_frame(wire.pack_batch_request(["q"]))
+
+
+# ---------------------------------------------------------------------------
+# Packer refusals
+# ---------------------------------------------------------------------------
+
+
+def test_span_packer_refuses_unpackable_tokens():
+    # Literal types never cross the wire.
+    literal = Token(TokenType.NUMBER, "42", 0, 2, value=42)
+    with pytest.raises(wire.WireFormatError):
+        wire.spans_from_tokens([literal])
+    # A value that the span derivation cannot reproduce must be refused,
+    # not silently shipped lossily.
+    forged = Token(TokenType.KEYWORD, "SELECT", 0, 6, value="NOT-THE-DERIVATION")
+    with pytest.raises(wire.WireFormatError):
+        wire.spans_from_tokens([forged])
+
+
+def test_request_packer_bounds():
+    with pytest.raises(wire.WireFormatError):
+        wire.pack_batch_request([])
+    with pytest.raises(wire.WireFormatError):
+        wire.pack_batch_request(["q"] * (wire.MAX_BATCH + 1))
+
+
+def test_span_decoder_rejects_bad_spans():
+    with pytest.raises(wire.WireFormatError):
+        wire.tokens_from_spans("abc", [(99, 0, 1)])  # unknown type code
+    with pytest.raises(wire.WireFormatError):
+        wire.tokens_from_spans("abc", [(0, 2, 9)])  # span beyond query
+
+
+# ---------------------------------------------------------------------------
+# Fail-closed decoding: truncations and corruptions
+# ---------------------------------------------------------------------------
+
+
+def _valid_reply_frame():
+    verdicts = [
+        (True, "query", None),
+        (False, None, [(0, 0, 6), (2, 7, 8)]),
+        (True, "structure", []),
+    ]
+    deltas = {stage: 0.25 for stage in wire.STAGES}
+    return wire.pack_batch_reply(verdicts, deltas)
+
+
+def test_every_truncation_fails_closed():
+    request = bytes(wire.pack_batch_request(["SELECT 1", "SELECT 2 -- c"]))
+    reply = bytes(_valid_reply_frame())
+    for frame, unpack in (
+        (request, wire.unpack_batch_request),
+        (reply, wire.unpack_batch_reply),
+    ):
+        for cut in range(len(frame)):
+            with pytest.raises(wire.WireFormatError):
+                unpack(frame[:cut])
+        with pytest.raises(wire.WireFormatError):
+            unpack(frame + b"\x00")  # trailing garbage
+
+
+def test_corrupt_header_fields_fail_closed():
+    frame = bytearray(wire.pack_batch_request(["SELECT 1"]))
+    for index, value in ((0, ord("X")), (2, 99), (3, 99), (4, 0xFF), (5, 0xFF)):
+        bad = bytes(frame[:index]) + bytes([value]) + bytes(frame[index + 1 :])
+        with pytest.raises(wire.WireFormatError):
+            wire.unpack_batch_request(bad)
+    # A reply frame fed to the request decoder (and vice versa) is a kind
+    # mismatch, not a silent misparse.
+    with pytest.raises(wire.WireFormatError):
+        wire.unpack_batch_request(bytes(_valid_reply_frame()))
+    with pytest.raises(wire.WireFormatError):
+        wire.unpack_batch_reply(bytes(wire.pack_batch_request(["q"])))
+
+
+# ---------------------------------------------------------------------------
+# Daemon-side decode + bounds (no child process required)
+# ---------------------------------------------------------------------------
+
+FRAGMENTS = ["SELECT * FROM t WHERE id = ", " LIMIT 1"]
+
+
+def _daemon():
+    return SubprocessPTIDaemon(FragmentStore(FRAGMENTS))
+
+
+def test_decode_batch_corrupt_payloads_raise_corrupt_reply():
+    daemon = _daemon()
+    queries = ["SELECT 1", "SELECT 2"]
+    # Neither a frame nor a pickle.
+    with pytest.raises(CorruptReply):
+        daemon._decode_batch(queries, b"\x00garbage")
+    # A frame, but truncated.
+    frame = bytes(_valid_reply_frame())
+    with pytest.raises(CorruptReply):
+        daemon._decode_batch(queries, frame[: len(frame) - 3])
+    # A well-formed frame whose count disagrees with the request.
+    with pytest.raises(CorruptReply):
+        daemon._decode_batch(["only-one"], frame)
+    # A pickle of the wrong shape.
+    with pytest.raises(CorruptReply):
+        daemon._decode_batch(queries, pickle.dumps({"not": "a list"}))
+    with pytest.raises(CorruptReply):
+        daemon._decode_batch(queries, pickle.dumps([(True, None, None, {})]))
+
+
+def test_decode_batch_accepts_pickled_fallback():
+    daemon = _daemon()
+    deltas = {stage: 0.0 for stage in wire.STAGES}
+    payload = pickle.dumps(
+        [(True, "query", None, deltas), (False, None, None, deltas)]
+    )
+    replies, child_deltas = daemon._decode_batch(["a", "b"], payload)
+    assert [r.safe for r in replies] == [True, False]
+    assert [r.from_cache for r in replies] == ["query", None]
+    assert child_deltas == deltas
+
+
+def test_oversized_batch_refused_before_io_with_recorded_reason():
+    daemon = _daemon()
+    queries = ["SELECT 1"] * (wire.MAX_BATCH + 1)
+    with pytest.raises(PTIFailure) as excinfo:
+        daemon.analyze_batch(queries)
+    assert "MAX_BATCH" in str(excinfo.value)
+    assert daemon.oversized_batches == 1
+    snapshot = daemon.resilience_snapshot()
+    assert snapshot["oversized_batches"] == 1
+    assert snapshot["batches"] == 0  # refused before counting as a batch
+    assert daemon.spawns == 0  # no I/O, no child

@@ -8,7 +8,9 @@ Mirrors the workflows a Joza operator performs:
   optional request inputs, printing per-technique verdicts and markings;
 - ``evaluate`` -- run the WP-SQLI-LAB security evaluation and print the
   Table II / Section V-A headline numbers;
-- ``crawl`` -- run the benign crawl false-positive study (Section V-B).
+- ``crawl`` -- run the benign crawl false-positive study (Section V-B);
+- ``serve`` -- run the guard as a network sidecar (asyncio gateway +
+  worker fleet, DESIGN.md section 12) until SIGTERM drains it.
 """
 
 from __future__ import annotations
@@ -66,6 +68,66 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--posts", type=int, default=10, help="testbed size")
     crawl.add_argument("--comments", type=int, default=10)
     crawl.add_argument("--searches", type=int, default=10)
+
+    serve = sub.add_parser(
+        "serve", help="run the guard gateway sidecar until SIGTERM"
+    )
+    listen = serve.add_mutually_exclusive_group(required=True)
+    listen.add_argument(
+        "--unix", metavar="PATH", help="unix socket path to listen on"
+    )
+    listen.add_argument(
+        "--host", metavar="ADDR", help="TCP host to bind (use with --port)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="engine worker processes"
+    )
+    serve.add_argument(
+        "--worker-pool", type=int, default=0, metavar="N",
+        help="PTI daemon subprocesses per worker (0 = in-process PTI)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="requests allowed to wait beyond the worker count",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=2.0, metavar="SECONDS",
+        help="server-side clamp on client deadline budgets (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--admission-timeout", type=float, default=1.0, metavar="SECONDS",
+        help="max wait for a free worker before shedding",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="grace for in-flight work after SIGTERM",
+    )
+    serve.add_argument(
+        "--overload-policy", choices=["shed", "degrade"], default="shed",
+        help="worker-internal DaemonPool policy on saturation "
+        "(gateway-level sheds are always fail-closed)",
+    )
+    fragsource = serve.add_mutually_exclusive_group()
+    fragsource.add_argument(
+        "--fragments-file", metavar="FILE",
+        help="JSON store from 'fragments --save'",
+    )
+    fragsource.add_argument(
+        "--php", nargs="+", metavar="PATH",
+        help="PHP sources to extract fragments from",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None, help="base RNG seed for workers"
+    )
+    serve.add_argument(
+        "--selfcheck", action="store_true",
+        help="start the gateway, round-trip one attack + one benign query "
+        "against a direct in-process engine, exit nonzero on divergence",
+    )
     return parser
 
 
@@ -183,6 +245,143 @@ def _cmd_crawl(args, out) -> int:
     return 0 if report.false_positives == 0 else 3
 
 
+#: Canonical selfcheck pair: one benign query the default vocabulary
+#: covers, one classic UNION exfiltration that must be blocked.
+_SELFCHECK_BENIGN = ("SELECT * FROM records WHERE ID=7 LIMIT 5", "7")
+_SELFCHECK_ATTACK = (
+    "SELECT * FROM records WHERE ID=7 UNION SELECT user_pass FROM users"
+    " LIMIT 5",
+    "7 UNION SELECT user_pass FROM users",
+)
+
+
+def _serve_fragments(args) -> list[str]:
+    from .pti.fragments import FragmentStore
+
+    if args.fragments_file:
+        return list(FragmentStore.load(args.fragments_file).fragments)
+    if args.php:
+        return list(
+            FragmentStore.from_sources(_load_sources(args.php)).fragments
+        )
+    from .testbed.concurrency import SWARM_FRAGMENTS
+
+    return list(SWARM_FRAGMENTS)
+
+
+def _serve_gateway(args, out):
+    from .core.policy import JozaConfig
+    from .core.resilience import OverloadPolicy
+    from .service import AsyncGateway, GatewayConfig
+
+    if args.unix and os.path.exists(args.unix):
+        os.unlink(args.unix)  # stale socket from an unclean predecessor
+    policy = (
+        OverloadPolicy.DEGRADE_TO_OTHER_TECHNIQUE
+        if args.overload_policy == "degrade"
+        else OverloadPolicy.SHED_FAIL_CLOSED
+    )
+    gateway_config = GatewayConfig(
+        unix_path=args.unix,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        worker_pool_size=args.worker_pool,
+        max_queue=args.max_queue,
+        max_deadline=None if args.deadline <= 0 else args.deadline,
+        admission_timeout=args.admission_timeout,
+        drain_timeout=args.drain_timeout,
+        overload_policy=policy,
+        seed=args.seed,
+    )
+    return AsyncGateway(
+        _serve_fragments(args),
+        JozaConfig(),
+        gateway_config,
+        audit_sink=lambda document: print(document, file=out),
+    )
+
+
+def _serve_selfcheck(gateway, args, out) -> int:
+    """Round-trip one benign + one attack query; nonzero on divergence.
+
+    Divergence means the gateway's verdicts differ from a direct
+    in-process ``inspect_batch`` over the same fragments and config, or
+    the attack came back safe (a fail-open, the one unforgivable state).
+    """
+    from .core import JozaEngine
+    from .phpapp.context import CapturedInput, RequestContext
+    from .service import GatewayClient, GatewayThread
+    from .service.codec import verdict_to_dict
+
+    benign_query, benign_value = _SELFCHECK_BENIGN
+    attack_query, attack_value = _SELFCHECK_ATTACK
+    queries = [benign_query, attack_query]
+    inputs = [("get", "p0", benign_value), ("get", "p1", attack_value)]
+    thread = GatewayThread(gateway).start()
+    try:
+        client = GatewayClient(
+            unix_path=gateway.gw.unix_path,
+            host=gateway.gw.host,
+            port=gateway.gw.port,
+            client_id="selfcheck",
+        )
+        try:
+            via_gateway = client.inspect(queries, inputs=inputs, budget=None)
+        finally:
+            client.close()
+    finally:
+        drained = thread.stop()
+    engine = JozaEngine.from_fragments(gateway.fragments, gateway.config)
+    context = RequestContext(
+        inputs=[CapturedInput(s, n, v) for s, n, v in inputs]
+    )
+    direct = [
+        verdict_to_dict(v) for v in engine.inspect_batch(queries, context)
+    ]
+    failures = []
+    if via_gateway != direct:
+        failures.append("gateway verdicts diverge from in-process engine")
+    if via_gateway[1]["safe"]:
+        failures.append("attack query came back safe through the gateway")
+    if not drained:
+        failures.append("gateway did not drain cleanly")
+    print(f"benign via gateway: safe={via_gateway[0]['safe']}", file=out)
+    print(f"attack via gateway: safe={via_gateway[1]['safe']}", file=out)
+    print(f"parity with direct engine: {via_gateway == direct}", file=out)
+    print(f"drained: {drained}", file=out)
+    if failures:
+        for failure in failures:
+            print(f"SELFCHECK FAILED: {failure}", file=out)
+        return 1
+    print("selfcheck passed", file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from .service import serve as serve_gateway
+
+    gateway = _serve_gateway(args, out)
+    if args.selfcheck:
+        return _serve_selfcheck(gateway, args, out)
+
+    def on_ready(gw) -> None:
+        if gw.gw.unix_path is not None:
+            print(f"listening on unix:{gw.gw.unix_path}", file=out)
+        if gw.gw.host is not None:
+            print(f"listening on {gw.gw.host}:{gw.gw.port}", file=out)
+        print(
+            f"workers={gw.gw.workers} max_queue={gw.gw.max_queue} "
+            f"max_deadline={gw.gw.max_deadline}",
+            file=out,
+            flush=True,
+        )
+
+    return asyncio.run(serve_gateway(gateway, on_ready=on_ready))
+
+
 def main(argv=None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -192,6 +391,7 @@ def main(argv=None, out=None) -> int:
         "inspect": _cmd_inspect,
         "evaluate": _cmd_evaluate,
         "crawl": _cmd_crawl,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args, out)
 

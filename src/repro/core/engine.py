@@ -59,17 +59,24 @@ __all__ = ["JozaEngine", "AttackRecord", "EngineStats"]
 
 @dataclass(frozen=True)
 class AttackRecord:
-    """Audit-log entry for one blocked query."""
+    """Audit-log entry for one blocked query.
+
+    ``client_id`` attributes the block to the gateway connection / tenant
+    that issued the query (DESIGN.md section 12); ``None`` for in-process
+    deployments where there is no remote client.
+    """
 
     query: str
     verdict: QueryVerdict
     request_path: str
+    client_id: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable form for audit export."""
         return {
             "query": self.query,
             "request_path": self.request_path,
+            "client_id": self.client_id,
             "detected_by": sorted(t.value for t in self.verdict.detected_by()),
             "degraded": self.verdict.degraded,
             "failsafe": self.verdict.failsafe,

@@ -51,12 +51,46 @@ Key properties:
 Bounds: :data:`MAX_BATCH` queries per frame and :data:`MAX_FRAME` bytes
 per frame.  Oversized batches are a *caller* error, rejected before any
 I/O with a recorded reason, so a runaway batcher cannot wedge the pipe.
+
+Gateway frames (DESIGN.md section 12).  The async guard gateway
+(``repro/service/``) speaks the same magic/version/kind header over unix
+and TCP sockets, each frame preceded by a little-endian u32 length prefix
+(:data:`PREFIX`), so a listener can refuse an oversized frame *before*
+reading its payload:
+
+``gateway request`` (kind 3)::
+
+    "JZ" | version:B | kind:B=3 | count:H        (count = queries)
+    budget:d            per-request deadline budget in seconds; NaN means
+                        "unbounded" (the server clamps either way)
+    client_id: len:H | utf-8    tenant/connection attribution id
+    path:      len:H | utf-8    request path for the audit trail
+    inputs:    n:H  then n * (source len:H|bytes, name len:H|bytes,
+                              value len:I|bytes)   -- the NTI input snapshot
+    repeat count:  byte_len:I | utf-8 query bytes
+
+``gateway reply`` (kind 4)::
+
+    header (count = verdicts)
+    repeat count:  byte_len:I | verdict payload (UTF-8 JSON, see
+                   ``repro.service.codec``)
+
+``gateway error`` (kind 5)::
+
+    header (count = 1)
+    code:B | message len:H | utf-8
+
+The framing layer treats verdict payloads as opaque bytes -- the gateway
+codec owns their JSON schema -- so every byte-level failure mode (torn
+frame, corrupt header, bad length, trailing junk) is caught here as
+:class:`WireFormatError` and both ends resolve it fail-closed.
 """
 
 from __future__ import annotations
 
+import math
 import struct
-from typing import Iterable, Sequence
+from typing import Iterable, NamedTuple, Sequence
 
 from ..sqlparser.lexer import _string_value
 from ..sqlparser.tokens import Token, TokenType
@@ -66,15 +100,32 @@ __all__ = [
     "VERSION",
     "KIND_REQUEST",
     "KIND_REPLY",
+    "KIND_GW_REQUEST",
+    "KIND_GW_REPLY",
+    "KIND_GW_ERROR",
     "MAX_BATCH",
     "MAX_FRAME",
+    "MAX_INPUTS",
+    "PREFIX",
     "STAGES",
     "WireFormatError",
+    "GatewayRequest",
+    "GW_ERR_BAD_FRAME",
+    "GW_ERR_OVERSIZED",
+    "GW_ERR_DRAINING",
+    "GW_ERR_INTERNAL",
     "is_frame",
+    "peek_kind",
     "pack_batch_request",
     "unpack_batch_request",
     "pack_batch_reply",
     "unpack_batch_reply",
+    "pack_gateway_request",
+    "unpack_gateway_request",
+    "pack_gateway_reply",
+    "unpack_gateway_reply",
+    "pack_gateway_error",
+    "unpack_gateway_error",
     "spans_from_tokens",
     "tokens_from_spans",
 ]
@@ -83,6 +134,9 @@ MAGIC = b"JZ"
 VERSION = 1
 KIND_REQUEST = 1
 KIND_REPLY = 2
+KIND_GW_REQUEST = 3
+KIND_GW_REPLY = 4
+KIND_GW_ERROR = 5
 
 #: Hard per-frame bounds.  A batch larger than MAX_BATCH is rejected
 #: *before* any I/O; a frame larger than MAX_FRAME is rejected by both
@@ -90,6 +144,17 @@ KIND_REPLY = 2
 #: memory in either process).
 MAX_BATCH = 256
 MAX_FRAME = 16 * 1024 * 1024
+
+#: Captured inputs per gateway request (the NTI snapshot of one HTTP
+#: request; real requests carry a handful, so a frame declaring thousands
+#: is hostile and refused outright).
+MAX_INPUTS = 256
+
+#: Socket-level length prefix: every gateway frame travels as
+#: ``PREFIX.pack(len(frame)) + frame``.  A listener reads these 4 bytes,
+#: bound-checks against :data:`MAX_FRAME`, and only then reads the payload
+#: -- a length-prefix bomb never allocates.
+PREFIX = struct.Struct("<I")
 
 #: Stage order of the packed deltas block.  Mirrors
 #: ``StageTimings.STAGES`` (asserted where the daemon imports this
@@ -132,6 +197,23 @@ def is_frame(buf: bytes) -> bool:
     ``b"\\x80"``.
     """
     return buf[:2] == MAGIC
+
+
+def peek_kind(frame: bytes) -> int:
+    """Validate magic/version and return the frame kind byte.
+
+    Lets a receiver branch on reply-vs-error before committing to a full
+    unpack; any header damage raises :class:`WireFormatError` so the
+    caller's only options are a typed refusal or a clean disconnect.
+    """
+    if len(frame) < _HEADER.size:
+        raise WireFormatError(f"truncated header: {len(frame)} bytes")
+    magic, version, kind, _count = _HEADER.unpack_from(frame, 0)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic: {magic!r}")
+    if version != VERSION:
+        raise WireFormatError(f"unsupported wire version: {version}")
+    return kind
 
 
 def _derived_value(ttype: TokenType, text: str) -> object:
@@ -259,7 +341,7 @@ def unpack_batch_request(frame: bytes) -> list[str]:
         if offset + blen > n:
             raise WireFormatError("truncated query payload")
         queries.append(
-            bytes(frame[offset : offset + blen]).decode("utf-8", "surrogatepass")
+            _decode_text(bytes(frame[offset : offset + blen]), "query")
         )
         offset += blen
     if offset != n:
@@ -369,3 +451,238 @@ def unpack_batch_reply(
     if offset != n:
         raise WireFormatError(f"{n - offset} trailing bytes after reply frame")
     return verdicts, deltas
+
+
+# ----------------------------------------------------------------------
+# Gateway frames (network sidecar protocol, DESIGN.md section 12)
+# ----------------------------------------------------------------------
+
+_BUDGET = struct.Struct("<d")
+
+
+class GatewayRequest(NamedTuple):
+    """One decoded gateway request: what a client asked the sidecar to vet."""
+
+    queries: list[str]
+    client_id: str
+    path: str
+    #: ``(source, name, value)`` triples -- the raw NTI input snapshot.
+    inputs: list[tuple[str, str, str]]
+    #: Remaining client deadline budget in seconds; ``None`` = unbounded
+    #: (the server clamps either way).  Zero/negative values are shipped
+    #: verbatim so the server can shed expired-on-arrival requests.
+    budget: float | None
+
+
+def _pack_str16(parts: list[bytes], text: str) -> int:
+    raw = text.encode("utf-8", "surrogatepass")
+    if len(raw) > 0xFFFF:
+        raise WireFormatError(f"string field of {len(raw)} bytes exceeds u16")
+    parts.append(_U16.pack(len(raw)))
+    parts.append(raw)
+    return _U16.size + len(raw)
+
+
+def _decode_text(raw: bytes, what: str) -> str:
+    """UTF-8 (surrogatepass) decode; damage -> :class:`WireFormatError`.
+
+    ``surrogatepass`` round-trips lone surrogates but still rejects
+    arbitrary invalid byte sequences, so a byte-mangled frame fails closed
+    here instead of leaking :class:`UnicodeDecodeError` past the wire
+    layer.
+    """
+    try:
+        return raw.decode("utf-8", "surrogatepass")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"undecodable {what}: {exc}") from exc
+
+
+def _unpack_str16(frame: bytes, offset: int, what: str) -> tuple[str, int]:
+    if offset + _U16.size > len(frame):
+        raise WireFormatError(f"truncated {what} length")
+    (blen,) = _U16.unpack_from(frame, offset)
+    offset += _U16.size
+    if offset + blen > len(frame):
+        raise WireFormatError(f"truncated {what} payload")
+    text = _decode_text(bytes(frame[offset : offset + blen]), what)
+    return text, offset + blen
+
+
+def pack_gateway_request(
+    queries: Sequence[str],
+    *,
+    client_id: str = "",
+    path: str = "/",
+    inputs: Sequence[tuple[str, str, str]] = (),
+    budget: float | None = None,
+) -> bytes:
+    """Pack one client request frame (queries + context + deadline budget)."""
+    count = len(queries)
+    if count == 0:
+        raise WireFormatError("empty gateway batch")
+    if count > MAX_BATCH:
+        raise WireFormatError(f"batch of {count} exceeds MAX_BATCH={MAX_BATCH}")
+    if len(inputs) > MAX_INPUTS:
+        raise WireFormatError(
+            f"{len(inputs)} inputs exceed MAX_INPUTS={MAX_INPUTS}"
+        )
+    parts: list[bytes] = [
+        _HEADER.pack(MAGIC, VERSION, KIND_GW_REQUEST, count),
+        _BUDGET.pack(math.nan if budget is None else float(budget)),
+    ]
+    _pack_str16(parts, client_id)
+    _pack_str16(parts, path)
+    parts.append(_U16.pack(len(inputs)))
+    for source, name, value in inputs:
+        _pack_str16(parts, source)
+        _pack_str16(parts, name)
+        raw = value.encode("utf-8", "surrogatepass")
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    for query in queries:
+        raw = query.encode("utf-8", "surrogatepass")
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    frame = b"".join(parts)
+    if len(frame) > MAX_FRAME:
+        raise WireFormatError(
+            f"frame of {len(frame)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return frame
+
+
+def unpack_gateway_request(frame: bytes) -> GatewayRequest:
+    """Decode a client request frame (fail-closed on any damage)."""
+    count = _check_header(frame, KIND_GW_REQUEST)
+    n = len(frame)
+    offset = _HEADER.size
+    if offset + _BUDGET.size > n:
+        raise WireFormatError("truncated deadline budget")
+    (raw_budget,) = _BUDGET.unpack_from(frame, offset)
+    offset += _BUDGET.size
+    budget = None if math.isnan(raw_budget) else raw_budget
+    if budget is not None and math.isinf(budget):
+        raise WireFormatError(f"non-finite deadline budget: {raw_budget!r}")
+    client_id, offset = _unpack_str16(frame, offset, "client id")
+    path, offset = _unpack_str16(frame, offset, "path")
+    if offset + _U16.size > n:
+        raise WireFormatError("truncated input count")
+    (ninputs,) = _U16.unpack_from(frame, offset)
+    offset += _U16.size
+    if ninputs > MAX_INPUTS:
+        raise WireFormatError(f"{ninputs} inputs exceed MAX_INPUTS={MAX_INPUTS}")
+    inputs: list[tuple[str, str, str]] = []
+    for _ in range(ninputs):
+        source, offset = _unpack_str16(frame, offset, "input source")
+        name, offset = _unpack_str16(frame, offset, "input name")
+        if offset + _U32.size > n:
+            raise WireFormatError("truncated input value length")
+        (blen,) = _U32.unpack_from(frame, offset)
+        offset += _U32.size
+        if offset + blen > n:
+            raise WireFormatError("truncated input value payload")
+        value = _decode_text(bytes(frame[offset : offset + blen]), "input value")
+        offset += blen
+        inputs.append((source, name, value))
+    queries: list[str] = []
+    for _ in range(count):
+        if offset + _U32.size > n:
+            raise WireFormatError("truncated query length prefix")
+        (blen,) = _U32.unpack_from(frame, offset)
+        offset += _U32.size
+        if offset + blen > n:
+            raise WireFormatError("truncated query payload")
+        queries.append(
+            _decode_text(bytes(frame[offset : offset + blen]), "query")
+        )
+        offset += blen
+    if offset != n:
+        raise WireFormatError(f"{n - offset} trailing bytes after request frame")
+    return GatewayRequest(queries, client_id, path, inputs, budget)
+
+
+def pack_gateway_reply(payloads: Sequence[bytes]) -> bytes:
+    """Pack per-query verdict payloads (opaque bytes, one per query).
+
+    The payload schema (UTF-8 verdict JSON) belongs to
+    ``repro.service.codec``; this layer only guarantees the count and the
+    byte boundaries survive the wire intact.
+    """
+    count = len(payloads)
+    if count == 0:
+        raise WireFormatError("empty gateway reply")
+    if count > MAX_BATCH:
+        raise WireFormatError(f"reply of {count} exceeds MAX_BATCH={MAX_BATCH}")
+    parts: list[bytes] = [_HEADER.pack(MAGIC, VERSION, KIND_GW_REPLY, count)]
+    for payload in payloads:
+        parts.append(_U32.pack(len(payload)))
+        parts.append(bytes(payload))
+    frame = b"".join(parts)
+    if len(frame) > MAX_FRAME:
+        raise WireFormatError(
+            f"frame of {len(frame)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return frame
+
+
+def unpack_gateway_reply(frame: bytes) -> list[bytes]:
+    """Decode a reply frame into its verdict payloads (fail-closed)."""
+    count = _check_header(frame, KIND_GW_REPLY)
+    n = len(frame)
+    offset = _HEADER.size
+    payloads: list[bytes] = []
+    for _ in range(count):
+        if offset + _U32.size > n:
+            raise WireFormatError("truncated verdict length prefix")
+        (blen,) = _U32.unpack_from(frame, offset)
+        offset += _U32.size
+        if offset + blen > n:
+            raise WireFormatError("truncated verdict payload")
+        payloads.append(bytes(frame[offset : offset + blen]))
+        offset += blen
+    if offset != n:
+        raise WireFormatError(f"{n - offset} trailing bytes after reply frame")
+    return payloads
+
+
+#: Gateway error codes.  Every one resolves fail-closed at the client; the
+#: code only attributes *why* (admission shed vs protocol damage vs drain).
+GW_ERR_BAD_FRAME = 1
+GW_ERR_OVERSIZED = 2
+GW_ERR_DRAINING = 3
+GW_ERR_INTERNAL = 4
+
+_GW_ERROR_CODES = frozenset(
+    {GW_ERR_BAD_FRAME, GW_ERR_OVERSIZED, GW_ERR_DRAINING, GW_ERR_INTERNAL}
+)
+
+
+def pack_gateway_error(code: int, message: str) -> bytes:
+    """Pack a protocol-level refusal (always fail-closed client-side)."""
+    if code not in _GW_ERROR_CODES:
+        raise WireFormatError(f"unknown gateway error code: {code}")
+    parts: list[bytes] = [
+        _HEADER.pack(MAGIC, VERSION, KIND_GW_ERROR, 1),
+        struct.pack("<B", code),
+    ]
+    _pack_str16(parts, message)
+    return b"".join(parts)
+
+
+def unpack_gateway_error(frame: bytes) -> tuple[int, str]:
+    """Decode an error frame: ``(code, message)`` (fail-closed)."""
+    count = _check_header(frame, KIND_GW_ERROR)
+    if count != 1:
+        raise WireFormatError(f"gateway error frame count must be 1, got {count}")
+    n = len(frame)
+    offset = _HEADER.size
+    if offset + 1 > n:
+        raise WireFormatError("truncated gateway error code")
+    code = frame[offset]
+    offset += 1
+    if code not in _GW_ERROR_CODES:
+        raise WireFormatError(f"unknown gateway error code: {code}")
+    message, offset = _unpack_str16(frame, offset, "error message")
+    if offset != n:
+        raise WireFormatError(f"{n - offset} trailing bytes after error frame")
+    return code, message

@@ -1,0 +1,53 @@
+"""Network sidecar deployment of the Joza guard (DESIGN.md section 12).
+
+The paper deploys Joza as a database-interposition layer in front of real
+web applications (Section V); this package is that deployment shape for
+the reproduction: an asyncio gateway speaking the length-prefixed binary
+protocol of :mod:`repro.pti.wire` over unix / TCP sockets, dispatching to
+a fleet of worker *processes* (one :class:`~repro.core.JozaEngine` each,
+optionally backed by a :class:`~repro.pti.pool.DaemonPool`) so N app
+servers share one guard without sharing a GIL.
+
+Every failure mode -- torn frame, dead worker, saturated queue, expired
+deadline, mid-drain arrival -- resolves to a recorded fail-closed verdict
+or a clean protocol error, never a silent pass.
+"""
+
+from .codec import (
+    CodecError,
+    decode_verdict,
+    encode_verdict,
+    failsafe_dict,
+    verdict_to_dict,
+)
+from .gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    GatewayStats,
+    GatewayThread,
+    serve,
+)
+from .client import (
+    AsyncGatewayClient,
+    GatewayClient,
+    GatewayError,
+)
+from .worker import GatewayWorker, WorkerFailure
+
+__all__ = [
+    "AsyncGateway",
+    "AsyncGatewayClient",
+    "CodecError",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayStats",
+    "GatewayThread",
+    "GatewayWorker",
+    "WorkerFailure",
+    "decode_verdict",
+    "encode_verdict",
+    "failsafe_dict",
+    "serve",
+    "verdict_to_dict",
+]

@@ -124,3 +124,86 @@ def test_store_json_roundtrip_preserves_order_and_index():
 def test_store_json_version_check():
     with pytest.raises(ValueError):
         FragmentStore.from_json(json.dumps({"version": 99, "fragments": []}))
+
+
+# -- serve subcommand ----------------------------------------------------
+
+
+def test_serve_requires_a_listen_flag():
+    with pytest.raises(SystemExit) as exc:
+        run(["serve"])
+    assert exc.value.code == 2
+
+
+def test_serve_rejects_unix_and_host_together(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        run(
+            [
+                "serve",
+                "--unix",
+                str(tmp_path / "gw.sock"),
+                "--host",
+                "127.0.0.1",
+            ]
+        )
+    assert exc.value.code == 2
+
+
+def test_serve_selfcheck_over_unix_socket(tmp_path):
+    code, output = run(
+        [
+            "serve",
+            "--unix",
+            str(tmp_path / "gw.sock"),
+            "--workers",
+            "1",
+            "--seed",
+            "1337",
+            "--selfcheck",
+        ]
+    )
+    assert code == 0, output
+    assert "benign via gateway: safe=True" in output
+    assert "attack via gateway: safe=False" in output
+    assert "parity with direct engine: True" in output
+    assert "selfcheck passed" in output
+
+
+def test_serve_selfcheck_over_tcp_ephemeral_port(tmp_path):
+    code, output = run(
+        [
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--seed",
+            "1337",
+            "--selfcheck",
+        ]
+    )
+    assert code == 0, output
+    assert "selfcheck passed" in output
+
+
+def test_serve_selfcheck_with_php_fragments_stays_fail_closed(php_dir):
+    # Custom fragments do not cover the selfcheck vocabulary, so the
+    # benign query resolves unsafe -- but parity must hold and the
+    # attack must never come back safe.
+    code, output = run(
+        [
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--workers",
+            "1",
+            "--php",
+            str(php_dir),
+            "--selfcheck",
+        ]
+    )
+    assert code == 0, output
+    assert "attack via gateway: safe=False" in output
+    assert "parity with direct engine: True" in output

@@ -121,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="PHP sources to extract fragments from",
     )
     serve.add_argument(
+        "--tenants", metavar="FILE",
+        help="multi-tenant mode: JSON object mapping tenant-id -> overlay "
+        "fragment list; the fragment source becomes the shared base "
+        "vocabulary and the wire client_id routes to the tenant's engine",
+    )
+    serve.add_argument(
         "--seed", type=int, default=None, help="base RNG seed for workers"
     )
     serve.add_argument(
@@ -269,6 +275,43 @@ def _serve_fragments(args) -> list[str]:
     return list(SWARM_FRAGMENTS)
 
 
+def _serve_tenants(args) -> dict[str, list[str]] | None:
+    """Parse the --tenants JSON file: tenant-id -> overlay fragments.
+
+    Accepts either a flat ``{"tenant": ["frag", ...], ...}`` object or a
+    wrapped ``{"tenants": {...}}`` document (the shape ``fragments
+    --save`` users tend to hand-extend).  Fail-fast on anything else --
+    a malformed tenant map must never silently start a single-tenant
+    gateway.
+    """
+    if not args.tenants:
+        return None
+    import json
+
+    with open(args.tenants, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, dict) and isinstance(
+        document.get("tenants"), dict
+    ):
+        document = document["tenants"]
+    if not isinstance(document, dict) or not document:
+        raise SystemExit(
+            f"--tenants {args.tenants}: expected a non-empty JSON object "
+            "mapping tenant-id -> fragment list"
+        )
+    tenants: dict[str, list[str]] = {}
+    for tenant_id, overlay in document.items():
+        if not isinstance(overlay, list) or not all(
+            isinstance(fragment, str) for fragment in overlay
+        ):
+            raise SystemExit(
+                f"--tenants {args.tenants}: tenant {tenant_id!r} must map "
+                "to a list of fragment strings"
+            )
+        tenants[str(tenant_id)] = overlay
+    return tenants
+
+
 def _serve_gateway(args, out):
     from .core.policy import JozaConfig
     from .core.resilience import OverloadPolicy
@@ -293,6 +336,7 @@ def _serve_gateway(args, out):
         drain_timeout=args.drain_timeout,
         overload_policy=policy,
         seed=args.seed,
+        tenants=_serve_tenants(args),
     )
     return AsyncGateway(
         _serve_fragments(args),
@@ -376,8 +420,14 @@ def _cmd_serve(args, out) -> int:
             f"workers={gw.gw.workers} max_queue={gw.gw.max_queue} "
             f"max_deadline={gw.gw.max_deadline}",
             file=out,
-            flush=True,
         )
+        if gw.gw.tenants is not None:
+            print(
+                f"tenants={len(gw.gw.tenants)} over "
+                f"{len(gw.fragments)} shared base fragments",
+                file=out,
+            )
+        print("", file=out, end="", flush=True)
 
     return asyncio.run(serve_gateway(gateway, on_ready=on_ready))
 

@@ -359,6 +359,18 @@ class JozaEngine:
                 for key, value in self.stats.batch_counters().items()
             }
         }
+        tenancy = getattr(self.store, "tenancy_stats", None)
+        if callable(tenancy):
+            stats = tenancy()
+            out["tenancy"] = {
+                "fragments": {
+                    "total": float(stats["fragments"]),
+                    "interned": float(stats["interned_fragments"]),
+                    "private": float(stats["private_fragments"]),
+                    "epoch": float(stats["epoch"]),
+                    "detached": 1.0 if stats["private"] else 0.0,
+                }
+            }
         return out
 
     # ------------------------------------------------------------------
@@ -1141,6 +1153,13 @@ class JozaEngine:
         snapshot = getattr(self.daemon, "resilience_snapshot", None)
         if callable(snapshot):
             report["daemon"] = snapshot()
+        tenancy = getattr(self.store, "tenancy_stats", None)
+        if callable(tenancy):
+            # Engine over a TenantStore: report which fragments are
+            # fleet-interned vs tenant-private and the store's epoch
+            # (DESIGN.md section 13); registry-wide counters live in the
+            # gateway/registry report.
+            report["tenancy"] = tenancy()
         return report
 
     def export_attack_log(self) -> str:

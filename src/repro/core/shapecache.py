@@ -572,6 +572,14 @@ class ShapeCache:
                 "invalidations": float(self.invalidations),
                 "insertions": float(self.insertions),
                 "stale_puts": float(self.stale_puts),
+                # The store epoch the cache is synced to (-1 before first
+                # use).  Under a tenant reload storm this is how an
+                # operator correlates plan-cache flushes with warm
+                # handoffs: invalidations should track handoff swaps,
+                # and the epoch should equal the tenant store's.
+                "epoch": float(self._epoch)
+                if isinstance(self._epoch, int)
+                else -1.0,
             }
 
 

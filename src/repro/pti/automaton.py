@@ -40,7 +40,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Iterable, Iterator
 
-__all__ = ["FragmentAutomaton", "OccurrenceIndex"]
+__all__ = ["CompositeAutomaton", "FragmentAutomaton", "OccurrenceIndex"]
 
 
 class OccurrenceIndex:
@@ -287,5 +287,80 @@ class FragmentAutomaton:
         return {
             "fragments": len(self.fragments),
             "nodes": self.node_count,
+            "epoch": self.epoch if self.epoch is not None else -1,
+        }
+
+
+class CompositeAutomaton:
+    """Shared-base + tenant-overlay matcher (cross-tenant interning).
+
+    A fleet of tenants running the same application shares an identical
+    core vocabulary (WordPress core is byte-identical across sites); only
+    the plugin delta differs per tenant.  Compiling a full
+    :class:`FragmentAutomaton` per tenant would duplicate the dominant
+    trie ``N`` times, so the tenancy layer compiles the base **once** and
+    pairs it with each tenant's tiny overlay automaton; this class makes
+    the pair quack like a single automaton over the tenant's composed
+    fragment tuple (base fragments at ids ``0..B-1``, overlay fragments
+    offset by ``B`` -- exactly the layout of
+    :class:`repro.tenancy.TenantStore`).
+
+    Semantics are unchanged: both parts stream the query independently
+    and the union of their occurrence intervals is precisely the
+    occurrence set of the full vocabulary (Aho-Corasick emits every
+    occurrence of every pattern; partitioning the pattern set partitions
+    the occurrences).  Transitions add up, so the Fig. 7 work counter
+    honestly reports the two passes.
+    """
+
+    __slots__ = ("base", "overlay", "fragments", "epoch", "node_count")
+
+    def __init__(
+        self,
+        base: FragmentAutomaton,
+        overlay: FragmentAutomaton,
+        fragments: tuple[str, ...],
+        epoch: int | None = None,
+    ) -> None:
+        if tuple(base.fragments) + tuple(overlay.fragments) != tuple(fragments):
+            raise ValueError(
+                "composite fragment tuple must be base fragments followed by "
+                "overlay fragments (id offsets depend on it)"
+            )
+        self.base = base
+        self.overlay = overlay
+        self.fragments = tuple(fragments)
+        self.epoch = epoch
+        self.node_count = base.node_count + overlay.node_count
+
+    def scan(self, text: str) -> tuple[list[int], list[int], list[int], int]:
+        """Two streaming passes; same contract as :meth:`FragmentAutomaton.scan`."""
+        starts, ends, fragment_ids, transitions = self.base.scan(text)
+        o_starts, o_ends, o_ids, o_transitions = self.overlay.scan(text)
+        offset = len(self.base.fragments)
+        starts.extend(o_starts)
+        ends.extend(o_ends)
+        fragment_ids.extend(fid + offset for fid in o_ids)
+        return starts, ends, fragment_ids, transitions + o_transitions
+
+    def index(self, text: str) -> OccurrenceIndex:
+        """Scan ``text`` and build its interval-stabbing index."""
+        starts, ends, fragment_ids, transitions = self.scan(text)
+        return OccurrenceIndex(starts, ends, fragment_ids, self.fragments, transitions)
+
+    def occurrences(self, text: str) -> Iterator[tuple[int, int, str]]:
+        """All ``(start, end, fragment)`` occurrences in ``text`` (test aid)."""
+        starts, ends, fragment_ids, __ = self.scan(text)
+        fragments = self.fragments
+        for start, end, fid in zip(starts, ends, fragment_ids):
+            yield start, end, fragments[fid]
+
+    def stats(self) -> dict[str, int]:
+        """Size counters; ``shared_nodes`` is the interned (base) share."""
+        return {
+            "fragments": len(self.fragments),
+            "nodes": self.node_count,
+            "shared_nodes": self.base.node_count,
+            "overlay_nodes": self.overlay.node_count,
             "epoch": self.epoch if self.epoch is not None else -1,
         }

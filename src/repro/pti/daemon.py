@@ -157,6 +157,17 @@ class PTIDaemon:
             self.structure_cache.clear()
             self._cache_epoch = store.epoch
 
+    def warm(self) -> None:
+        """Precompile the matcher for the current epoch (warm handoff).
+
+        Called after :meth:`refresh_fragments` while the daemon is off the
+        request path (snapshot application in a child, pool worker
+        refresh) so the first query against the new vocabulary does not
+        pay the per-epoch automaton build inline.
+        """
+        with self._lock:
+            self.analyzer.warm()
+
     def analyze_query(
         self, query: str, deadline: Deadline | None = None
     ) -> DaemonReply:
@@ -314,6 +325,24 @@ def _daemon_loop(conn, fragments: list[str], config: DaemonConfig) -> None:
             break
         if wire.is_frame(buf):
             try:
+                kind = wire.peek_kind(buf)
+            except wire.WireFormatError:
+                break
+            if kind == wire.KIND_SNAPSHOT:
+                # Replication push (tenancy warm handoff): swap the
+                # vocabulary in place -- no child respawn -- precompile
+                # the new epoch's automaton, then ack.  The parent holds
+                # this worker out of service until the ack, so the build
+                # never runs under a live query.
+                try:
+                    _tenant, epoch, new_fragments = wire.unpack_store_snapshot(buf)
+                except wire.WireFormatError:
+                    break
+                daemon.refresh_fragments(FragmentStore(new_fragments))
+                daemon.warm()
+                conn.send_bytes(wire.pack_snapshot_ack(epoch))
+                continue
+            try:
                 queries = wire.unpack_batch_request(buf)
             except wire.WireFormatError:
                 break
@@ -431,6 +460,8 @@ class SubprocessPTIDaemon:
         self.unavailable = 0
         self.batches = 0
         self.oversized_batches = 0
+        self.snapshot_applies = 0
+        self.snapshot_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Fragment access (engine fallback path + protect() refresh hook)
@@ -450,6 +481,77 @@ class SubprocessPTIDaemon:
             self.fragments = store.fragments
             self._store = store
         self.close()
+
+    def apply_snapshot(self, store: FragmentStore, frame=None) -> None:
+        """Hot-swap the child's vocabulary in place (replication push).
+
+        The fast-path alternative to :meth:`refresh_fragments`: instead of
+        killing the child and paying a full respawn on next use, a packed
+        snapshot frame (``frame``, packed once per epoch by the pusher and
+        shared across all workers; packed here when absent) is sent to the
+        live child, which rebuilds its store, precompiles the new epoch's
+        automaton and acks -- a warm handoff with no process churn.
+
+        Fail-safe: any pipe error, timeout or malformed ack discards the
+        child, and the next use respawns it over the *new* fragments --
+        a worker can end up cold, never stale.  Children running a
+        replacement loop (``supports_batch_wire=False``) or non-persistent
+        daemons fall back to the legacy close-and-respawn refresh.
+        """
+        if not self.persistent or not self.supports_batch_wire:
+            with self._stats_lock:
+                self.snapshot_fallbacks += 1
+            self.refresh_fragments(store)
+            return
+        with self._io_lock:
+            with self._lifecycle:
+                self.fragments = store.fragments
+                self._store = store
+                conn, process = self._conn, self._process
+                alive = process is not None and process.is_alive()
+            if not alive:
+                # No live child: nothing to push; the next spawn reads the
+                # new fragments.  Still counts as an apply (the swap is
+                # complete from the parent's perspective).
+                with self._stats_lock:
+                    self.snapshot_applies += 1
+                return
+            epoch = store.epoch
+            if frame is None:
+                frame = wire.pack_store_snapshot(store.fragments, epoch)
+            try:
+                try:
+                    conn.send_bytes(frame)
+                    timeout = self.recv_timeout if self.recv_timeout else 5.0
+                    if not conn.poll(timeout):
+                        self.timeouts += 1
+                        raise DaemonTimeout(
+                            f"snapshot ack not received within {timeout:.3f}s"
+                        )
+                    payload = conn.recv_bytes()
+                except (EOFError, BrokenPipeError, ConnectionError, OSError) as exc:
+                    self.crashes += 1
+                    raise DaemonCrash(f"daemon pipe failed: {exc!r}") from exc
+                try:
+                    acked = wire.unpack_snapshot_ack(payload)
+                except wire.WireFormatError as exc:
+                    self.corrupt_replies += 1
+                    raise CorruptReply(f"malformed snapshot ack: {exc}") from exc
+                if acked != epoch:
+                    self.corrupt_replies += 1
+                    raise CorruptReply(
+                        f"snapshot ack epoch {acked} != pushed epoch {epoch}"
+                    )
+            except PTIFailure:
+                # The child is in an unknown state; drop it.  The slots
+                # were already swapped, so the respawn is over the new
+                # vocabulary -- cold but correct.
+                self._discard_child(conn, process)
+                with self._stats_lock:
+                    self.snapshot_fallbacks += 1
+                return
+            with self._stats_lock:
+                self.snapshot_applies += 1
 
     # ------------------------------------------------------------------
     # Child lifecycle
@@ -851,6 +953,8 @@ class SubprocessPTIDaemon:
             "unavailable": self.unavailable,
             "batches": self.batches,
             "oversized_batches": self.oversized_batches,
+            "snapshot_applies": self.snapshot_applies,
+            "snapshot_fallbacks": self.snapshot_fallbacks,
         }
         if self.breaker is not None:
             out["breaker"] = self.breaker.snapshot()

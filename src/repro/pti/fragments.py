@@ -36,7 +36,11 @@ from ..sqlparser.tokens import (
     is_sql_keyword,
 )
 
-__all__ = ["FragmentStore", "fragment_index_keys", "token_index_key"]
+__all__ = [
+    "FragmentStore",
+    "fragment_index_keys",
+    "token_index_key",
+]
 
 _WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 _COMMENT_MARKERS = ("/*", "--", "#")
@@ -85,6 +89,58 @@ def token_index_key(token: Token) -> str:
     return token.text.lower()
 
 
+class AutomatonCell:
+    """Per-state slot for the compiled Aho-Corasick automaton.
+
+    The automaton is *derived* state of exactly one :class:`_StoreState`
+    (same fragment tuple, same epoch), so it lives inside the state it
+    describes: the cell is created empty alongside the state and filled at
+    most once, under its own lock so concurrent analyzers sharing a store
+    compile the vocabulary a single time instead of once per analyzer.
+
+    This is also the warm-handoff hook (DESIGN.md section 13): a reload
+    that wants the swap to be stall-free compiles the successor state's
+    cell *before* publishing the state, so the first post-swap query finds
+    a ready automaton instead of paying the build on-path.  Because the
+    cell travels with its state, a racing reader can never pair an old
+    vocabulary with a new automaton or vice versa.
+
+    ``factory`` overrides how the automaton is produced -- the tenancy
+    layer injects a factory composing a shared base automaton (compiled
+    once per base set, across all tenants) with the tenant's tiny overlay
+    automaton.
+    """
+
+    __slots__ = ("_lock", "_automaton", "_factory")
+
+    def __init__(self, factory=None) -> None:
+        self._lock = threading.Lock()
+        self._automaton = None
+        self._factory = factory
+
+    def peek(self):
+        """The compiled automaton, or ``None`` if nobody built it yet."""
+        return self._automaton
+
+    def get_or_build(self, state: "_StoreState"):
+        """Return ``(automaton, built_now)``; compiles at most once."""
+        automaton = self._automaton
+        if automaton is not None:
+            return automaton, False
+        with self._lock:
+            if self._automaton is None:
+                from .automaton import FragmentAutomaton
+
+                if self._factory is not None:
+                    self._automaton = self._factory(state)
+                else:
+                    self._automaton = FragmentAutomaton(
+                        state.fragments, epoch=state.epoch
+                    )
+                return self._automaton, True
+            return self._automaton, False
+
+
 class _StoreState(NamedTuple):
     """One immutable epoch of the fragment vocabulary.
 
@@ -95,12 +151,18 @@ class _StoreState(NamedTuple):
     self-consistent snapshot: the index positions always resolve into the
     fragment tuple of the *same* epoch, no matter how many reloads happen
     mid-iteration on other threads.
+
+    ``automaton`` is the state's compiled-matcher slot (see
+    :class:`AutomatonCell`); it defaults to ``None`` only for direct
+    construction in tests -- every state the store publishes carries a
+    fresh cell.
     """
 
     fragments: tuple[str, ...]
     seen: frozenset
     index: dict  # lowercased key -> tuple of positions into ``fragments``
     epoch: int
+    automaton: AutomatonCell | None = None
 
 
 def _build_index(fragments: tuple[str, ...]) -> dict:
@@ -127,8 +189,14 @@ class FragmentStore:
 
     def __init__(self, fragments: Iterable[str] = ()) -> None:
         self._mutation_lock = threading.RLock()
-        self._state = _StoreState((), frozenset(), {}, 0)
+        self._state = _StoreState((), frozenset(), {}, 0, AutomatonCell())
         self.add_many(fragments)
+
+    def _automaton_cell(self) -> AutomatonCell:
+        """Cell for a successor state -- subclass hook (tenancy overrides
+        this to inject a factory that composes the shared base automaton
+        with the tenant overlay instead of compiling the full vocabulary)."""
+        return AutomatonCell()
 
     # ------------------------------------------------------------------
     # Construction
@@ -170,6 +238,7 @@ class FragmentStore:
                 frozenset(seen),
                 _build_index(new_fragments),
                 state.epoch + len(added),
+                self._automaton_cell(),
             )
 
     def remove(self, fragment: str) -> bool:
@@ -189,11 +258,20 @@ class FragmentStore:
                 state.seen - {fragment},
                 _build_index(new_fragments),
                 state.epoch + 1,
+                self._automaton_cell(),
             )
             return True
 
-    def reload(self, fragments: Iterable[str]) -> None:
-        """Replace the whole vocabulary (bulk plugin update)."""
+    def reload(self, fragments: Iterable[str], *, warm: bool = False) -> None:
+        """Replace the whole vocabulary (bulk plugin update).
+
+        With ``warm=True`` the successor state's automaton is compiled
+        *before* the state is published (warm handoff): readers are
+        lock-free, so they keep serving the old epoch -- old automaton,
+        old index -- for the entire build, and the first query after the
+        atomic swap finds a ready matcher instead of stalling on the
+        per-epoch compile.
+        """
         with self._mutation_lock:
             state = self._state
             seen: set[str] = set()
@@ -204,12 +282,16 @@ class FragmentStore:
                 seen.add(fragment)
                 kept.append(fragment)
             new_fragments = tuple(kept)
-            self._state = _StoreState(
+            new_state = _StoreState(
                 new_fragments,
                 frozenset(seen),
                 _build_index(new_fragments),
                 state.epoch + 1,
+                self._automaton_cell(),
             )
+            if warm:
+                new_state.automaton.get_or_build(new_state)
+            self._state = new_state
 
     # ------------------------------------------------------------------
     # Queries (lock-free snapshot reads)
@@ -240,6 +322,25 @@ class FragmentStore:
         pin "the store as of one instant".
         """
         return self._state
+
+    def compiled_automaton(self):
+        """``(automaton, built_now)`` for the current state (shared).
+
+        Every analyzer bound to this store resolves its one-pass matcher
+        here, so a vocabulary is compiled once per epoch *per store*
+        rather than once per analyzer -- and a warm reload's precompiled
+        automaton is picked up without any build at all.  ``built_now``
+        tells the caller whether *its* call paid for the compile (the
+        analyzer's ``automaton_builds`` counter keeps its seed meaning:
+        builds this analyzer triggered).
+        """
+        state = self._state
+        cell = state.automaton
+        if cell is None:  # directly-constructed state (tests)
+            from .automaton import FragmentAutomaton
+
+            return FragmentAutomaton(state.fragments, epoch=state.epoch), True
+        return cell.get_or_build(state)
 
     def __iter__(self):
         return iter(self._state.fragments)

@@ -191,16 +191,49 @@ class PTIAnalyzer:
                 return self._occ_index
             automaton = self._automaton
             if automaton is None:
-                automaton = self._automaton = FragmentAutomaton.from_store(
-                    self.store
-                )
-                self.automaton_builds += 1
+                # Resolve through the store's per-state cell so every
+                # analyzer of one store shares a single compile per epoch
+                # (and a warm handoff's precompiled automaton is free).
+                # ``automaton_builds`` keeps its meaning -- builds *this*
+                # analyzer triggered -- via the built_now flag.
+                shared = getattr(self.store, "compiled_automaton", None)
+                if callable(shared):
+                    automaton, built_now = shared()
+                else:
+                    automaton = FragmentAutomaton.from_store(self.store)
+                    built_now = True
+                self._automaton = automaton
+                if built_now:
+                    self.automaton_builds += 1
             index = automaton.index(query)
             self.comparisons += index.transitions
             self.occ_index_builds += 1
             self._occ_query = query
             self._occ_index = index
             return index
+
+    def warm(self) -> None:
+        """Precompile the resolved matcher's derived state (warm handoff).
+
+        Called off the request path (snapshot application in a daemon
+        child, worker refresh in the pool) so the first query after an
+        epoch swap finds a ready automaton instead of paying the
+        per-epoch build inline.  A no-op for the scan matcher.
+        """
+        with self._lock:
+            self._sync_store()
+            if self.resolved_matcher != "automaton":
+                return
+            if self._automaton is None:
+                shared = getattr(self.store, "compiled_automaton", None)
+                if callable(shared):
+                    automaton, built_now = shared()
+                else:
+                    automaton = FragmentAutomaton.from_store(self.store)
+                    built_now = True
+                self._automaton = automaton
+                if built_now:
+                    self.automaton_builds += 1
 
     def matcher_stats(self) -> dict[str, float]:
         """Matching-engine counters for the unified cache introspection."""

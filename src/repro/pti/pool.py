@@ -51,6 +51,7 @@ from ..core.resilience import (
     PTIFailure,
     PoolSaturated,
 )
+from . import wire
 from .daemon import DaemonConfig, DaemonReply, SubprocessPTIDaemon
 from .fragments import FragmentStore
 
@@ -157,6 +158,11 @@ class DaemonPool:
         self._factory = daemon_factory or self._default_factory
         self._store = store
         self._generation = 0
+        #: Packed snapshot frame of the current generation (one-shot
+        #: serialisation per refresh, shared by every worker push); None
+        #: until the first refresh or when the store exceeds the wire
+        #: frame bound (workers then fall back to the legacy refresh).
+        self._snapshot_frame: bytes | None = None
         #: Hard bound on requests inside the pool (in service + waiting).
         self._admission = threading.BoundedSemaphore(size + max_queue)
         #: Free workers; checkout gives one thread exclusive pipe access.
@@ -171,6 +177,12 @@ class DaemonPool:
         self.sheds_queue_full = 0
         self.sheds_no_worker = 0
         self.replacements = 0
+        # Replication accounting: worker refreshes actually performed
+        # (zero under steady-state traffic -- the checkout hot path is one
+        # int compare), split by how the new vocabulary reached the worker.
+        self.refreshes = 0
+        self.snapshot_pushes = 0
+        self.snapshot_push_failures = 0
         self._wait_samples: deque[float] = deque(maxlen=2048)
         for _ in range(size):
             self._free.put(self._new_worker())
@@ -342,20 +354,56 @@ class DaemonPool:
         with self._lock:
             self._wait_samples.append(waited)
             self.checkouts += 1
+        # Replication hot path: one integer generation compare, no store
+        # probe, no getattr.  Refreshes are *pushed* at epoch bump (see
+        # refresh_fragments) and applied at release for workers that were
+        # in flight during the bump, so under steady-state traffic this
+        # branch never fires.  The unlocked read is safe: generation only
+        # moves forward, and a stale read just serves one request under
+        # the previous vocabulary -- the same serialization as a request
+        # arriving momentarily before the refresh.
+        if worker.generation != self._generation:
+            self._refresh_worker(worker)
+        return worker
+
+    def _refresh_worker(self, worker: PoolWorker) -> None:
+        """Bring one (checked-out) worker to the current generation.
+
+        Prefers the packed snapshot push -- the frame was serialized once
+        at refresh time and the child hot-swaps without a respawn (warm
+        handoff) -- and falls back to the legacy close-and-respawn
+        refresh for daemons that predate the snapshot protocol.
+        """
+        with self._lock:
             generation = self._generation
             store = self._store
-        if worker.generation != generation:
-            # Lazily propagate a fragment refresh: the worker restarts its
-            # child over the new vocabulary before serving this request.
-            refresh = getattr(worker.daemon, "refresh_fragments", None)
+            frame = self._snapshot_frame
+        daemon = worker.daemon
+        apply = getattr(daemon, "apply_snapshot", None)
+        if frame is not None and callable(apply):
+            apply(store, frame)
+        else:
+            refresh = getattr(daemon, "refresh_fragments", None)
             if callable(refresh):
                 refresh(store)
-            worker.generation = generation
-        return worker
+        worker.generation = generation
+        with self._lock:
+            self.refreshes += 1
 
     def _release(self, worker: PoolWorker) -> None:
         if worker.consecutive_failures >= self.replace_after:
             worker = self._replace_worker(worker)
+        elif worker.generation != self._generation and not self._closed:
+            # Apply a pending epoch bump off the checkout path: the worker
+            # is warm (new automaton compiled) before it re-enters the
+            # free queue, so no future checkout pays for this refresh.
+            try:
+                self._refresh_worker(worker)
+            except Exception:
+                # A failed refresh must not lose the pool slot; the next
+                # checkout retries (generation still mismatched).
+                with self._lock:
+                    self.snapshot_push_failures += 1
         if self._closed:
             # Close raced an in-flight request: reap instead of requeueing.
             self._close_daemon(worker.daemon)
@@ -371,15 +419,51 @@ class DaemonPool:
         return self._store
 
     def refresh_fragments(self, store: FragmentStore) -> None:
-        """Swap the fragment set; workers pick it up on next checkout.
+        """Swap the fragment set and *push* it to the workers (epoch bump).
 
-        Generation-based so checked-out workers are not touched mid-request
-        (their in-flight query is served under the old vocabulary, exactly
-        as if it had arrived just before the refresh).
+        The snapshot is serialized exactly once into a packed wire frame
+        (``pti.wire.pack_store_snapshot``) shared by every worker push --
+        a pool of N children pays one serialisation, not N pickles.  Free
+        workers are refreshed immediately, one at a time (each is out of
+        the free queue while its child hot-swaps and precompiles, so the
+        pool keeps serving from the remaining workers -- a rolling warm
+        handoff, never a stall).  Checked-out workers are not touched
+        mid-request: their in-flight query is served under the old
+        vocabulary, exactly as if it had arrived just before the refresh,
+        and the bump is applied when they are released.  After this the
+        checkout hot path stays a single int compare.
         """
+        frame: bytes | None = None
+        try:
+            frame = wire.pack_store_snapshot(store.fragments, store.epoch)
+        except wire.WireFormatError:
+            # Vocabulary exceeds the frame bound: workers fall back to the
+            # legacy close-and-respawn refresh (correct, just colder).
+            frame = None
         with self._lock:
             self._store = store
             self._generation += 1
+            self._snapshot_frame = frame
+            target = self._generation
+        # Rolling push: visit at most `size` free workers; a worker popped
+        # twice (requeued then drawn again) is already current and no-ops.
+        for _ in range(self.size):
+            if self._closed:
+                break
+            try:
+                worker = self._free.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                if worker.generation != target:
+                    self._refresh_worker(worker)
+                    with self._lock:
+                        self.snapshot_pushes += 1
+            except Exception:
+                with self._lock:
+                    self.snapshot_push_failures += 1
+            finally:
+                self._free.put(worker)
 
     # ------------------------------------------------------------------
     # Observability
@@ -406,6 +490,10 @@ class DaemonPool:
                 "sheds_no_worker": self.sheds_no_worker,
                 "sheds_total": self.sheds_queue_full + self.sheds_no_worker,
                 "replacements": self.replacements,
+                "refreshes": self.refreshes,
+                "snapshot_pushes": self.snapshot_pushes,
+                "snapshot_push_failures": self.snapshot_push_failures,
+                "generation": self._generation,
                 "overload_policy": self.overload_policy.value,
                 "admission_timeout": self.admission_timeout,
             }

@@ -103,6 +103,8 @@ __all__ = [
     "KIND_GW_REQUEST",
     "KIND_GW_REPLY",
     "KIND_GW_ERROR",
+    "KIND_SNAPSHOT",
+    "KIND_SNAPSHOT_ACK",
     "MAX_BATCH",
     "MAX_FRAME",
     "MAX_INPUTS",
@@ -126,6 +128,10 @@ __all__ = [
     "unpack_gateway_reply",
     "pack_gateway_error",
     "unpack_gateway_error",
+    "pack_store_snapshot",
+    "unpack_store_snapshot",
+    "pack_snapshot_ack",
+    "unpack_snapshot_ack",
     "spans_from_tokens",
     "tokens_from_spans",
 ]
@@ -137,6 +143,8 @@ KIND_REPLY = 2
 KIND_GW_REQUEST = 3
 KIND_GW_REPLY = 4
 KIND_GW_ERROR = 5
+KIND_SNAPSHOT = 6
+KIND_SNAPSHOT_ACK = 7
 
 #: Hard per-frame bounds.  A batch larger than MAX_BATCH is rejected
 #: *before* any I/O; a frame larger than MAX_FRAME is rejected by both
@@ -686,3 +694,115 @@ def unpack_gateway_error(frame: bytes) -> tuple[int, str]:
     if offset != n:
         raise WireFormatError(f"{n - offset} trailing bytes after error frame")
     return code, message
+
+
+# ----------------------------------------------------------------------
+# Fragment-store snapshot frames (tenancy replication push)
+# ----------------------------------------------------------------------
+#
+# One frame replicates one ``_StoreState`` snapshot -- the whole fragment
+# tuple plus its epoch and owning tenant -- to a daemon child or gateway
+# worker on epoch bump (DESIGN.md section 13).  Packed once per epoch by
+# the registry/pool and reused for every push of that epoch, so a fleet
+# of N workers pays one serialisation, not N.  The header ``count`` field
+# is fixed at 1 (one store per frame); the real fragment count is a u32
+# in the body because paper-scale vocabularies exceed the u16 header
+# field.  The child acknowledges with a KIND_SNAPSHOT_ACK echoing the
+# epoch, sent only after the new vocabulary is applied *and warmed*, so
+# the pusher knows the swap is complete.
+
+_I64 = struct.Struct("<q")
+
+
+def pack_store_snapshot(
+    fragments: Sequence[str], epoch: int, tenant: str = ""
+) -> bytearray:
+    """Pack one store snapshot into a pre-sized replication frame."""
+    encoded = [f.encode("utf-8", "surrogatepass") for f in fragments]
+    if len(encoded) > 0xFFFFFFFF:
+        raise WireFormatError(f"snapshot of {len(encoded)} fragments exceeds u32")
+    tenant_raw = tenant.encode("utf-8", "surrogatepass")
+    if len(tenant_raw) > 0xFFFF:
+        raise WireFormatError(f"tenant id of {len(tenant_raw)} bytes exceeds u16")
+    total = (
+        _HEADER.size
+        + _I64.size
+        + _U16.size
+        + len(tenant_raw)
+        + _U32.size
+        + sum(_U32.size + len(fb) for fb in encoded)
+    )
+    if total > MAX_FRAME:
+        raise WireFormatError(
+            f"snapshot frame of {total} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    frame = bytearray(total)
+    _HEADER.pack_into(frame, 0, MAGIC, VERSION, KIND_SNAPSHOT, 1)
+    offset = _HEADER.size
+    _I64.pack_into(frame, offset, epoch)
+    offset += _I64.size
+    _U16.pack_into(frame, offset, len(tenant_raw))
+    offset += _U16.size
+    frame[offset : offset + len(tenant_raw)] = tenant_raw
+    offset += len(tenant_raw)
+    _U32.pack_into(frame, offset, len(encoded))
+    offset += _U32.size
+    for fb in encoded:
+        _U32.pack_into(frame, offset, len(fb))
+        offset += _U32.size
+        frame[offset : offset + len(fb)] = fb
+        offset += len(fb)
+    return frame
+
+
+def unpack_store_snapshot(frame: bytes) -> tuple[str, int, list[str]]:
+    """Decode a snapshot frame: ``(tenant, epoch, fragments)`` (fail-closed)."""
+    count = _check_header(frame, KIND_SNAPSHOT)
+    if count != 1:
+        raise WireFormatError(f"snapshot frame count must be 1, got {count}")
+    n = len(frame)
+    offset = _HEADER.size
+    if offset + _I64.size > n:
+        raise WireFormatError("truncated snapshot epoch")
+    (epoch,) = _I64.unpack_from(frame, offset)
+    offset += _I64.size
+    tenant, offset = _unpack_str16(frame, offset, "tenant id")
+    if offset + _U32.size > n:
+        raise WireFormatError("truncated snapshot fragment count")
+    (nfrags,) = _U32.unpack_from(frame, offset)
+    offset += _U32.size
+    # Each fragment costs at least its u32 length prefix; a count the
+    # remaining bytes cannot possibly hold is a hostile header.
+    if nfrags * _U32.size > n - offset:
+        raise WireFormatError(f"snapshot fragment count out of range: {nfrags}")
+    fragments: list[str] = []
+    for _ in range(nfrags):
+        if offset + _U32.size > n:
+            raise WireFormatError("truncated fragment length prefix")
+        (blen,) = _U32.unpack_from(frame, offset)
+        offset += _U32.size
+        if offset + blen > n:
+            raise WireFormatError("truncated fragment payload")
+        fragments.append(
+            _decode_text(bytes(frame[offset : offset + blen]), "fragment")
+        )
+        offset += blen
+    if offset != n:
+        raise WireFormatError(f"{n - offset} trailing bytes after snapshot frame")
+    return tenant, epoch, fragments
+
+
+def pack_snapshot_ack(epoch: int) -> bytes:
+    """Pack the child's applied-and-warm acknowledgement for ``epoch``."""
+    return _HEADER.pack(MAGIC, VERSION, KIND_SNAPSHOT_ACK, 1) + _I64.pack(epoch)
+
+
+def unpack_snapshot_ack(frame: bytes) -> int:
+    """Decode an ack frame back to the applied epoch (fail-closed)."""
+    count = _check_header(frame, KIND_SNAPSHOT_ACK)
+    if count != 1:
+        raise WireFormatError(f"snapshot ack count must be 1, got {count}")
+    if len(frame) != _HEADER.size + _I64.size:
+        raise WireFormatError(f"snapshot ack of {len(frame)} bytes is malformed")
+    (epoch,) = _I64.unpack_from(frame, _HEADER.size)
+    return epoch

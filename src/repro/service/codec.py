@@ -84,21 +84,27 @@ def verdict_to_dict(verdict: QueryVerdict) -> dict:
     }
 
 
-def failsafe_dict(query: str, reason: str) -> dict:
+def failsafe_dict(query: str, reason: str, *, tenant: str | None = None) -> dict:
     """The verdict dict for a query the gateway itself refused.
 
-    Sheds, expired-on-arrival deadlines and worker crashes never produce
-    analysis results -- they produce this: an unsafe, failsafe-flagged
-    verdict with the refusal reason recorded.  Shape-identical to
-    :func:`verdict_to_dict` of an engine failsafe block so clients handle
-    both uniformly.
+    Sheds, expired-on-arrival deadlines, worker crashes and
+    unknown-tenant routing refusals never produce analysis results --
+    they produce this: an unsafe, failsafe-flagged verdict with the
+    refusal reason recorded.  Shape-identical to :func:`verdict_to_dict`
+    of an engine failsafe block so clients handle both uniformly.  When
+    ``tenant`` is given (multi-tenant refusals), the tenant id rides as a
+    second ``failure_reasons`` entry so audit greps can attribute the
+    refusal without parsing the reason text.
     """
+    reasons = [reason]
+    if tenant is not None:
+        reasons.append(f"tenant: {tenant}")
     return {
         "query": query,
         "safe": False,
         "degraded": False,
         "failsafe": True,
-        "failure_reasons": [reason],
+        "failure_reasons": reasons,
         "pti": None,
         "nti": None,
     }

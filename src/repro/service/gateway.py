@@ -111,6 +111,13 @@ class GatewayConfig:
     worker_pace_seconds: float = 0.0
     #: Base RNG seed forwarded to workers (worker ``i`` gets ``seed + i``).
     seed: int | None = None
+    #: Multi-tenant mode: tenant-id -> overlay fragment list.  The
+    #: gateway's ``fragments`` become the shared base vocabulary (interned
+    #: once per worker), each tenant engine sees base + its overlay, and
+    #: the wire ``client_id`` routes to the tenant's engine.  ``None`` =
+    #: classic single-tenant gateway.  ``worker_pool_size`` only applies
+    #: in single-tenant mode.
+    tenants: dict[str, list[str]] | None = None
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -156,6 +163,10 @@ class GatewayStats:
     worker_failures: int = 0
     #: ... and workers replaced because of them.
     worker_replacements: int = 0
+    #: Tenant snapshot frames pushed to workers (reload_tenant fan-out) ...
+    snapshot_pushes: int = 0
+    #: ... and pushes that failed (worker hung/crashed mid-push).
+    snapshot_push_failures: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -186,6 +197,8 @@ class GatewayStats:
                     "stalled_connections",
                     "worker_failures",
                     "worker_replacements",
+                    "snapshot_pushes",
+                    "snapshot_push_failures",
                 )
             }
 
@@ -243,6 +256,18 @@ class AsyncGateway:
             worker_id = self._next_worker_id
             self._next_worker_id += 1
         seed = None if self.gw.seed is None else self.gw.seed + worker_id
+        with self._lock:
+            # Replacement workers spawn with the *current* tenant overlays
+            # (reload_tenant keeps this map fresh), so a respawn after a
+            # reload never resurrects a pre-reload vocabulary.
+            tenants = (
+                None
+                if self.gw.tenants is None
+                else {
+                    tenant_id: list(overlay)
+                    for tenant_id, overlay in self.gw.tenants.items()
+                }
+            )
         return GatewayWorker(
             worker_id,
             self.fragments,
@@ -252,6 +277,7 @@ class AsyncGateway:
             overload_policy=self.gw.overload_policy,
             pace_seconds=self.gw.worker_pace_seconds,
             seed=seed,
+            tenants=tenants,
         )
 
     async def start(self) -> None:
@@ -611,6 +637,45 @@ class AsyncGateway:
         return replacement
 
     # ------------------------------------------------------------------
+    # Tenant replication
+    # ------------------------------------------------------------------
+
+    async def reload_tenant(self, tenant_id: str, overlay) -> dict:
+        """Push one tenant's new overlay to every worker (warm handoff).
+
+        The rolling-reload control plane: workers are pushed one at a
+        time, each applies the snapshot in place via its registry's warm
+        handoff (successor composite automaton compiled off-path, atomic
+        swap) and keeps serving other tenants throughout.  A worker that
+        fails the push is counted and left to the health checker --
+        ``consecutive_failures`` drives its replacement, and the
+        replacement spawns with the already-updated overlay map.
+        """
+        if self.gw.tenants is None:
+            raise RuntimeError("gateway is not in tenant mode")
+        overlay = list(overlay)
+        with self._lock:
+            if tenant_id not in self.gw.tenants:
+                raise KeyError(f"unknown tenant {tenant_id!r}")
+            self.gw.tenants[tenant_id] = overlay
+            workers = list(self._workers)
+        assert self._loop is not None and self._executor is not None
+        epochs: dict[int, int] = {}
+        failures: dict[int, str] = {}
+        for worker in workers:
+            try:
+                epoch = await self._loop.run_in_executor(
+                    self._executor, worker.push_snapshot, tenant_id, overlay
+                )
+                epochs[worker.worker_id] = epoch
+                self.stats.bump(snapshot_pushes=1)
+            except WorkerFailure as exc:
+                failures[worker.worker_id] = exc.reason
+                self.stats.bump(snapshot_push_failures=1)
+                worker.consecutive_failures += 1
+        return {"tenant": tenant_id, "epochs": epochs, "failures": failures}
+
+    # ------------------------------------------------------------------
     # Operator surface
     # ------------------------------------------------------------------
 
@@ -632,6 +697,13 @@ class AsyncGateway:
         gateway["audit_capacity"] = self.audit.capacity
         gateway["pending"] = self._pending
         gateway["workers"] = len(self._workers)
+        if self.gw.tenants is not None:
+            gateway["tenancy"] = {
+                "tenants": len(self.gw.tenants),
+                "base_fragments": len(self.fragments),
+                "snapshot_pushes": gateway["snapshot_pushes"],
+                "snapshot_push_failures": gateway["snapshot_push_failures"],
+            }
         report: dict = {"gateway": gateway, "workers": []}
         for worker in list(self._workers):
             try:

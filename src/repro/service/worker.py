@@ -1,12 +1,21 @@
-"""Gateway worker processes: one full Joza engine per child.
+"""Gateway worker processes: one full Joza engine fleet per child.
 
-Each :class:`GatewayWorker` wraps one long-lived child process hosting a
-:class:`~repro.core.JozaEngine` (optionally fronting a
-:class:`~repro.pti.pool.DaemonPool` of PTI daemon grandchildren), reached
-over an anonymous pipe with the same trusted-pair pickle protocol the PTI
-daemon uses.  The GIL never serialises two workers: analysis parallelism
-across clients comes from *processes*, the asyncio gateway only shuffles
-bytes.
+Each :class:`GatewayWorker` wraps one long-lived child process hosting
+either a single :class:`~repro.core.JozaEngine` (optionally fronting a
+:class:`~repro.pti.pool.DaemonPool` of PTI daemon grandchildren) or, in
+multi-tenant mode, a :class:`~repro.tenancy.TenantRegistry` with one
+engine per tenant over interned :class:`~repro.tenancy.TenantStore`
+state.  The child is reached over an anonymous pipe with the same
+trusted-pair pickle protocol the PTI daemon uses.  The GIL never
+serialises two workers: analysis parallelism across clients comes from
+*processes*, the asyncio gateway only shuffles bytes.
+
+In multi-tenant mode the gateway wire's ``client_id`` is the tenant id:
+inspects route to that tenant's engine, and a client naming an
+unregistered tenant gets fail-closed verdicts (never another tenant's
+vocabulary).  Tenant fragment reloads arrive as ``("snapshot", tenant,
+overlay)`` ops and apply in place via the registry's warm handoff -- the
+worker process is never restarted for a vocabulary change.
 
 Resilience contract (mirrors ``SubprocessPTIDaemon``): :meth:`inspect`
 either returns one verdict dict per query or raises
@@ -20,15 +29,24 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
+from typing import Mapping, Sequence
 
 from ..core.engine import AttackRecord, JozaEngine
 from ..core.policy import JozaConfig
 from ..core.resilience import Deadline, OverloadPolicy
 from ..phpapp.context import CapturedInput, RequestContext
 from ..pti.fragments import FragmentStore
-from .codec import verdict_to_dict
+from .codec import failsafe_dict, verdict_to_dict
 
-__all__ = ["GatewayWorker", "WorkerFailure", "_gateway_worker_loop"]
+__all__ = [
+    "GatewayWorker",
+    "WorkerFailure",
+    "REASON_UNKNOWN_TENANT",
+    "_gateway_worker_loop",
+]
+
+#: Refusal reason for inspects naming a tenant the worker does not host.
+REASON_UNKNOWN_TENANT = "worker: unknown tenant"
 
 
 class WorkerFailure(Exception):
@@ -63,6 +81,87 @@ def _build_engine(
     return JozaEngine(store, config)
 
 
+class _EngineFleet:
+    """Child-side engine set: one default engine, or one per tenant.
+
+    Single-tenant mode (``tenants is None``) is the legacy shape: one
+    engine over a plain :class:`FragmentStore`, optionally fronting a
+    daemon pool.  Multi-tenant mode builds a
+    :class:`~repro.tenancy.TenantRegistry` whose shared base is the
+    worker's fragment list and provisions one in-process engine per
+    tenant over its interned :class:`~repro.tenancy.TenantStore` --
+    ``pool_size`` intentionally does not apply there (a daemon pool per
+    tenant would fork ``pool_size`` grandchildren per tenant).
+    """
+
+    def __init__(
+        self,
+        fragments,
+        config: JozaConfig,
+        pool_size: int,
+        pool_max_queue: int,
+        overload_policy: str,
+        seed: int | None,
+        tenants: Mapping[str, Sequence[str]] | None,
+    ) -> None:
+        self.registry = None
+        self.engines: dict[str, JozaEngine] = {}
+        self.default: JozaEngine | None = None
+        if tenants is None:
+            self.default = _build_engine(
+                fragments,
+                config,
+                pool_size,
+                pool_max_queue,
+                overload_policy,
+                seed,
+            )
+            return
+        from ..tenancy import TenantRegistry
+
+        self.registry = TenantRegistry(fragments)
+        for tenant_id, overlay in tenants.items():
+            store = self.registry.add_tenant(tenant_id, overlay)
+            self.engines[tenant_id] = JozaEngine(store, config)
+
+    def route(self, client_id: str) -> JozaEngine | None:
+        """The engine for one client; None = unknown tenant (fail closed)."""
+        if self.registry is None:
+            return self.default
+        return self.engines.get(client_id)
+
+    def snapshot(self, tenant_id: str, overlay) -> int:
+        """Warm-handoff reload of one tenant's overlay; returns new epoch."""
+        if self.registry is None:
+            raise RuntimeError("snapshot op requires tenant mode")
+        if tenant_id not in self.registry:
+            raise KeyError(f"unknown tenant {tenant_id!r}")
+        return self.registry.reload_tenant(tenant_id, overlay, warm=True)
+
+    def report(self) -> dict:
+        if self.registry is None:
+            assert self.default is not None
+            return self.default.resilience_report()
+        report: dict = {"tenancy": self.registry.tenancy_report()}
+        report["tenants"] = {
+            tenant_id: engine.resilience_report()
+            for tenant_id, engine in self.engines.items()
+        }
+        return report
+
+    def close(self) -> None:
+        engines = list(self.engines.values())
+        if self.default is not None:
+            engines.append(self.default)
+        for engine in engines:
+            close = getattr(engine.daemon, "close", None)
+            if callable(close):
+                try:
+                    close()
+                except Exception:  # pragma: no cover - teardown
+                    pass
+
+
 def _gateway_worker_loop(
     conn,
     fragments,
@@ -72,16 +171,23 @@ def _gateway_worker_loop(
     overload_policy: str,
     pace_seconds: float,
     seed: int | None,
+    tenants: Mapping[str, Sequence[str]] | None = None,
 ) -> None:
-    """Child entry point: serve inspect/report ops until None or EOF.
+    """Child entry point: serve inspect/report/snapshot ops until None/EOF.
 
     Every inspect answers with ``("ok", [verdict_dict, ...])`` -- one dict
     per query, in order -- or ``("err", reason)``.  An ``("err", ...)``
     reply means the *whole batch* must be resolved fail-closed by the
     parent; the child never invents partial results.
     """
-    engine = _build_engine(
-        fragments, config, pool_size, pool_max_queue, overload_policy, seed
+    fleet = _EngineFleet(
+        fragments,
+        config,
+        pool_size,
+        pool_max_queue,
+        overload_policy,
+        seed,
+        tenants,
     )
     try:
         while True:
@@ -92,7 +198,7 @@ def _gateway_worker_loop(
             if message is None:
                 break
             try:
-                reply = _handle(engine, message, pace_seconds)
+                reply = _handle(fleet, message, pace_seconds)
             except Exception as exc:  # noqa: BLE001 - child must answer
                 reply = ("err", f"{type(exc).__name__}: {exc}")
             try:
@@ -100,24 +206,32 @@ def _gateway_worker_loop(
             except (BrokenPipeError, OSError):
                 break
     finally:
-        close = getattr(engine.daemon, "close", None)
-        if callable(close):
-            try:
-                close()
-            except Exception:  # pragma: no cover - teardown
-                pass
+        fleet.close()
         try:
             conn.close()
         except OSError:  # pragma: no cover - teardown
             pass
 
 
-def _handle(engine: JozaEngine, message, pace_seconds: float):
+def _handle(fleet: _EngineFleet, message, pace_seconds: float):
     if not isinstance(message, tuple) or not message:
         return ("err", f"malformed worker message: {message!r}")
     op = message[0]
     if op == "inspect":
         _, client_id, path, inputs, queries, budget = message
+        engine = fleet.route(client_id)
+        if engine is None:
+            # Tenant mode and the client named a tenant this worker does
+            # not host.  Fail closed per query -- routing to any other
+            # tenant's vocabulary would be a cross-tenant leak.
+            reason = f"{REASON_UNKNOWN_TENANT}: {client_id!r}"
+            return (
+                "ok",
+                [
+                    failsafe_dict(query, reason, tenant=client_id)
+                    for query in queries
+                ],
+            )
         if pace_seconds > 0.0:
             # Models per-request service time so throughput benches show
             # cross-process overlap even on a single-core runner.
@@ -142,8 +256,11 @@ def _handle(engine: JozaEngine, message, pace_seconds: float):
                 )
             )
         return ("ok", [verdict_to_dict(v) for v in verdicts])
+    if op == "snapshot":
+        _, tenant_id, overlay = message
+        return ("ok", fleet.snapshot(tenant_id, overlay))
     if op == "report":
-        return ("ok", engine.resilience_report())
+        return ("ok", fleet.report())
     if op == "ping":
         return ("ok", "pong")
     return ("err", f"unknown worker op: {op!r}")
@@ -172,6 +289,7 @@ class GatewayWorker:
         recv_timeout: float = 10.0,
         recv_grace: float = 0.25,
         seed: int | None = None,
+        tenants: Mapping[str, Sequence[str]] | None = None,
     ) -> None:
         self.worker_id = worker_id
         self.recv_timeout = recv_timeout
@@ -193,6 +311,14 @@ class GatewayWorker:
                 overload_policy.value,
                 pace_seconds,
                 seed,
+                (
+                    None
+                    if tenants is None
+                    else {
+                        tenant_id: list(overlay)
+                        for tenant_id, overlay in tenants.items()
+                    }
+                ),
             ),
             daemon=True,
         )
@@ -271,6 +397,29 @@ class GatewayWorker:
                 else f"worker {self.worker_id} corrupt verdict list"
             )
         return payload
+
+    def push_snapshot(
+        self,
+        tenant_id: str,
+        fragments,
+        timeout: float | None = None,
+    ) -> int:
+        """Warm-handoff one tenant's overlay in the live child; new epoch.
+
+        The replication push of the tenancy epoch protocol: the child's
+        registry builds the successor state and composite automaton
+        off-path, swaps atomically, and keeps serving throughout -- the
+        worker process is never restarted for a vocabulary change.
+        """
+        epoch = self._round_trip(
+            ("snapshot", tenant_id, list(fragments)),
+            timeout or self.recv_timeout,
+        )
+        if not isinstance(epoch, int):
+            raise WorkerFailure(
+                f"worker {self.worker_id} corrupt snapshot ack: {epoch!r}"
+            )
+        return epoch
 
     def request_report(self, timeout: float | None = None) -> dict:
         """The child engine's ``resilience_report()`` (operator surface)."""

@@ -1,0 +1,41 @@
+"""Multi-tenant fragment state: interning, overlays, snapshot replication.
+
+The paper deploys one PTI daemon per application; the ROADMAP north star
+is a fleet.  At fleet scale the fragment vocabulary grows a *tenant*
+dimension -- each tenant (site, application instance) trusts its own
+fragment set -- with two structural facts this package exploits
+(DESIGN.md section 13):
+
+1. **Tenants overwhelmingly share their vocabulary.**  A WordPress fleet
+   runs byte-identical core code on every site; only the plugin delta
+   differs.  :class:`SharedBase` stores (and compiles) the common base
+   exactly once -- one fragment tuple, one inverted index, one
+   Aho-Corasick automaton -- and every :class:`TenantStore` composes it
+   with a small per-tenant overlay.  Memory and compile time per tenant
+   shrink from O(vocabulary) to O(plugin delta).
+
+2. **Reloads must not stall serving.**  A tenant's fragment reload (plugin
+   update) builds the successor state *and its automaton* off-path, swaps
+   atomically, and pushes one packed snapshot frame
+   (:func:`repro.pti.wire.pack_store_snapshot`, serialized once per
+   epoch) to every replication target -- daemon-pool children hot-swap in
+   place, no respawn.  In-flight inspects drain on the old epoch; the
+   checkout hot path stays a single integer generation compare.
+
+:class:`TenantRegistry` is the control plane tying both together: it owns
+the interner, the shared bases, the tenant stores, the per-epoch frame
+cache and the push subscriptions, and reports the fleet state
+(``tenancy_report``) that the engine and gateway surface.
+"""
+
+from .interning import FragmentInterner, SharedBase
+from .registry import DEFAULT_BASE, TenantRegistry
+from .store import TenantStore
+
+__all__ = [
+    "DEFAULT_BASE",
+    "FragmentInterner",
+    "SharedBase",
+    "TenantRegistry",
+    "TenantStore",
+]

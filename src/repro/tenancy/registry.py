@@ -1,0 +1,218 @@
+"""TenantRegistry: the fleet control plane for fragment state.
+
+Maps tenant-id -> versioned :class:`~repro.tenancy.store.TenantStore`
+built over named :class:`~repro.tenancy.interning.SharedBase` sets, and
+owns the replication machinery around them (DESIGN.md section 13):
+
+- **one-shot serialisation**: each tenant's current ``_StoreState``
+  snapshot is packed into a wire frame at most once per epoch
+  (:meth:`snapshot_frame`); every push of that epoch -- to N daemon-pool
+  children, M gateway workers -- reuses the cached bytes.
+- **push on epoch bump**: :meth:`reload_tenant` performs the warm
+  handoff (successor state + composite automaton compiled off-path,
+  atomic swap), then pushes the new frame to every subscriber.
+  Replication targets therefore converge without any per-checkout
+  probing; a target that was busy applies at its release point.
+- **drain accounting**: an epoch is *drained* once the swap happened and
+  every subscriber push completed -- no replication target will start
+  new work under the old epoch (in-flight requests finish on it by
+  design; that is the epoch protocol, not a leak).
+
+Subscribers are callables ``(tenant_id, store, frame) -> None``; a
+raising subscriber is counted, never propagated -- replication is
+best-effort delivery over components that already fail closed on
+staleness (generation compare at checkout).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+from ..pti import wire
+from .interning import FragmentInterner, SharedBase
+from .store import TenantStore
+
+__all__ = ["DEFAULT_BASE", "TenantRegistry"]
+
+#: Base-set name used when a registry is built from one fragment list.
+DEFAULT_BASE = "shared"
+
+
+class TenantRegistry:
+    """Tenant-id -> versioned fragment store, with interning + replication."""
+
+    def __init__(
+        self,
+        base_fragments: Iterable[str] = (),
+        *,
+        interner: FragmentInterner | None = None,
+    ) -> None:
+        self.interner = interner or FragmentInterner()
+        self._lock = threading.RLock()
+        self._bases: dict[str, SharedBase] = {}
+        self._tenants: dict[str, TenantStore] = {}
+        #: tenant-id -> (epoch, packed frame) -- the one-shot
+        #: serialisation cache.
+        self._frames: dict[str, tuple[int, bytes]] = {}
+        self._subscribers: list[Callable[[str, TenantStore, bytes], None]] = []
+        # Fleet counters (tenancy_report / resilience_report section).
+        self.snapshot_pushes = 0
+        self.push_failures = 0
+        self.handoff_swaps = 0
+        self.drained_epochs = 0
+        base_fragments = tuple(base_fragments)
+        if base_fragments:
+            self.define_base(DEFAULT_BASE, base_fragments)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def define_base(self, name: str, fragments: Iterable[str]) -> SharedBase:
+        """Register a shared base set (idempotent per name)."""
+        interned = self.interner.intern_many(fragments)
+        with self._lock:
+            if name in self._bases:
+                raise ValueError(f"base {name!r} already defined")
+            base = SharedBase(name, interned)
+            self._bases[name] = base
+            return base
+
+    def base(self, name: str = DEFAULT_BASE) -> SharedBase:
+        with self._lock:
+            return self._bases[name]
+
+    def add_tenant(
+        self,
+        tenant_id: str,
+        overlay: Iterable[str] = (),
+        *,
+        base: str = DEFAULT_BASE,
+    ) -> TenantStore:
+        """Provision one tenant over a shared base plus its plugin delta."""
+        overlay = self.interner.intern_many(overlay)
+        with self._lock:
+            if tenant_id in self._tenants:
+                raise ValueError(f"tenant {tenant_id!r} already registered")
+            shared = self._bases[base]
+            store = TenantStore(shared, overlay, tenant_id=tenant_id)
+            self._tenants[tenant_id] = store
+            return store
+
+    def get(self, tenant_id: str) -> TenantStore:
+        with self._lock:
+            return self._tenants[tenant_id]
+
+    def __contains__(self, tenant_id: str) -> bool:
+        with self._lock:
+            return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def tenant_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._tenants)
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self, push: Callable[[str, TenantStore, bytes], None]
+    ) -> None:
+        """Register a replication target for tenant epoch bumps."""
+        with self._lock:
+            self._subscribers.append(push)
+
+    def snapshot_frame(self, tenant_id: str) -> bytes:
+        """The packed snapshot frame of the tenant's current epoch.
+
+        Serialized at most once per epoch; concurrent pushes of the same
+        epoch share the cached bytes.
+        """
+        store = self.get(tenant_id)
+        state = store.snapshot()
+        with self._lock:
+            cached = self._frames.get(tenant_id)
+            if cached is not None and cached[0] == state.epoch:
+                return cached[1]
+        frame = bytes(
+            wire.pack_store_snapshot(
+                state.fragments, state.epoch, tenant=tenant_id
+            )
+        )
+        with self._lock:
+            current = self._frames.get(tenant_id)
+            # A racing reload may have cached a newer epoch; never
+            # regress the cache (the stale frame is still returned to
+            # this caller, whose push target will catch up on the next
+            # bump -- generation compare keeps it honest).
+            if current is None or current[0] <= state.epoch:
+                self._frames[tenant_id] = (state.epoch, frame)
+        return frame
+
+    def reload_tenant(
+        self, tenant_id: str, overlay: Iterable[str], *, warm: bool = True
+    ) -> int:
+        """Warm-handoff reload of one tenant's overlay + replication push.
+
+        Returns the new epoch.  The sequence is the section-13 protocol:
+        build successor state and composite automaton off-path
+        (``warm``), swap atomically, serialize the snapshot once, push
+        the frame to every subscriber.  Old-epoch work drains naturally;
+        once the pushes complete the old epoch is accounted drained (no
+        target will *start* work under it).
+        """
+        store = self.get(tenant_id)
+        overlay = self.interner.intern_many(overlay)
+        store.reload_overlay(overlay, warm=warm)
+        with self._lock:
+            self.handoff_swaps += 1
+            subscribers = list(self._subscribers)
+        frame = self.snapshot_frame(tenant_id)
+        for push in subscribers:
+            try:
+                push(tenant_id, store, frame)
+                with self._lock:
+                    self.snapshot_pushes += 1
+            except Exception:
+                with self._lock:
+                    self.push_failures += 1
+        with self._lock:
+            self.drained_epochs += 1
+        return store.epoch
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def tenancy_report(self) -> dict[str, object]:
+        """Fleet-state section for resilience_report()/cache_stats()."""
+        with self._lock:
+            tenants = dict(self._tenants)
+            bases = list(self._bases.values())
+            report: dict[str, object] = {
+                "tenants": len(tenants),
+                "bases": [base.stats() for base in bases],
+                "snapshot_pushes": self.snapshot_pushes,
+                "push_failures": self.push_failures,
+                "handoff_swaps": self.handoff_swaps,
+                "drained_epochs": self.drained_epochs,
+                "subscribers": len(self._subscribers),
+            }
+        interned = 0
+        private = 0
+        detached = 0
+        for store in tenants.values():
+            stats = store.tenancy_stats()
+            interned += stats["interned_fragments"]
+            private += stats["private_fragments"]
+            detached += 1 if stats["private"] else 0
+        report["interned_fragments"] = interned
+        report["private_fragments"] = private
+        report["detached_tenants"] = detached
+        report["interner"] = self.interner.stats()
+        return report

@@ -270,6 +270,43 @@ def test_pool_refresh_fragments_propagates_on_next_checkout():
     pool.close()
 
 
+def test_steady_state_checkouts_perform_zero_refreshes():
+    """The tentpole hot-path gate: no refresh round-trips without a bump.
+
+    Every checkout under steady-state traffic must be a single generation
+    compare -- the per-worker refresh counter and the pool's ``refreshes``
+    counter stay at zero no matter how many requests flow.
+    """
+    pool, created = make_pool(size=2)
+    for _ in range(50):
+        assert pool.analyze_query(SAFE_QUERY).safe
+    assert pool.checkouts == 50
+    assert pool.refreshes == 0
+    assert all(worker.refreshes == 0 for worker in created)
+    snap = pool.resilience_snapshot()
+    assert snap["refreshes"] == 0
+    assert snap["generation"] == 0
+    pool.close()
+
+
+def test_epoch_bump_refreshes_each_worker_exactly_once():
+    """One generation bump costs exactly one refresh per worker, pushed at
+    bump time (free workers) or at release (in-flight) -- never again on
+    subsequent checkouts."""
+    pool, created = make_pool(size=2)
+    for _ in range(10):
+        pool.analyze_query(SAFE_QUERY)
+    pool.refresh_fragments(FragmentStore(FRAGMENTS + ["SELECT 1"]))
+    # Free workers were pushed synchronously by the bump itself.
+    assert pool.refreshes == 2
+    assert pool.snapshot_pushes == 2
+    for _ in range(50):
+        pool.analyze_query(SAFE_QUERY)
+    assert pool.refreshes == 2  # steady state again: zero further refreshes
+    assert all(worker.refreshes == 1 for worker in created)
+    pool.close()
+
+
 def test_pool_close_is_idempotent_and_refuses_new_work():
     pool, created = make_pool(size=2)
     pool.close()

@@ -189,6 +189,77 @@ def test_corrupt_header_fields_fail_closed():
 
 
 # ---------------------------------------------------------------------------
+# Snapshot frames (tenancy replication push)
+# ---------------------------------------------------------------------------
+
+SNAPSHOT_FRAGMENTS = st.lists(st.text(max_size=60), max_size=10)
+TENANT_IDS = st.text(max_size=24)
+EPOCHS = st.integers(min_value=0, max_value=2**62)
+
+
+@given(SNAPSHOT_FRAGMENTS, EPOCHS, TENANT_IDS)
+@settings(max_examples=100, deadline=None)
+def test_snapshot_round_trip(fragments, epoch, tenant):
+    frame = wire.pack_store_snapshot(fragments, epoch, tenant=tenant)
+    assert wire.is_frame(bytes(frame))
+    assert wire.peek_kind(frame) == wire.KIND_SNAPSHOT
+    got_tenant, got_epoch, got_fragments = wire.unpack_store_snapshot(frame)
+    assert got_tenant == tenant
+    assert got_epoch == epoch
+    assert tuple(got_fragments) == tuple(fragments)
+
+
+@given(EPOCHS)
+@settings(max_examples=50, deadline=None)
+def test_snapshot_ack_round_trip(epoch):
+    frame = wire.pack_snapshot_ack(epoch)
+    assert wire.peek_kind(frame) == wire.KIND_SNAPSHOT_ACK
+    assert wire.unpack_snapshot_ack(frame) == epoch
+
+
+def test_snapshot_truncations_fail_closed():
+    frame = bytes(
+        wire.pack_store_snapshot(["SELECT 1", "frag "], 42, tenant="alpha")
+    )
+    for cut in range(len(frame)):
+        with pytest.raises(wire.WireFormatError):
+            wire.unpack_store_snapshot(frame[:cut])
+    with pytest.raises(wire.WireFormatError):
+        wire.unpack_store_snapshot(frame + b"\x00")
+    ack = bytes(wire.pack_snapshot_ack(42))
+    for cut in range(len(ack)):
+        with pytest.raises(wire.WireFormatError):
+            wire.unpack_snapshot_ack(ack[:cut])
+
+
+def test_snapshot_kind_confusion_fails_closed():
+    with pytest.raises(wire.WireFormatError):
+        wire.unpack_store_snapshot(bytes(wire.pack_snapshot_ack(1)))
+    with pytest.raises(wire.WireFormatError):
+        wire.unpack_snapshot_ack(
+            bytes(wire.pack_store_snapshot([], 1, tenant=""))
+        )
+    with pytest.raises(wire.WireFormatError):
+        wire.unpack_store_snapshot(bytes(wire.pack_batch_request(["q"])))
+
+
+def test_snapshot_hostile_fragment_count_fails_closed():
+    """A forged count must be refused before any allocation loop."""
+    frame = bytearray(wire.pack_store_snapshot(["a"], 1, tenant="t"))
+    # nfrags u32 sits after header + i64 epoch + u16 tenant len + tenant.
+    offset = wire._HEADER.size + 8 + 2 + 1
+    frame[offset : offset + 4] = (2**32 - 1).to_bytes(4, "little")
+    with pytest.raises(wire.WireFormatError):
+        wire.unpack_store_snapshot(bytes(frame))
+
+
+def test_snapshot_refuses_oversized_vocabulary():
+    huge = ["x" * 1_000_000] * 20  # ~20MB > MAX_FRAME
+    with pytest.raises(wire.WireFormatError):
+        wire.pack_store_snapshot(huge, 1, tenant="t")
+
+
+# ---------------------------------------------------------------------------
 # Daemon-side decode + bounds (no child process required)
 # ---------------------------------------------------------------------------
 

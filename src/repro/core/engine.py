@@ -575,11 +575,14 @@ class JozaEngine:
             deadline = self.config.resilience.start_deadline()
 
         # Batch-level NTI candidate memo (exact: candidate_inputs depends
-        # on the query only through len(query)).
+        # on the query only through len(query)).  candidate_inputs returns
+        # an immutable tuple, so the memo hands the same object to every
+        # query of the batch -- and the NTI prefilter's per-query gram
+        # index rides the shared TextProfile for the same reuse.
         threshold = self.config.nti.threshold
-        memo: dict[int, list[str]] = {}
+        memo: dict[int, tuple[str, ...]] = {}
 
-        def candidates(query: str) -> list[str]:
+        def candidates(query: str) -> tuple[str, ...]:
             values = memo.get(len(query))
             if values is None:
                 values = memo[len(query)] = candidate_inputs(
@@ -1150,6 +1153,12 @@ class JozaEngine:
         report["attack_log_capacity"] = self.attack_log.capacity
         report["failure_policy"] = self.config.resilience.failure_policy.value
         report["deadline_seconds"] = self.config.resilience.deadline_seconds
+        filter_stats = getattr(self.nti, "filter_stats", None)
+        if callable(filter_stats):
+            # NTI prefilter effectiveness (seeds probed, prune rates,
+            # anchored-window coverage); guarded because tests install
+            # stand-in analyzers without the counters.
+            report["nti_filter"] = filter_stats()
         snapshot = getattr(self.daemon, "resilience_snapshot", None)
         if callable(snapshot):
             report["daemon"] = snapshot()

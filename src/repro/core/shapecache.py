@@ -47,6 +47,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..matching.filter import edit_budget
 from ..matching.substring import TextProfile
 from ..pti.caches import CacheStats
 from ..sqlparser.skeleton import LiteralSlot, Skeleton
@@ -442,7 +443,7 @@ class ShapePlan:
         if not self.tok_texts:
             return False
         n = len(value)
-        budget = int(threshold * n / (1.0 - threshold)) if threshold < 1.0 else n
+        budget = edit_budget(n, threshold) if threshold < 1.0 else n
         reach = n + budget
         if reach < self.min_token_len:
             return False

@@ -15,9 +15,24 @@ Public surface:
 - :func:`repro.matching.match_with_ratio` and
   :data:`repro.matching.DEFAULT_NTI_THRESHOLD` -- the paper's
   difference-ratio acceptance test.
+- :mod:`repro.matching.filter` -- the multi-candidate filter kernel:
+  q-gram pigeonhole prefilter with anchored verification
+  (:func:`qgram_filtered_match`) and packed multi-lane small-pattern
+  verification (:func:`packed_survivors`); :func:`edit_budget` is the
+  shared threshold-to-distance-budget arithmetic.
 """
 
 from .bitparallel import build_peq, levenshtein_bitparallel, substring_scan
+from .filter import (
+    QGRAM,
+    PACKED_MAX_PATTERN,
+    build_gram_index,
+    edit_budget,
+    packed_survivors,
+    pigeonhole_pieces,
+    qgram_applicable,
+    qgram_filtered_match,
+)
 from .levenshtein import (
     PHP_LEVENSHTEIN_LIMIT,
     levenshtein,
@@ -49,6 +64,14 @@ __all__ = [
     "levenshtein_two_row",
     "build_peq",
     "substring_scan",
+    "QGRAM",
+    "PACKED_MAX_PATTERN",
+    "build_gram_index",
+    "edit_budget",
+    "packed_survivors",
+    "pigeonhole_pieces",
+    "qgram_applicable",
+    "qgram_filtered_match",
     "DEFAULT_NTI_THRESHOLD",
     "RatioMatch",
     "difference_ratio",

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from .filter import edit_budget
 from .substring import SubstringMatch, TextProfile, best_substring_match
 
 __all__ = ["DEFAULT_NTI_THRESHOLD", "RatioMatch", "difference_ratio", "match_with_ratio"]
@@ -65,6 +66,9 @@ def match_with_ratio(
     *,
     matcher: str = "auto",
     profile: "TextProfile | Callable[[], TextProfile] | None" = None,
+    prefilter: bool = False,
+    bounds: bool = True,
+    stats=None,
 ) -> RatioMatch | None:
     """Locate ``pattern`` in ``text`` and accept it if the ratio clears ``threshold``.
 
@@ -80,7 +84,11 @@ def match_with_ratio(
     an optional precomputed :class:`TextProfile` of ``text`` -- or a lazy
     zero-argument factory for one -- so NTI can amortise the pruning tables
     across every input of a request without building them for inputs that
-    short-circuit on exact containment.
+    short-circuit on exact containment.  ``prefilter``/``stats`` enable the
+    q-gram pigeonhole prefilter and its counters, and ``bounds=False``
+    skips the char/bigram bound heuristics (see
+    :func:`repro.matching.substring.best_substring_match`); results are
+    byte-identical whichever pruning layers run.
 
     Returns ``None`` when no substring of ``text`` matches ``pattern``
     closely enough.
@@ -89,9 +97,16 @@ def match_with_ratio(
         raise ValueError("threshold must be in [0, 1)")
     if not pattern:
         return None
-    budget = int(threshold * len(pattern) / (1.0 - threshold)) if threshold else 0
+    budget = edit_budget(len(pattern), threshold)
     match = best_substring_match(
-        pattern, text, max_distance=budget, matcher=matcher, profile=profile
+        pattern,
+        text,
+        max_distance=budget,
+        matcher=matcher,
+        profile=profile,
+        prefilter=prefilter,
+        bounds=bounds,
+        stats=stats,
     )
     if match is None:
         return None

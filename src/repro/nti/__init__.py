@@ -2,6 +2,7 @@
 
 from .cache import NTIMatchCache, TextProfileCache
 from .inference import NTIAnalyzer, NTIConfig
+from .prefilter import PREFILTER_CHOICES, FilterStats
 from .sources import candidate_inputs
 
 __all__ = [
@@ -9,5 +10,7 @@ __all__ = [
     "NTIConfig",
     "NTIMatchCache",
     "TextProfileCache",
+    "PREFILTER_CHOICES",
+    "FilterStats",
     "candidate_inputs",
 ]

@@ -119,3 +119,19 @@ class TextProfileCache(_KeyedLRUCache):
         profile = TextProfile(query)
         self.store(query, profile)
         return profile
+
+    def peek(self, query: str) -> TextProfile | None:
+        """The cached profile if present, else ``None`` -- never builds.
+
+        Lets the batched prefilter reuse an already-materialised profile
+        (and its adaptive seed index) without forcing the ``O(query)``
+        table build for requests whose candidates all prune.  Refreshes
+        recency but does not touch the hit/miss stats: a peek-miss is not
+        a build the cache failed to amortise.
+        """
+        with self._lock:
+            store = self._store
+            profile = store.get(query)
+            if profile is not None:
+                store.move_to_end(query)
+        return profile  # type: ignore[return-value]

@@ -39,15 +39,37 @@ from dataclasses import dataclass
 
 from ..core.resilience import Deadline
 from ..core.verdict import AnalysisResult, Detection, TaintMarking, Technique
-from ..matching.ratio import DEFAULT_NTI_THRESHOLD, RatioMatch, match_with_ratio
-from ..matching.substring import MATCHER_CHOICES, TextProfile
+from ..matching.ratio import (
+    DEFAULT_NTI_THRESHOLD,
+    RatioMatch,
+    difference_ratio,
+    match_with_ratio,
+)
+from ..matching.substring import MATCHER_CHOICES, SubstringMatch, TextProfile
 from ..phpapp.context import RequestContext
 from ..sqlparser.parser import critical_tokens
 from ..sqlparser.tokens import Token
 from .cache import NTIMatchCache, TextProfileCache
+from .prefilter import (
+    FULL_SCAN,
+    MIN_PIECE,
+    PACKED_MAX_PATTERN,
+    PREFILTER_CHOICES,
+    FilterStats,
+    edit_budget,
+    packed_survivors,
+    qgram_applicable,
+    qgram_filtered_match,
+)
 from .sources import candidate_inputs
 
 __all__ = ["NTIConfig", "NTIAnalyzer"]
+
+# Amortisation guard for the batched front-end: the packed pass pays one
+# whole-query scan, which a handful of lanes cannot amortise, so below
+# this floor deferred candidates degrade to the plain per-value pipeline
+# (results are identical either way -- only work is routed).
+MIN_PACKED_LANES = 3
 
 
 @dataclass(frozen=True)
@@ -65,6 +87,13 @@ class NTIConfig:
             for tiny inputs), ``"dp"`` (Sellers oracle) or
             ``"bitparallel"``.  All produce identical matches; the knob
             exists for the matcher ablation and differential testing.
+        prefilter: candidate-filter selector -- ``"auto"`` (default:
+            q-gram pigeonhole prefilter plus packed multi-lane
+            verification for small candidates), ``"qgram"`` (pigeonhole
+            only) or ``"off"`` (no filtering).  Filters prune work, never
+            change results; with ``matcher="dp"`` no filtering is ever
+            applied regardless, keeping the DP pipeline the verbatim
+            differential oracle.
         match_cache_size: capacity of the cross-request ``(input, query)``
             match LRU; ``0`` disables it (the cache ablation setting).
         profile_cache_size: capacity of the query -> pruning-tables LRU;
@@ -75,6 +104,7 @@ class NTIConfig:
     threshold: float = DEFAULT_NTI_THRESHOLD
     min_input_length: int = 1
     matcher: str = "auto"
+    prefilter: str = "auto"
     match_cache_size: int = 4096
     profile_cache_size: int = 512
 
@@ -83,6 +113,11 @@ class NTIConfig:
             raise ValueError(
                 f"unknown matcher {self.matcher!r}; "
                 f"expected one of {MATCHER_CHOICES}"
+            )
+        if self.prefilter not in PREFILTER_CHOICES:
+            raise ValueError(
+                f"unknown prefilter {self.prefilter!r}; "
+                f"expected one of {PREFILTER_CHOICES}"
             )
 
 
@@ -107,6 +142,18 @@ class NTIAnalyzer:
             if self.config.profile_cache_size > 0
             else None
         )
+        self._stats = FilterStats()
+        # Filtering applies only off the DP-oracle pipeline and only under
+        # a valid threshold (an invalid one must keep raising through
+        # match_with_ratio exactly like the unfiltered path).
+        self._filter_active = (
+            self.config.prefilter != "off"
+            and self.config.matcher != "dp"
+            and 0.0 <= self.config.threshold < 1.0
+        )
+        self._pack_active = (
+            self._filter_active and self.config.prefilter == "auto"
+        )
 
     def cache_stats(self) -> dict[str, dict[str, float]]:
         """Hit/miss counters of both NTI caches (bench reporting hook)."""
@@ -122,7 +169,12 @@ class NTIAnalyzer:
                     "hit_rate": cache.stats.hit_rate,
                     "entries": len(cache),
                 }
+        out["filter"] = self._stats.as_dict()
         return out
+
+    def filter_stats(self) -> dict[str, float]:
+        """Prefilter effectiveness counters (see :class:`FilterStats`)."""
+        return self._stats.as_dict()
 
     def _profile_for(self, query: str, holder: list) -> TextProfile:
         """Lazily build/fetch the query's pruning tables (once per query).
@@ -145,8 +197,24 @@ class NTIAnalyzer:
             holder[0] = value
         return value
 
-    def _match(self, value: str, query: str, holder: list) -> RatioMatch | None:
-        """One memoised substring-match computation."""
+    def _match(
+        self,
+        value: str,
+        query: str,
+        holder: list,
+        filtered: bool | None = None,
+        bounds: bool = True,
+    ) -> RatioMatch | None:
+        """One memoised substring-match computation.
+
+        ``filtered`` overrides the analyzer-level prefilter activation:
+        the batched path passes ``False`` for candidates whose pigeonhole
+        probe already declined, so the pipeline does not probe them a
+        second time.  ``bounds=False`` additionally skips the char/bigram
+        bound heuristics -- and with them the ``O(query)`` profile-table
+        build -- for candidates the batch front end already knows the
+        bounds cannot prune.  Results are identical either way.
+        """
         cache = self.match_cache
         if cache is not None:
             hit, cached = cache.get(value, query)
@@ -160,10 +228,171 @@ class NTIAnalyzer:
             # Lazy: the pruning tables are only built/fetched if the match
             # gets past the exact-containment short circuit.
             profile=lambda: self._profile_for(query, holder),
+            prefilter=self._filter_active if filtered is None else filtered,
+            bounds=bounds,
+            stats=self._stats,
         )
         if cache is not None:
             cache.put(value, query, result)
         return result
+
+    def _match_packed(
+        self,
+        query: str,
+        values,
+        holder: list,
+        deadline: Deadline | None,
+    ) -> list[RatioMatch | None]:
+        """Resolve every candidate inline, batching small misses through one scan.
+
+        The batched front-end replicates the match pipeline's decision
+        tree without its per-value call stack: exact containment, the
+        zero-budget prune, and the pigeonhole probe (prune / exact
+        anchored match) all resolve in this loop.  Candidates split by
+        size: the packed regime (at most :data:`PACKED_MAX_PATTERN`
+        chars) skips the probe and is *deferred* -- the Myers lanes of
+        all deferred candidates are verified together by a single
+        :func:`~repro.matching.filter.packed_survivors` pass over the
+        query, and only surviving lanes pay for an exact match -- while
+        larger candidates are probed, and on a probe decline fall through
+        to the ordinary pipeline with the probe disabled (it already
+        declined once).  Returns one entry per value, order preserved,
+        each entry exactly what :meth:`_match` would have produced.
+        """
+        threshold = self.config.threshold
+        min_len = self.config.min_input_length
+        cache = self.match_cache
+        stats = self._stats
+        # Probe tier: pieces probe the query text directly via str.find
+        # unless this query's profile is already materialised (carried in
+        # by the caller, or cached from an earlier request), in which case
+        # its adaptive seed index can serve.  Never build tables just to
+        # probe -- a request whose candidates all prune stays O(probes).
+        seed_prof = holder[0]
+        if seed_prof is None and self.profile_cache is not None:
+            seed_prof = self.profile_cache.peek(query)
+        elif callable(seed_prof):
+            seed_prof = None
+        results: list[RatioMatch | None] = []
+        pending: list[int] = []
+        pending_budgets: list[int] = []
+        for value in values:
+            if deadline is not None:
+                deadline.check("nti")
+            n = len(value)
+            if n < min_len:
+                results.append(None)
+                continue
+            if cache is not None:
+                hit, cached = cache.get(value, query)
+                if hit:
+                    results.append(cached)
+                    continue
+            if not value:
+                results.append(self._match(value, query, holder))
+                continue
+            idx = query.find(value)
+            if idx >= 0:
+                # Byte-identical to the pipeline's exact containment
+                # short circuit (distance 0, ratio 0.0).
+                stats.exact_hits += 1
+                matched = RatioMatch(
+                    match=SubstringMatch(0, idx, idx + n), ratio=0.0
+                )
+                if cache is not None:
+                    cache.put(value, query, matched)
+                results.append(matched)
+                continue
+            budget = edit_budget(n, threshold)
+            if budget == 0:
+                # The containment probe missed and the budget admits no
+                # edits: provably no match, nothing left to compute.
+                stats.pruned_zero_budget += 1
+                if cache is not None:
+                    cache.put(value, query, None)
+                results.append(None)
+                continue
+            if budget < n and qgram_applicable(n, budget, MIN_PIECE):
+                grams = (
+                    seed_prof.seed_index() if seed_prof is not None else None
+                )
+                outcome = qgram_filtered_match(
+                    value,
+                    query,
+                    budget,
+                    grams,
+                    stats,
+                    seed_prof.bigram_index if grams is not None else None,
+                )
+                if outcome is None:
+                    if cache is not None:
+                        cache.put(value, query, None)
+                    results.append(None)
+                    continue
+                if outcome is not FULL_SCAN:
+                    # Mirror match_with_ratio's acceptance rule on the
+                    # exact anchored match.
+                    matched = SubstringMatch(*outcome)
+                    ratio = difference_ratio(matched)
+                    resolved = (
+                        RatioMatch(match=matched, ratio=ratio)
+                        if ratio <= threshold
+                        else None
+                    )
+                    if cache is not None:
+                        cache.put(value, query, resolved)
+                    results.append(resolved)
+                    continue
+                if n <= PACKED_MAX_PATTERN:
+                    # Seed-rich small candidate: defer to the shared packed
+                    # verification pass instead of a per-value scan.
+                    pending.append(len(results))
+                    pending_budgets.append(budget)
+                    results.append(None)  # placeholder, fixed up below
+                    continue
+                # Probe declined on a larger candidate: run the ordinary
+                # pipeline (char/bigram bounds still prune many of these
+                # cheaply) without probing a second time.
+                stats.fallthrough_full_scan += 1
+                results.append(self._match(value, query, holder, filtered=False))
+                continue
+            if budget < n and n <= PACKED_MAX_PATTERN:
+                # Pieces would be too narrow to probe: small candidates
+                # ride the packed lanes.
+                pending.append(len(results))
+                pending_budgets.append(budget)
+                results.append(None)  # placeholder, fixed up below
+                continue
+            results.append(self._match(value, query, holder))
+        if pending and len(pending) < MIN_PACKED_LANES:
+            # Too few lanes to amortise a whole-query packed scan: resolve
+            # them through the plain pipeline instead (short patterns, so
+            # a direct scan beats materialising bound tables).
+            for i in pending:
+                results[i] = self._match(
+                    values[i], query, holder, filtered=False, bounds=False
+                )
+            pending = []
+        if pending:
+            if deadline is not None:
+                deadline.check("nti")
+            survivors = packed_survivors(
+                [values[i] for i in pending], pending_budgets, query, stats
+            )
+            for i, alive in zip(pending, survivors):
+                value = values[i]
+                if alive:
+                    # The lane's scan proved a within-budget match exists,
+                    # so the bounds cannot prune: go straight to the core.
+                    stats.packed_verified += 1
+                    results[i] = self._match(
+                        value, query, holder, filtered=False, bounds=False
+                    )
+                elif cache is not None:
+                    # A pruned lane is a proof of no match within budget:
+                    # memoise the negative result like the exact path does.
+                    cache.put(value, query, None)
+        return results
 
     def analyze(
         self,
@@ -212,12 +441,27 @@ class NTIAnalyzer:
         profile_holder: list = [profile]
         if values is None:
             values = candidate_inputs(context, query, self.config.threshold)
-        for value in values:
-            if deadline is not None:
-                deadline.check("nti")
-            if len(value) < self.config.min_input_length:
-                continue
-            matched = self._match(value, query, profile_holder)
+        # Packed mode resolves all candidates up front (small cache-misses
+        # share one multi-lane scan); otherwise each value is matched
+        # inline.  Either way the per-value order, deadline checks and
+        # cache traffic are identical.
+        matches = (
+            self._match_packed(query, values, profile_holder, deadline)
+            if self._pack_active
+            else None
+        )
+        min_len = self.config.min_input_length
+        for index, value in enumerate(values):
+            if matches is not None:
+                matched = matches[index]
+                if matched is None:
+                    continue
+            else:
+                if deadline is not None:
+                    deadline.check("nti")
+                if len(value) < min_len:
+                    continue
+                matched = self._match(value, query, profile_holder)
             if matched is None:
                 continue
             # Hoist the span once (RatioMatch.start/end are forwarding

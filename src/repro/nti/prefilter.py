@@ -1,0 +1,148 @@
+"""NTI-side policy layer for the multi-candidate filter kernel.
+
+:mod:`repro.matching.filter` supplies the mechanism (q-gram pigeonhole
+windows, packed multi-lane verification); this module supplies the policy
+and the observability:
+
+- :data:`PREFILTER_CHOICES` -- the ``NTIConfig.prefilter`` selector.
+  ``"off"`` disables all filtering (the differential-oracle setting:
+  combined with ``matcher="dp"`` it is the verbatim unfiltered pipeline
+  every property test compares against).  ``"qgram"`` enables only the
+  pigeonhole prefilter.  ``"auto"`` (the production default) additionally
+  routes the small-candidate regime -- patterns the pigeonhole cannot
+  split into probe-able pieces -- through the packed multi-lane scan.
+- :class:`FilterStats` -- plain unlocked counters (the
+  :class:`~repro.nti.cache.CacheStats` convention) recording filter
+  effectiveness: seeds probed, candidates pruned by each mechanism,
+  packed-lane verifications, anchored-window coverage.  Surfaced through
+  ``NTIAnalyzer.filter_stats()`` into ``cache_stats()["nti"]`` and the
+  engine's ``resilience_report()``, and consumed by the ablation bench's
+  pruning-rate sidecar.
+- :func:`packable` -- the routing predicate for the packed regime.
+
+Filtering is *never* applied when ``matcher="dp"`` is selected: the DP
+pipeline stays byte-for-byte the paper's oracle regardless of the
+``prefilter`` setting.
+"""
+
+from __future__ import annotations
+
+from ..matching.filter import (
+    FULL_SCAN,
+    MIN_PIECE,
+    PACKED_MAX_PATTERN,
+    edit_budget,
+    packed_survivors,
+    qgram_applicable,
+    qgram_filtered_match,
+)
+
+__all__ = [
+    "PREFILTER_CHOICES",
+    "FilterStats",
+    "packable",
+    "edit_budget",
+    "packed_survivors",
+    "qgram_applicable",
+    "qgram_filtered_match",
+    "FULL_SCAN",
+    "MIN_PIECE",
+    "PACKED_MAX_PATTERN",
+]
+
+#: Accepted values for :attr:`repro.nti.inference.NTIConfig.prefilter`.
+PREFILTER_CHOICES = ("auto", "off", "qgram")
+
+
+class FilterStats:
+    """Effectiveness counters for the NTI filter kernel.
+
+    Plain unlocked ``int`` attributes, incremented in place by the
+    matching layer (GIL-atomic enough for observability; the same
+    convention as the cache hit counters).  All derived ratios are
+    computed in :meth:`as_dict` so the hot path only ever does ``+=``.
+    """
+
+    __slots__ = (
+        "seeds_probed",
+        "seed_hits",
+        "pruned_qgram",
+        "pruned_zero_budget",
+        "anchored_scans",
+        "anchored_window_chars",
+        "anchored_text_chars",
+        "fallthrough_full_scan",
+        "packed_scans",
+        "packed_lanes",
+        "pruned_packed",
+        "packed_verified",
+        "exact_hits",
+    )
+
+    def __init__(self) -> None:
+        #: pigeonhole pieces probed against the gram index
+        self.seeds_probed = 0
+        #: probes whose piece occurred verbatim (seed windows opened)
+        self.seed_hits = 0
+        #: candidates proven matchless by the pigeonhole (no scan run)
+        self.pruned_qgram = 0
+        #: zero-budget candidates resolved by the containment probe alone
+        self.pruned_zero_budget = 0
+        #: candidates verified by anchored (windowed) scans
+        self.anchored_scans = 0
+        #: total text chars covered by merged anchor windows
+        self.anchored_window_chars = 0
+        #: total text chars the unfiltered scans would have covered
+        self.anchored_text_chars = 0
+        #: candidates where the filter declined and the full scan ran
+        self.fallthrough_full_scan = 0
+        #: packed multi-lane scan invocations
+        self.packed_scans = 0
+        #: candidate lanes carried by those scans
+        self.packed_lanes = 0
+        #: lanes proven matchless by the packed scan
+        self.pruned_packed = 0
+        #: packed survivors re-verified by the exact matcher
+        self.packed_verified = 0
+        #: candidates resolved by the exact-containment fast path
+        self.exact_hits = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat float mapping for ``cache_stats()`` / bench sidecars."""
+        anchored = self.anchored_scans
+        probed = self.pruned_qgram + anchored
+        packed = self.packed_lanes
+        return {
+            "seeds_probed": float(self.seeds_probed),
+            "seed_hits": float(self.seed_hits),
+            "pruned_qgram": float(self.pruned_qgram),
+            "pruned_zero_budget": float(self.pruned_zero_budget),
+            "anchored_scans": float(self.anchored_scans),
+            "anchored_window_chars": float(self.anchored_window_chars),
+            "anchored_text_chars": float(self.anchored_text_chars),
+            "anchored_window_fraction": (
+                self.anchored_window_chars / self.anchored_text_chars
+                if self.anchored_text_chars
+                else 0.0
+            ),
+            "fallthrough_full_scan": float(self.fallthrough_full_scan),
+            "qgram_prune_rate": (self.pruned_qgram / probed) if probed else 0.0,
+            "packed_scans": float(self.packed_scans),
+            "packed_lanes": float(self.packed_lanes),
+            "pruned_packed": float(self.pruned_packed),
+            "packed_verified": float(self.packed_verified),
+            "packed_prune_rate": (self.pruned_packed / packed) if packed else 0.0,
+            "exact_hits": float(self.exact_hits),
+        }
+
+
+def packable(value: str, budget: int) -> bool:
+    """Whether a candidate belongs to the packed small-pattern regime.
+
+    Complements :func:`repro.matching.filter.qgram_applicable`: patterns
+    too short for the pigeonhole split (so the q-gram filter cannot touch
+    them) but with a budget strictly below their length (so the packed
+    scan's "score never within budget" outcome is a real proof of
+    no-match rather than vacuous).
+    """
+    return 0 < len(value) <= PACKED_MAX_PATTERN and budget < len(value)

@@ -2,27 +2,90 @@
 
 NTI iterates over "each input source S, for each input p in S" (paper
 Section III-A pseudo-code).  This module turns a captured
-:class:`~repro.phpapp.context.RequestContext` into the candidate list that
-feeds the matcher, applying the cheap filters that keep NTI fast:
+:class:`~repro.phpapp.context.RequestContext` into the candidate tuple
+that feeds the matcher, applying the cheap filters that keep NTI fast:
 
 - empty values carry no taint and are dropped;
 - values longer than the query plus the edit budget cannot match any
-  substring and are dropped (the "skip implausible comparisons" heuristic);
+  substring and are dropped (the "skip implausible comparisons"
+  heuristic);
 - duplicates (the same value arriving via two parameters) are matched once.
+
+The length filter used to recompute ``int(threshold * n / (1 - threshold))``
+per value per query.  The drop condition ``n - len(query) > budget(n)``
+depends only on ``n`` and is monotone in it (see :func:`_length_cutoff`),
+so it collapses to a single integer cutoff per ``(threshold, query
+length)`` pair -- computed once, memoised, and applied as one comparison
+per value.  The result is an immutable tuple so the engine's per-batch
+candidate memo (and any other cross-request reuse) can hand the same
+object to every consumer without defensive copies.
 """
 
 from __future__ import annotations
 
+from ..matching.filter import edit_budget
 from ..phpapp.context import RequestContext
 
 __all__ = ["candidate_inputs"]
+
+#: ``(threshold, query_length) -> max keepable input length`` (``None`` =
+#: no limit).  Thresholds come from fixed configs and query lengths are
+#: small integers, so the table stays tiny; the cap is a safety valve.
+_CUTOFF_CACHE: dict[tuple[float, int], int | None] = {}
+_CUTOFF_CACHE_MAX = 4096
+
+_EMPTY: tuple[str, ...] = ()
+
+
+def _length_cutoff(threshold: float, qlen: int) -> int | None:
+    """Largest input length that can survive the budget filter.
+
+    A value of length ``n`` is kept iff ``n - qlen <= budget(n)`` with
+    ``budget(n) = int(threshold * n / (1 - threshold))`` (see
+    :func:`repro.matching.filter.edit_budget`).  Writing ``g(n) = n -
+    budget(n)``, the keep condition is ``g(n) <= qlen`` and ``g`` is
+    non-decreasing whenever ``threshold / (1 - threshold) < 1``: the
+    truncated budget grows by at most one per unit of ``n`` (and shrinks
+    for the degenerate negative-ratio case), so ``g`` never decreases.
+    The kept lengths therefore form a prefix ``n <= cutoff`` found by
+    binary search.  For ``threshold >= 0.5`` the ratio is ``>= 1``, the
+    budget dominates ``n`` outright and every length survives (``None``).
+    """
+    if not threshold:
+        return qlen
+    ratio = threshold / (1.0 - threshold)
+    if ratio >= 1.0:
+        return None
+    # g(0) = 0 <= qlen always, so the cutoff is >= 0; the linear lower
+    # bound g(n) >= n * (1 - ratio) caps the search range.
+    lo = 0
+    hi = int((qlen + 1) / (1.0 - ratio)) + 2
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if mid - edit_budget(mid, threshold) <= qlen:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def _cutoff_for(threshold: float, qlen: int) -> int | None:
+    key = (threshold, qlen)
+    try:
+        return _CUTOFF_CACHE[key]
+    except KeyError:
+        cutoff = _length_cutoff(threshold, qlen)
+        if len(_CUTOFF_CACHE) >= _CUTOFF_CACHE_MAX:
+            _CUTOFF_CACHE.clear()
+        _CUTOFF_CACHE[key] = cutoff
+        return cutoff
 
 
 def candidate_inputs(
     context: RequestContext,
     query: str,
     threshold: float,
-) -> list[str]:
+) -> tuple[str, ...]:
     """Input values worth running the substring matcher on.
 
     The length cutoff is derived from the threshold exactly like the match
@@ -31,17 +94,14 @@ def candidate_inputs(
     (1 - threshold)``, and the matched substring is at most the whole query,
     so inputs with ``n - len(query) > budget`` can never pass.
     """
+    cutoff = _cutoff_for(threshold, len(query))
     seen: set[str] = set()
     out: list[str] = []
-    qlen = len(query)
     for value in context.values():
         if not value or value in seen:
             continue
         seen.add(value)
-        budget = (
-            int(threshold * len(value) / (1.0 - threshold)) if threshold else 0
-        )
-        if len(value) - qlen > budget:
+        if cutoff is not None and len(value) > cutoff:
             continue
         out.append(value)
-    return out
+    return tuple(out) if out else _EMPTY

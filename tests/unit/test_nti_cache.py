@@ -103,7 +103,11 @@ def test_analyzer_caches_disabled_with_zero_sizes():
     assert not nti.analyze(
         f"SELECT * FROM t WHERE ID={payload}", ctx(payload)
     ).safe
-    assert nti.cache_stats() == {}
+    # No cache sections; only the (cache-independent) filter counters.
+    stats = nti.cache_stats()
+    assert "match" not in stats
+    assert "profile" not in stats
+    assert set(stats) == {"filter"}
 
 
 def test_repeat_analysis_hits_match_cache():
@@ -148,5 +152,5 @@ def test_engine_surfaces_nti_cache_stats():
     context = RequestContext(inputs=[CapturedInput("get", "id", "1")])
     engine.inspect("SELECT * FROM t WHERE ID=1", context)
     stats = engine.nti_cache_stats()
-    assert set(stats) == {"match", "profile"}
+    assert set(stats) == {"match", "profile", "filter"}
     assert '"nti_caches"' in engine.export_attack_log()

@@ -112,17 +112,17 @@ def test_detection_spans_point_into_query():
 
 def test_candidate_inputs_deduplicates():
     context = ctx("same", "same", "other")
-    assert candidate_inputs(context, "query " * 10, 0.2) == ["same", "other"]
+    assert candidate_inputs(context, "query " * 10, 0.2) == ("same", "other")
 
 
 def test_candidate_inputs_drops_empty():
-    assert candidate_inputs(ctx(""), "q", 0.2) == []
+    assert candidate_inputs(ctx(""), "q", 0.2) == ()
 
 
 def test_candidate_inputs_length_prune():
     # An input vastly longer than the query cannot match any substring.
     huge = "x" * 1000
-    assert candidate_inputs(ctx(huge), "short query", 0.2) == []
+    assert candidate_inputs(ctx(huge), "short query", 0.2) == ()
     # But a slightly longer input survives the budgeted bound.
     slightly = "x" * 12
-    assert candidate_inputs(ctx(slightly), "x" * 10, 0.2) == [slightly]
+    assert candidate_inputs(ctx(slightly), "x" * 10, 0.2) == (slightly,)

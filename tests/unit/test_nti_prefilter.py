@@ -1,0 +1,257 @@
+"""Unit tests for the NTI filter kernel (q-gram pigeonhole + packing)."""
+
+import pytest
+
+from repro.matching.filter import (
+    FULL_SCAN,
+    PACKED_MAX_PATTERN,
+    QGRAM,
+    build_gram_index,
+    build_seed_indexes,
+    edit_budget,
+    packed_survivors,
+    pigeonhole_pieces,
+    qgram_applicable,
+    qgram_filtered_match,
+)
+from repro.matching.substring import TextProfile, best_substring_match
+from repro.nti import FilterStats, NTIAnalyzer, NTIConfig
+from repro.nti.prefilter import packable
+from repro.phpapp.context import CapturedInput, RequestContext
+
+
+def ctx(*values):
+    return RequestContext(
+        inputs=[CapturedInput("get", f"p{i}", v) for i, v in enumerate(values)]
+    )
+
+
+# -- primitives ---------------------------------------------------------
+
+
+def test_edit_budget_matches_ratio_arithmetic():
+    assert edit_budget(17, 0.20) == int(0.20 * 17 / 0.80)
+    assert edit_budget(100, 0.0) == 0
+    assert edit_budget(0, 0.33) == 0
+
+
+def test_pigeonhole_pieces_partition_the_pattern():
+    for length in (6, 7, 11, 30):
+        for budget in (0, 1, 2, 3):
+            pieces = pigeonhole_pieces(length, budget)
+            assert len(pieces) == budget + 1
+            assert sum(plen for _, plen in pieces) == length
+            assert pieces[0][0] == 0
+            for (off_a, len_a), (off_b, _) in zip(pieces, pieces[1:]):
+                assert off_a + len_a == off_b
+            lengths = [plen for _, plen in pieces]
+            assert max(lengths) - min(lengths) <= 1
+
+
+def test_build_gram_index_positions():
+    index = build_gram_index("abcabc")
+    assert index["abc"] == [0, 3]
+    assert index["bca"] == [1]
+    assert "xyz" not in index
+    assert build_gram_index("ab") == {}  # shorter than one gram
+
+
+def test_build_seed_indexes_match_single_pass_builders():
+    text = "SELECT * FROM t WHERE ID=1"
+    trigrams, bigrams = build_seed_indexes(text)
+    assert trigrams == build_gram_index(text)
+    assert bigrams["SE"] == [0]
+    assert bigrams["ID"] == [len(text) - 4]
+    assert all(
+        text[p : p + 2] == gram for gram, ps in bigrams.items() for p in ps
+    )
+
+
+def test_qgram_applicable_boundaries():
+    # Every piece must be at least QGRAM chars wide.
+    assert qgram_applicable(QGRAM, 0)
+    assert not qgram_applicable(QGRAM - 1, 0)
+    assert qgram_applicable(2 * QGRAM, 1)
+    assert not qgram_applicable(2 * QGRAM - 1, 1)
+    assert not qgram_applicable(10, None)
+
+
+def test_qgram_filter_prunes_without_scanning():
+    stats = FilterStats()
+    grams = build_gram_index("SELECT * FROM t WHERE ID=1")
+    # No 3-gram of the pattern occurs in the text: proven no-match.
+    assert qgram_filtered_match("zzzzzzzzzz", "SELECT * FROM t WHERE ID=1", 2, grams, stats) is None
+    assert stats.pruned_qgram == 1
+    assert stats.anchored_scans == 0
+
+
+def test_qgram_filter_matches_oracle_spans():
+    text = "UPDATE users SET pw='x' WHERE name='admin' OR '1'='1'"
+    for pattern, threshold in [
+        ("admin' OR '1'='1", 0.25),
+        ("WHERE name=", 0.2),
+        ("'x' WHERE", 0.1),
+    ]:
+        budget = edit_budget(len(pattern), threshold)
+        if text.find(pattern) >= 0 or not qgram_applicable(len(pattern), budget):
+            continue
+        got = qgram_filtered_match(pattern, text, budget, build_gram_index(text))
+        oracle = best_substring_match(pattern, text, budget, matcher="dp")
+        if got is FULL_SCAN:
+            continue
+        if oracle is None:
+            assert got is None
+        else:
+            assert got == (oracle.distance, oracle.start, oracle.end)
+
+
+def test_qgram_filter_declines_when_windows_cover_text():
+    # Seeds everywhere: merged windows span the text, filter must decline
+    # rather than scan the whole text twice.
+    text = "abcabcabcabcabc"
+    grams = build_gram_index(text)
+    assert qgram_filtered_match("abcabcabc", text, 1, grams) in (FULL_SCAN,)
+
+
+# -- packed small-candidate scan ---------------------------------------
+
+
+def test_packed_survivors_exact_outcomes():
+    text = "SELECT * FROM t WHERE ID=1"
+    patterns = ["ID=1", "zzzz", "WHERE", "qqq"]
+    budgets = [0, 1, 1, 0]
+    alive = packed_survivors(patterns, budgets, text)
+    assert alive[0] is True      # verbatim substring
+    assert alive[1] is False     # nothing close
+    assert alive[2] is True      # verbatim substring, budget 1
+    assert alive[3] is False
+
+
+def test_packed_survivors_agree_with_oracle_per_lane():
+    text = "INSERT INTO logs VALUES('a','b')"
+    patterns = ["logs", "lgs", "VALU", "xyzw", "('a'", "b')", "IN", "QQ"]
+    budgets = [min(len(p) - 1, 1) for p in patterns]
+    alive = packed_survivors(patterns, budgets, text)
+    for pattern, budget, survived in zip(patterns, budgets, alive):
+        oracle = best_substring_match(pattern, text, budget, matcher="dp")
+        if oracle is not None:
+            assert survived
+        if not survived:
+            assert oracle is None
+
+
+def test_packed_survivors_chunks_past_lane_cap():
+    text = "abcdefgh" * 4
+    patterns = ["abc"] * 70 + ["zzz"] * 70
+    budgets = [0] * 140
+    alive = packed_survivors(patterns, budgets, text)
+    assert alive[:70] == [True] * 70
+    assert alive[70:] == [False] * 70
+
+
+def test_packed_survivors_empty_input():
+    assert packed_survivors([], [], "anything") == []
+
+
+def test_packable_predicate():
+    assert packable("abc", 1)
+    assert not packable("abc", 3)                      # budget >= length
+    assert not packable("x" * (PACKED_MAX_PATTERN + 1), 1)
+    assert not packable("", 0)
+
+
+# -- profile integration ------------------------------------------------
+
+
+def test_text_profile_gram_index_is_lazy_and_shared():
+    profile = TextProfile("SELECT 1")
+    first = profile.gram_index()
+    assert first["SEL"] == [0]
+    assert profile.gram_index() is first  # built once, reused
+
+
+def test_from_tables_profile_builds_gram_index():
+    base = TextProfile("SELECT 1")
+    assembled = TextProfile.from_tables("SELECT 1", base._chars, base._bigrams)
+    assert assembled.gram_index() == base.gram_index()
+
+
+# -- analyzer integration ----------------------------------------------
+
+
+def test_nti_config_rejects_unknown_prefilter():
+    with pytest.raises(ValueError):
+        NTIConfig(prefilter="bloom")
+
+
+def test_prefilter_choices_are_config_compatible():
+    for choice in ("auto", "off", "qgram"):
+        NTIConfig(prefilter=choice)
+
+
+def test_filtered_analyzer_equals_oracle_on_attack_and_benign():
+    query = "SELECT * FROM t WHERE ID=-1 OR 1=1"
+    attack = ctx("-1 OR 1=1", "benign comment body", "tiny")
+    for prefilter in ("auto", "qgram", "off"):
+        nti = NTIAnalyzer(NTIConfig(prefilter=prefilter))
+        oracle = NTIAnalyzer(NTIConfig(matcher="dp", prefilter="off"))
+        got = nti.analyze(query, attack)
+        want = oracle.analyze(query, attack)
+        assert got.safe == want.safe is False
+        assert got.markings == want.markings
+        assert got.detections == want.detections
+
+
+def test_filter_stats_surface_and_count():
+    nti = NTIAnalyzer(NTIConfig())
+    # The query carries every *bigram* of "abcdefghijklmnop" but none of
+    # its trigrams: the value is pruned by the pigeonhole probe (where the
+    # plain bigram bound would have let it through to a scan).  "WHERE
+    # IX=1" seeds an anchored scan; "zz" has edit budget zero, so the
+    # missed containment probe alone settles it.  The "qq"/"ww"/"vv"
+    # fillers pad the request past the probe amortisation floor.
+    query = (
+        "SELECT * FROM t WHERE ID=1 AND col='filler filler filler filler'"
+        " -- ab bc cd de ef fg gh hi ij jk kl lm mn no op"
+    )
+    nti.analyze(
+        query, ctx("abcdefghijklmnop", "WHERE IX=1", "zz", "qq", "ww", "vv")
+    )
+    stats = nti.filter_stats()
+    assert stats["pruned_qgram"] >= 1
+    assert stats["anchored_scans"] >= 1
+    assert stats["seeds_probed"] >= 1
+    assert stats["pruned_zero_budget"] >= 1
+    assert nti.cache_stats()["filter"] == stats
+    # Seed-rich degenerate text plus enough small candidates to clear the
+    # lane amortisation floor: they ride the packed lane path together.
+    nti.analyze("abcabcabcabcabc", ctx("abcXYZ", "abcQRS", "abcJKL"))
+    stats = nti.filter_stats()
+    assert stats["packed_lanes"] >= 3
+    assert stats["pruned_packed"] >= 3
+
+
+def test_dp_matcher_is_never_filtered():
+    nti = NTIAnalyzer(NTIConfig(matcher="dp", prefilter="auto"))
+    nti.analyze(
+        "SELECT * FROM t WHERE ID=1",
+        ctx("completely unrelated paragraph text", "zz"),
+    )
+    stats = nti.filter_stats()
+    assert all(v == 0 for v in stats.values())
+
+
+def test_packed_negative_results_are_cached():
+    nti = NTIAnalyzer(NTIConfig())
+    # Small candidates far from any query substring (distance 3 > budget
+    # 1): the packed lanes prune all three, and the negative results must
+    # be memoised like any other.
+    query = "abcabcabcabcabc"
+    context = ctx("abcXYZ", "abcQRS", "abcJKL")
+    assert nti.analyze(query, context).safe
+    assert nti.filter_stats()["pruned_packed"] >= 3
+    misses = nti.cache_stats()["match"]["misses"]
+    assert nti.analyze(query, context).safe
+    after = nti.cache_stats()["match"]
+    assert after["misses"] == misses  # second pass served from cache
+    assert after["hits"] >= 1

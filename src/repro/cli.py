@@ -130,9 +130,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="base RNG seed for workers"
     )
     serve.add_argument(
+        "--state-dir", metavar="DIR",
+        help="durable state directory (WAL journal + checkpoints); the "
+        "gateway restores vocabulary, tenant overlays and the attack "
+        "audit trail from it before accepting, and refuses to start on "
+        "corrupt state (DESIGN.md section 15)",
+    )
+    serve.add_argument(
+        "--fsync", choices=["always", "batch", "never"], default="batch",
+        help="journal fsync policy: per-append / group commit (default) / "
+        "OS-buffered",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=512, metavar="N",
+        help="journal records between compacting checkpoint snapshots",
+    )
+    serve.add_argument(
         "--selfcheck", action="store_true",
         help="start the gateway, round-trip one attack + one benign query "
-        "against a direct in-process engine, exit nonzero on divergence",
+        "against a direct in-process engine, then kill and restore from "
+        "the state dir asserting byte-identical verdicts; exit nonzero "
+        "on divergence",
     )
     return parser
 
@@ -337,6 +355,9 @@ def _serve_gateway(args, out):
         overload_policy=policy,
         seed=args.seed,
         tenants=_serve_tenants(args),
+        state_dir=args.state_dir,
+        fsync_policy=args.fsync,
+        checkpoint_every=args.checkpoint_every,
     )
     return AsyncGateway(
         _serve_fragments(args),
@@ -346,53 +367,108 @@ def _serve_gateway(args, out):
     )
 
 
+def _selfcheck_round_trip(gateway, queries, inputs):
+    """Start a gateway thread, inspect the selfcheck batch, return verdicts.
+
+    The caller owns stopping the thread (drain vs kill semantics differ
+    between the two selfcheck legs)."""
+    from .service import GatewayClient, GatewayThread
+
+    thread = GatewayThread(gateway).start()
+    client = GatewayClient(
+        unix_path=gateway.gw.unix_path,
+        host=gateway.gw.host,
+        port=gateway.gw.port,
+        client_id="selfcheck",
+    )
+    try:
+        return thread, client.inspect(queries, inputs=inputs, budget=None)
+    finally:
+        client.close()
+
+
 def _serve_selfcheck(gateway, args, out) -> int:
     """Round-trip one benign + one attack query; nonzero on divergence.
 
-    Divergence means the gateway's verdicts differ from a direct
-    in-process ``inspect_batch`` over the same fragments and config, or
-    the attack came back safe (a fail-open, the one unforgivable state).
+    Two legs.  Leg one: verdicts through the live gateway must match a
+    direct in-process ``inspect_batch`` over the same fragments and
+    config, and the attack must come back unsafe (fail-open is the one
+    unforgivable state).  Leg two (restart): the gateway is killed
+    crash-shaped -- no drain, no final checkpoint -- and a fresh gateway
+    restores from the state dir; its verdicts must be byte-identical to
+    the pre-crash ones and the journaled attack evidence must survive.
+    With no ``--state-dir``, a temporary directory hosts the restart leg
+    so the durability path is always exercised.
     """
+    import shutil
+    import tempfile
+
     from .core import JozaEngine
     from .phpapp.context import CapturedInput, RequestContext
-    from .service import GatewayClient, GatewayThread
-    from .service.codec import verdict_to_dict
+    from .service.codec import encode_verdict, verdict_to_dict
 
     benign_query, benign_value = _SELFCHECK_BENIGN
     attack_query, attack_value = _SELFCHECK_ATTACK
     queries = [benign_query, attack_query]
     inputs = [("get", "p0", benign_value), ("get", "p1", attack_value)]
-    thread = GatewayThread(gateway).start()
+    failures = []
+
+    temp_dir = None
+    if gateway.gw.state_dir is None:
+        temp_dir = tempfile.mkdtemp(prefix="joza-selfcheck-")
+        gateway.gw.state_dir = temp_dir
+
+    # Leg 1: live gateway, then a crash-shaped kill (no final checkpoint,
+    # so the restart leg exercises real journal replay).
+    thread, via_gateway = _selfcheck_round_trip(gateway, queries, inputs)
+    thread.stop(drain=False)
+
+    # Leg 2: restore from the state dir and re-inspect.
+    restarted = _serve_gateway(args, out)
+    restarted.gw.state_dir = gateway.gw.state_dir
     try:
-        client = GatewayClient(
-            unix_path=gateway.gw.unix_path,
-            host=gateway.gw.host,
-            port=gateway.gw.port,
-            client_id="selfcheck",
+        thread2, after_restart = _selfcheck_round_trip(
+            restarted, queries, inputs
         )
-        try:
-            via_gateway = client.inspect(queries, inputs=inputs, budget=None)
-        finally:
-            client.close()
+        drained = thread2.stop()
     finally:
-        drained = thread.stop()
-    engine = JozaEngine.from_fragments(gateway.fragments, gateway.config)
+        if temp_dir is not None:
+            shutil.rmtree(temp_dir, ignore_errors=True)
+
+    engine = JozaEngine.from_fragments(restarted.fragments, restarted.config)
     context = RequestContext(
         inputs=[CapturedInput(s, n, v) for s, n, v in inputs]
     )
     direct = [
         verdict_to_dict(v) for v in engine.inspect_batch(queries, context)
     ]
-    failures = []
+    restart_parity = [encode_verdict(d) for d in after_restart] == [
+        encode_verdict(d) for d in via_gateway
+    ]
     if via_gateway != direct:
         failures.append("gateway verdicts diverge from in-process engine")
-    if via_gateway[1]["safe"]:
+    if via_gateway[1]["safe"] or after_restart[1]["safe"]:
         failures.append("attack query came back safe through the gateway")
+    if not restart_parity:
+        failures.append(
+            "restart: restored gateway verdicts diverge from pre-crash"
+        )
+    if restarted.fragments != gateway.fragments:
+        failures.append("restart: vocabulary not restored from state dir")
+    recovered = restarted.durable.recovered if restarted.durable else None
+    if recovered is None or not recovered.audit:
+        failures.append("restart: journaled attack evidence did not survive")
     if not drained:
         failures.append("gateway did not drain cleanly")
     print(f"benign via gateway: safe={via_gateway[0]['safe']}", file=out)
     print(f"attack via gateway: safe={via_gateway[1]['safe']}", file=out)
     print(f"parity with direct engine: {via_gateway == direct}", file=out)
+    print(
+        f"restart: source={recovered.source if recovered else 'none'} "
+        f"byte-identical={restart_parity} "
+        f"audit_survived={bool(recovered and recovered.audit)}",
+        file=out,
+    )
     print(f"drained: {drained}", file=out)
     if failures:
         for failure in failures:
@@ -425,6 +501,15 @@ def _cmd_serve(args, out) -> int:
             print(
                 f"tenants={len(gw.gw.tenants)} over "
                 f"{len(gw.fragments)} shared base fragments",
+                file=out,
+            )
+        if gw.durable is not None:
+            recovery = gw.durable.recovered
+            print(
+                f"durable state: {gw.gw.state_dir} "
+                f"(fsync={gw.gw.fsync_policy}, "
+                f"restored {len(gw.fragments)} fragments "
+                f"from {recovery.source})",
                 file=out,
             )
         print("", file=out, end="", flush=True)

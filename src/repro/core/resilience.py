@@ -475,9 +475,30 @@ class RingLog:
     drop).  Every mutation and the drop counter therefore share one lock;
     iteration snapshots the deque so concurrent appends never invalidate a
     reader mid-walk.
+
+    Persistence: :meth:`attach_sink` registers a callable that receives
+    every appended record (the durability layer journals it; DESIGN.md
+    section 15).  With a sink attached, eviction stops meaning *lost*
+    attack evidence -- the ring bounds memory while the journal keeps the
+    full trail -- so drops-with-a-sink are counted separately as
+    :attr:`drops_recovered`.  A raising sink must never take the guard's
+    audit path down with it: the record still lands in the ring, the
+    failure is counted in :attr:`sink_failures`, and the error is
+    swallowed (availability of the in-memory log wins; durability gaps
+    are surfaced through the counter, not through an exception on the
+    block path).
     """
 
-    __slots__ = ("_capacity", "_items", "_lock", "dropped_records")
+    __slots__ = (
+        "_capacity",
+        "_items",
+        "_lock",
+        "_sink",
+        "dropped_records",
+        "drops_recovered",
+        "persisted_records",
+        "sink_failures",
+    )
 
     def __init__(self, capacity: int = 10_000) -> None:
         if capacity < 1:
@@ -485,16 +506,36 @@ class RingLog:
         self._capacity = capacity
         self._items: "collections.deque" = collections.deque(maxlen=capacity)
         self._lock = threading.Lock()
+        self._sink: typing.Callable[[typing.Any], None] | None = None
         self.dropped_records = 0
+        self.drops_recovered = 0
+        self.persisted_records = 0
+        self.sink_failures = 0
 
     @property
     def capacity(self) -> int:
         return self._capacity
 
+    def attach_sink(self, sink: typing.Callable[[typing.Any], None] | None) -> None:
+        """Register (or with ``None`` detach) the persistence sink."""
+        with self._lock:
+            self._sink = sink
+
     def append(self, item) -> None:
         with self._lock:
+            persisted = False
+            if self._sink is not None:
+                try:
+                    self._sink(item)
+                    persisted = True
+                    self.persisted_records += 1
+                except Exception:
+                    self.sink_failures += 1
             if len(self._items) == self._capacity:
-                self.dropped_records += 1
+                if persisted:
+                    self.drops_recovered += 1
+                else:
+                    self.dropped_records += 1
             self._items.append(item)
 
     def clear(self) -> None:

@@ -118,6 +118,16 @@ class GatewayConfig:
     #: classic single-tenant gateway.  ``worker_pool_size`` only applies
     #: in single-tenant mode.
     tenants: dict[str, list[str]] | None = None
+    #: Durable state directory (DESIGN.md section 15).  When set, the
+    #: gateway restores vocabulary + overlays + audit from it *before*
+    #: accepting, journals every mutation and unsafe verdict, and a
+    #: drain-stop writes a final checkpoint.  ``None`` = in-memory only.
+    state_dir: str | None = None
+    #: Journal fsync policy: "always" / "batch" (group commit, default) /
+    #: "never" (OS-buffered; tests and benches).
+    fsync_policy: str = "batch"
+    #: Journal records accumulated before a compacting checkpoint.
+    checkpoint_every: int = 512
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -130,6 +140,8 @@ class GatewayConfig:
             raise ValueError("replace_after must be positive")
         if self.unix_path is None and self.host is None:
             raise ValueError("need a unix_path or a host to listen on")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
 
 @dataclass
@@ -167,6 +179,9 @@ class GatewayStats:
     snapshot_pushes: int = 0
     #: ... and pushes that failed (worker hung/crashed mid-push).
     snapshot_push_failures: int = 0
+    #: Unsafe verdicts / audit events the durability journal refused
+    #: (disk trouble); the reply path is never taken down by these.
+    audit_persist_failures: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -199,6 +214,7 @@ class GatewayStats:
                     "worker_replacements",
                     "snapshot_pushes",
                     "snapshot_push_failures",
+                    "audit_persist_failures",
                 )
             }
 
@@ -238,6 +254,12 @@ class AsyncGateway:
         self._conn_counter = 0
         self._next_worker_id = 0
         self._lock = threading.Lock()
+        #: Durable state (bound by :meth:`start` when ``state_dir`` is
+        #: configured); ``None`` = in-memory gateway.
+        self.durable = None
+        #: Restores refused because the state directory failed
+        #: verification (the fail-closed path: start() raised).
+        self.corruption_refusals = 0
         self.drain_stats: dict[str, object] = {
             "drained": False,
             "inflight_at_drain": 0,
@@ -280,11 +302,50 @@ class AsyncGateway:
             tenants=tenants,
         )
 
+    def _restore_durable(self) -> None:
+        """Open (and recover) the durable state *before* anything serves.
+
+        Fail-closed by construction: a corrupt journal or checkpoint
+        raises :class:`~repro.persist.JournalCorrupt` out of ``start()``
+        and no listener is ever bound -- the gateway refuses to vet
+        queries against a vocabulary it cannot verify.  On success the
+        recovered vocabulary and tenant overlays *replace* the config
+        seed (persisted state wins; the seed only matters on first boot),
+        so respawned workers rehydrate from the recovered fragments.
+        """
+        from ..persist import DurableState, JournalCorrupt
+
+        try:
+            durable = DurableState(
+                self.gw.state_dir,
+                seed_fragments=self.fragments,
+                fsync=self.gw.fsync_policy,
+                checkpoint_every=self.gw.checkpoint_every,
+            )
+        except JournalCorrupt:
+            self.corruption_refusals += 1
+            raise
+        self.durable = durable
+        self.fragments = list(durable.store.fragments)
+        if self.gw.tenants is not None:
+            # Recovered overlays win over config; config tenants unseen by
+            # the journal are first-boot additions and get journaled now.
+            for tenant_id, overlay in durable.overlays.items():
+                self.gw.tenants[tenant_id] = list(overlay)
+            for tenant_id, overlay in list(self.gw.tenants.items()):
+                if tenant_id not in durable.overlays:
+                    durable.set_overlay(tenant_id, overlay)
+        # Every gateway audit record (sheds, refusals) is journaled; ring
+        # eviction stops meaning lost evidence.
+        self.audit.attach_sink(durable.append_audit)
+
     async def start(self) -> None:
         """Spawn the fleet and bind the listeners."""
         if self._servers:
             raise RuntimeError("gateway already started")
         self._loop = asyncio.get_running_loop()
+        if self.gw.state_dir is not None:
+            self._restore_durable()
         # One executor thread per worker plus slack for replacement spawns
         # and report fan-out: a blocked worker call must never starve the
         # bridge for the others.
@@ -354,6 +415,16 @@ class AsyncGateway:
             self._executor = None
         self.drain_stats["drained"] = drained
         self.drain_stats["drain_seconds"] = time.monotonic() - t0
+        if self.durable is not None:
+            self.audit.attach_sink(None)
+            if drain:
+                # SIGTERM drain: flush the journal group and write the
+                # final checkpoint -- restart restores exactly this state.
+                self.durable.close()
+            else:
+                # Hard stop: crash-shaped.  Handles drop without flushing
+                # so a subsequent restore exercises real journal replay.
+                self.durable.abandon()
         self._flush_audit()
         return drained
 
@@ -611,6 +682,28 @@ class AsyncGateway:
                 request, conn_id, f"{REASON_WORKER_FAILED}: {exc.reason}"
             )
         worker.consecutive_failures = 0
+        if self.durable is not None:
+            # Unsafe verdicts are attack evidence: journal them at the
+            # gateway (workers are disposable processes whose rings die
+            # with them).  Persistence failures surface via the sink
+            # counters, never on the reply path.
+            for verdict in dicts:
+                if not verdict.get("safe", False):
+                    try:
+                        self.durable.append_audit(
+                            {
+                                "conn_id": conn_id,
+                                "client_id": request.client_id or None,
+                                "request_path": request.path,
+                                "verdict": verdict,
+                            }
+                        )
+                    except Exception:
+                        self.stats.bump(audit_persist_failures=1)
+            try:
+                self.durable.maybe_checkpoint()
+            except Exception:
+                self.stats.bump(audit_persist_failures=1)
         return wire.pack_gateway_reply([encode_verdict(d) for d in dicts])
 
     async def _maybe_replace(self, worker: GatewayWorker) -> GatewayWorker:
@@ -657,6 +750,10 @@ class AsyncGateway:
         with self._lock:
             if tenant_id not in self.gw.tenants:
                 raise KeyError(f"unknown tenant {tenant_id!r}")
+            if self.durable is not None:
+                # Journal before publishing: a failed append refuses the
+                # reload and workers keep serving the old overlay.
+                self.durable.set_overlay(tenant_id, overlay)
             self.gw.tenants[tenant_id] = overlay
             workers = list(self._workers)
         assert self._loop is not None and self._executor is not None
@@ -704,6 +801,17 @@ class AsyncGateway:
                 "snapshot_pushes": gateway["snapshot_pushes"],
                 "snapshot_push_failures": gateway["snapshot_push_failures"],
             }
+        if self.durable is not None:
+            # DESIGN.md section 15: journal/checkpoint counters, replay
+            # stats, and how the audit ring's churn maps onto the journal.
+            durability = dict(self.durable.durability_report())
+            # ``audit_persisted`` (journal-level, from the DurableState)
+            # counts every journaled audit event; the ring-level counters
+            # say how much of the ring's churn the journal backs.
+            durability["audit_drops_recovered"] = self.audit.drops_recovered
+            durability["audit_sink_failures"] = self.audit.sink_failures
+            durability["corruption_refusals"] = self.corruption_refusals
+            gateway["durability"] = durability
         report: dict = {"gateway": gateway, "workers": []}
         for worker in list(self._workers):
             try:

@@ -22,6 +22,14 @@ Subscribers are callables ``(tenant_id, store, frame) -> None``; a
 raising subscriber is counted, never propagated -- replication is
 best-effort delivery over components that already fail closed on
 staleness (generation compare at checkout).
+
+Durability (DESIGN.md section 15): construct with a
+:class:`~repro.persist.FleetPersistence` and every control-plane
+mutation is made durable *before* it is published -- base definitions
+as atomic checkpoints, tenant overlays through per-tenant write-ahead
+journals -- so :meth:`TenantRegistry.recover` rebuilds the whole fleet
+topology after a crash.  A persistence failure refuses the mutation
+(fail-closed) rather than letting disk lag memory.
 """
 
 from __future__ import annotations
@@ -47,8 +55,13 @@ class TenantRegistry:
         base_fragments: Iterable[str] = (),
         *,
         interner: FragmentInterner | None = None,
+        persistence=None,
     ) -> None:
         self.interner = interner or FragmentInterner()
+        #: Optional :class:`~repro.persist.FleetPersistence`; when set,
+        #: every topology mutation is journaled/checkpointed before the
+        #: in-memory publish.
+        self.persistence = persistence
         self._lock = threading.RLock()
         self._bases: dict[str, SharedBase] = {}
         self._tenants: dict[str, TenantStore] = {}
@@ -65,6 +78,41 @@ class TenantRegistry:
         if base_fragments:
             self.define_base(DEFAULT_BASE, base_fragments)
 
+    @classmethod
+    def recover(
+        cls,
+        persistence,
+        *,
+        interner: FragmentInterner | None = None,
+        base: str = DEFAULT_BASE,
+    ) -> "TenantRegistry":
+        """Rebuild a registry from a :class:`~repro.persist.FleetPersistence`.
+
+        Recovers every persisted base checkpoint and every per-tenant
+        journal (fail-closed: a corrupt tenant journal raises
+        :class:`~repro.persist.JournalCorrupt` and the whole recovery
+        refuses).  Recovered tenants are attached to ``base`` -- the
+        single-base topology the gateway deploys; multi-base layouts
+        re-pin tenants from application config after recovery.
+        """
+        registry = cls(interner=interner)
+        bases = persistence.recover_bases()
+        for name, fragments in bases.items():
+            registry.define_base(name, fragments)
+        if base not in registry._bases:
+            registry.define_base(base, ())
+        overlays = persistence.recover_overlays()
+        for tenant_id, overlay in overlays.items():
+            registry.add_tenant(tenant_id, overlay, base=base)
+        # Attach persistence only after replaying topology: recovery must
+        # not re-journal the records it was rebuilt from.  Then reopen the
+        # per-tenant durable states (persisted state wins over any seed)
+        # so subsequent reloads journal without a lazy first-touch open.
+        registry.persistence = persistence
+        for tenant_id in overlays:
+            persistence.open_tenant(tenant_id)
+        return registry
+
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
@@ -75,6 +123,10 @@ class TenantRegistry:
         with self._lock:
             if name in self._bases:
                 raise ValueError(f"base {name!r} already defined")
+            if self.persistence is not None:
+                # Durable before published: a failed checkpoint refuses
+                # the definition instead of leaving disk behind memory.
+                self.persistence.record_base(name, interned)
             base = SharedBase(name, interned)
             self._bases[name] = base
             return base
@@ -96,6 +148,8 @@ class TenantRegistry:
             if tenant_id in self._tenants:
                 raise ValueError(f"tenant {tenant_id!r} already registered")
             shared = self._bases[base]
+            if self.persistence is not None:
+                self.persistence.open_tenant(tenant_id, seed_fragments=overlay)
             store = TenantStore(shared, overlay, tenant_id=tenant_id)
             self._tenants[tenant_id] = store
             return store
@@ -168,6 +222,10 @@ class TenantRegistry:
         """
         store = self.get(tenant_id)
         overlay = self.interner.intern_many(overlay)
+        if self.persistence is not None:
+            # Journal the overlay before the swap: if the append fails the
+            # reload is refused and subscribers keep the old epoch.
+            self.persistence.record_overlay(tenant_id, overlay)
         store.reload_overlay(overlay, warm=warm)
         with self._lock:
             self.handoff_swaps += 1
@@ -215,4 +273,6 @@ class TenantRegistry:
         report["private_fragments"] = private
         report["detached_tenants"] = detached
         report["interner"] = self.interner.stats()
+        if self.persistence is not None:
+            report["durability"] = self.persistence.report()
         return report

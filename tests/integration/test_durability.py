@@ -1,0 +1,302 @@
+"""Integration proof of crash-safe durable state across the stack.
+
+The restart-equivalence and never-fail-open contracts (DESIGN.md section
+15), exercised at every layer boundary:
+
+- **Gateway**: a gateway with ``--state-dir`` killed crash-shaped
+  (``stop(drain=False)``) and restarted produces byte-identical verdicts
+  and still holds the journaled attack evidence; a corrupted state dir
+  makes ``start()`` refuse with :class:`JournalCorrupt` instead of
+  serving a wrong vocabulary.
+- **Tenancy**: a :class:`TenantRegistry` over :class:`FleetPersistence`
+  rebuilds the whole fleet topology -- shared bases and per-tenant
+  overlays, hostile tenant ids included -- via
+  :meth:`TenantRegistry.recover`.
+- **Engine audit**: :meth:`JozaEngine.attach_durability` journals the
+  attack ring through the sink, so evicted ring entries are recovered
+  drops, not lost evidence.
+- **Real SIGKILL**: the :mod:`repro.testbed.crashfaults` subprocess
+  harness kills an actual child mid-append / mid-rename and recovery
+  restores an exact oracle prefix.
+- **CLI**: ``serve --selfcheck --state-dir`` runs the kill/restore leg
+  end to end.
+
+Schedules are seeded (CHAOS_SEED env, default 1337) so failures replay.
+"""
+
+import io
+import os
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core import JozaConfig, JozaEngine, ResilienceConfig
+from repro.persist import (
+    DurableState,
+    FleetPersistence,
+    FsyncPolicy,
+    JournalCorrupt,
+    recover,
+)
+from repro.phpapp.application import QueryBlockedError
+from repro.phpapp.context import CapturedInput, RequestContext
+from repro.service import AsyncGateway, GatewayClient, GatewayConfig, GatewayThread
+from repro.service.codec import encode_verdict
+from repro.tenancy import TenantRegistry
+from repro.testbed.concurrency import SWARM_FRAGMENTS
+from repro.testbed.crashfaults import (
+    StoreOracle,
+    apply_op,
+    flip_byte,
+    generate_ops,
+    run_to_sigkill,
+)
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1337"))
+
+ATTACK = "SELECT name FROM users WHERE id=1 OR 1=1 LIMIT 1"
+BENIGN = "SELECT * FROM records WHERE ID=7 LIMIT 5"
+MATRIX = [
+    (BENIGN, [("get", "p0", "7")]),
+    (ATTACK, [("get", "p0", "1 OR 1=1")]),
+    (
+        "SELECT * FROM records WHERE ID=7 UNION SELECT user_pass FROM users LIMIT 5",
+        [("get", "p0", "7 UNION SELECT user_pass FROM users")],
+    ),
+]
+
+
+def make_gateway(tmp_path, **overrides):
+    kwargs = dict(
+        unix_path=str(tmp_path / "gw.sock"),
+        host=None,
+        workers=1,
+        seed=CHAOS_SEED,
+        max_deadline=5.0,
+        state_dir=str(tmp_path / "state"),
+    )
+    kwargs.update(overrides)
+    return AsyncGateway(SWARM_FRAGMENTS, gateway=GatewayConfig(**kwargs))
+
+
+def ask_matrix(gateway):
+    client = GatewayClient(unix_path=gateway.gw.unix_path, client_id="dur")
+    try:
+        return [
+            client.inspect([query], inputs=inputs, budget=5.0)[0]
+            for query, inputs in MATRIX
+        ]
+    finally:
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Gateway restart equivalence
+# ----------------------------------------------------------------------
+
+
+def test_gateway_crash_restart_byte_identical_and_audit_survives(tmp_path):
+    gateway = make_gateway(tmp_path)
+    thread = GatewayThread(gateway).start()
+    try:
+        before = ask_matrix(gateway)
+    finally:
+        thread.stop(drain=False)  # crash-shaped: no final checkpoint
+
+    restarted = make_gateway(tmp_path)
+    thread = GatewayThread(restarted).start()
+    try:
+        after = ask_matrix(restarted)
+    finally:
+        assert thread.stop()
+
+    assert [encode_verdict(d) for d in after] == [
+        encode_verdict(d) for d in before
+    ]
+    # The unsafe verdicts were journaled at the gateway before the crash
+    # and recovered on restart -- attack evidence survives the kill.
+    recovered = restarted.durable.recovered
+    assert recovered.source in ("checkpoint+journal", "journal")
+    attacks = [e for e in recovered.audit if e.get("verdict", {}).get("safe") is False]
+    assert len(attacks) >= 2
+    assert {e["client_id"] for e in attacks} == {"dur"}
+    report = restarted.resilience_report()["gateway"]["durability"]
+    assert report["recovery"]["source"] == recovered.source
+    assert report["corruption_refusals"] == 0
+
+
+def test_gateway_persisted_state_wins_over_config_seed(tmp_path):
+    gateway = make_gateway(tmp_path)
+    thread = GatewayThread(gateway).start()
+    thread.stop()  # graceful: drains into a final checkpoint
+    assert gateway.durable.recovered.source == "fresh"
+
+    wrong_seed = AsyncGateway(
+        ["WRONG VOCAB ONLY "],
+        gateway=GatewayConfig(
+            unix_path=str(tmp_path / "gw2.sock"),
+            host=None,
+            workers=1,
+            seed=CHAOS_SEED,
+            state_dir=str(tmp_path / "state"),
+        ),
+    )
+    thread = GatewayThread(wrong_seed).start()
+    try:
+        verdicts = ask_matrix(wrong_seed)
+    finally:
+        assert thread.stop()
+    assert wrong_seed.durable.recovered.source == "checkpoint"
+    assert sorted(wrong_seed.fragments) == sorted(SWARM_FRAGMENTS)
+    assert verdicts[0]["safe"] is True and verdicts[1]["safe"] is False
+
+
+def test_gateway_refuses_to_start_on_corrupt_state(tmp_path):
+    gateway = make_gateway(tmp_path)
+    thread = GatewayThread(gateway).start()
+    try:
+        ask_matrix(gateway)
+    finally:
+        thread.stop(drain=False)
+
+    journal = tmp_path / "state" / "journal.jz"
+    assert journal.stat().st_size > 8
+    flip_byte(str(journal), 20)
+
+    poisoned = make_gateway(tmp_path, unix_path=str(tmp_path / "gw3.sock"))
+    # GatewayThread surfaces startup failures wrapped in RuntimeError;
+    # the cause must be the typed refusal, not a generic crash.
+    with pytest.raises(RuntimeError) as exc:
+        GatewayThread(poisoned).start()
+    assert isinstance(exc.value.__cause__, JournalCorrupt)
+    # Fail-closed: the gateway refused to serve rather than vet queries
+    # against a silently wrong vocabulary.
+    assert poisoned.corruption_refusals == 1
+
+
+# ----------------------------------------------------------------------
+# Tenancy fleet recovery
+# ----------------------------------------------------------------------
+
+
+def test_tenant_registry_recovers_fleet_topology(tmp_path):
+    fleet = FleetPersistence(str(tmp_path / "fleet"), fsync=FsyncPolicy.NEVER)
+    registry = TenantRegistry(SWARM_FRAGMENTS, persistence=fleet)
+    registry.add_tenant("blog", ["SELECT post FROM blog WHERE id = "])
+    registry.add_tenant("shop/../../etc", ["SELECT sku FROM shop WHERE id = "])
+    registry.reload_tenant(
+        "blog", ["SELECT post FROM blog WHERE id = ", "UPDATE blog SET hits = "]
+    )
+    fleet.abandon()  # crash-shaped shutdown
+
+    recovered = TenantRegistry.recover(
+        FleetPersistence(str(tmp_path / "fleet"), fsync=FsyncPolicy.NEVER)
+    )
+    assert sorted(recovered.tenant_ids()) == ["blog", "shop/../../etc"]
+    assert list(recovered.base().fragments) == list(SWARM_FRAGMENTS)
+    blog = recovered.get("blog").snapshot()
+    assert "UPDATE blog SET hits = " in blog.fragments
+    report = recovered.tenancy_report()
+    assert report["durability"]["open_tenants"] == 2
+
+
+# ----------------------------------------------------------------------
+# Engine audit ring -> journal sink
+# ----------------------------------------------------------------------
+
+
+def test_engine_attack_ring_evictions_are_recovered_not_dropped(tmp_path):
+    state = DurableState(str(tmp_path / "state"), fsync=FsyncPolicy.NEVER)
+    engine = JozaEngine.from_fragments(
+        SWARM_FRAGMENTS,
+        JozaConfig(resilience=ResilienceConfig(attack_log_capacity=4)),
+    )
+    engine.attach_durability(state)
+    context = RequestContext(
+        inputs=[CapturedInput("get", "p0", "1 OR 1=1")]
+    )
+    for _ in range(10):
+        # check_query is the enforcement path that feeds the attack ring.
+        with pytest.raises(QueryBlockedError):
+            engine.check_query(ATTACK, context)
+    state.abandon()
+
+    ring = engine.attack_log
+    assert ring.persisted_records == 10
+    assert ring.drops_recovered == 6 and ring.dropped_records == 0
+    durability = engine.resilience_report()["durability"]
+    assert durability["audit_persisted"] == 10
+    assert durability["audit_drops_recovered"] == 6
+    # Every evicted event is still in the journal.
+    assert len(recover(str(tmp_path / "state")).audit) == 10
+
+
+# ----------------------------------------------------------------------
+# Real SIGKILL through the subprocess harness
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "schedule",
+    [
+        {"crash_at_write": 9, "partial_fraction": 0.4},  # mid-append
+        {"crash_at_write": 3, "partial_fraction": 0.0},  # torn header
+        {"crash_at_rename": 2},  # mid-checkpoint publish
+    ],
+    ids=["mid-append", "torn-header", "mid-rename"],
+)
+def test_sigkill_child_recovers_to_exact_oracle_prefix(tmp_path, schedule):
+    ops = generate_ops(random.Random(CHAOS_SEED), 24)
+    state_dir = str(tmp_path / "state")
+    killed = run_to_sigkill(state_dir, ops, **schedule)
+    assert killed, "fault schedule never fired"
+    recovered = recover(state_dir)
+    prefixes = [
+        k
+        for k in range(len(ops) + 1)
+        if StoreOracle().apply_all(ops[:k]).matches(recovered)
+    ]
+    assert prefixes, f"SIGKILL recovery matches no op prefix: {recovered!r}"
+
+
+def test_sigkill_then_reopen_serves_and_keeps_compacting(tmp_path):
+    ops = generate_ops(random.Random(CHAOS_SEED + 1), 24)
+    state_dir = str(tmp_path / "state")
+    assert run_to_sigkill(state_dir, ops, crash_at_write=14)
+    # Reopening a crashed dir compacts it and journals new work normally.
+    state = DurableState(state_dir, fsync=FsyncPolicy.NEVER)
+    survivors = list(state.store.fragments)
+    apply_op(state, ("add", ["POST-CRASH FRAGMENT "]))
+    state.close()
+    reopened = recover(state_dir)
+    assert reopened.fragments == survivors + ["POST-CRASH FRAGMENT "]
+
+
+# ----------------------------------------------------------------------
+# CLI: serve --selfcheck --state-dir
+# ----------------------------------------------------------------------
+
+
+def test_cli_selfcheck_restart_leg_with_explicit_state_dir(tmp_path):
+    out = io.StringIO()
+    code = main(
+        [
+            "serve",
+            "--unix",
+            str(tmp_path / "gw.sock"),
+            "--workers",
+            "1",
+            "--seed",
+            str(CHAOS_SEED),
+            "--state-dir",
+            str(tmp_path / "state"),
+            "--selfcheck",
+        ],
+        out=out,
+    )
+    output = out.getvalue()
+    assert code == 0, output
+    assert "restart: source=checkpoint+journal byte-identical=True" in output
+    assert "audit_survived=True" in output
+    assert "selfcheck passed" in output

@@ -1,0 +1,518 @@
+"""Unit coverage for the durability subsystem (DESIGN.md section 15).
+
+Pins the journal framing contract (CRC + sequence numbers, torn tail vs
+corruption), the checkpoint write protocol (tmp + fsync + atomic rename,
+seal verification), the WAL discipline of :class:`DurableFragmentStore`
+(journal-first, failed append refuses the mutation), recovery semantics
+(checkpoint + replay, sequence skip after a crash between checkpoint
+publication and journal truncation) and the fleet layout's path safety.
+"""
+
+import os
+
+import pytest
+
+from repro.persist import (
+    DurableFragmentStore,
+    DurableState,
+    FleetPersistence,
+    FsyncPolicy,
+    JournalCorrupt,
+    JournalWriter,
+    read_checkpoint,
+    recover,
+    scan_journal,
+    write_checkpoint,
+)
+from repro.persist.checkpoint import sweep_stale_tmp
+from repro.persist.journal import (
+    FILE_MAGIC,
+    REC_AUDIT,
+    REC_FRAG_ADD,
+    REC_FRAG_RELOAD,
+    REC_FRAG_REMOVE,
+    REC_SEAL,
+    REC_TENANT_OVERLAY,
+    decode_record,
+    encode_audit,
+    encode_frag_add,
+    encode_frag_reload,
+    encode_frag_remove,
+    encode_seal,
+    encode_tenant_overlay,
+    frame_record,
+    scan_buffer,
+)
+from repro.pti.fragments import FragmentStore
+
+FRAGS = ["SELECT a FROM t WHERE id = ", " LIMIT 5", "INSERT INTO t VALUES ("]
+
+
+# ----------------------------------------------------------------------
+# Framing and payload codecs
+# ----------------------------------------------------------------------
+
+
+def test_payload_codecs_round_trip():
+    cases = [
+        (encode_frag_add(FRAGS), (REC_FRAG_ADD, FRAGS)),
+        (encode_frag_remove(FRAGS[0]), (REC_FRAG_REMOVE, FRAGS[0])),
+        (encode_frag_reload(FRAGS[:2]), (REC_FRAG_RELOAD, FRAGS[:2])),
+        (encode_audit({"q": "1 OR 1=1", "n": 3}), (REC_AUDIT, {"q": "1 OR 1=1", "n": 3})),
+        (
+            encode_tenant_overlay("shop/№7", FRAGS),
+            (REC_TENANT_OVERLAY, ("shop/№7", FRAGS)),
+        ),
+        (encode_seal(12, 345), (REC_SEAL, (12, 345))),
+    ]
+    for payload, expected in cases:
+        assert decode_record(payload) == expected
+
+
+def test_decode_record_fails_closed():
+    with pytest.raises(JournalCorrupt):
+        decode_record(b"")
+    with pytest.raises(JournalCorrupt):
+        decode_record(bytes([99]) + b"body")  # unknown kind
+    with pytest.raises(JournalCorrupt):
+        decode_record(encode_frag_add(FRAGS)[:-1])  # truncated list
+    with pytest.raises(JournalCorrupt):
+        decode_record(encode_frag_add(FRAGS) + b"x")  # trailing bytes
+    with pytest.raises(JournalCorrupt):
+        decode_record(encode_seal(1, 2)[:-1])  # malformed seal
+
+
+def test_scan_buffer_classifies_prefix_torn_tail_and_corruption():
+    records = [encode_frag_add(FRAGS), encode_audit({"a": 1})]
+    buf = FILE_MAGIC + b"".join(
+        frame_record(p, seq) for seq, p in enumerate(records, start=1)
+    )
+    full = scan_buffer(buf)
+    assert [p for _, p in full.records] == records
+    assert [s for s, _ in full.records] == [1, 2]
+    assert full.valid_bytes == len(buf) and not full.torn_tail
+
+    # Every strict byte-prefix is either the same durable prefix of whole
+    # records or a torn tail truncating to one -- never corruption.
+    for cut in range(len(buf)):
+        scan = scan_buffer(buf[:cut])
+        assert [p for _, p in scan.records] == records[: len(scan.records)]
+        assert scan.valid_bytes <= cut
+        if scan.valid_bytes < cut:
+            assert scan.torn_tail and scan.torn_bytes == cut - scan.valid_bytes
+
+
+def test_scan_buffer_refuses_midstream_damage():
+    buf = FILE_MAGIC + frame_record(encode_frag_add(FRAGS), 1)
+    # CRC mismatch: flip one payload byte of a complete record.
+    mangled = bytearray(buf)
+    mangled[-1] ^= 0xFF
+    with pytest.raises(JournalCorrupt, match="CRC mismatch"):
+        scan_buffer(bytes(mangled))
+    # Impossible declared length.
+    mangled = bytearray(buf)
+    mangled[len(FILE_MAGIC) : len(FILE_MAGIC) + 4] = (2**31).to_bytes(4, "little")
+    with pytest.raises(JournalCorrupt, match="impossible length"):
+        scan_buffer(bytes(mangled))
+    # Wrong magic.
+    with pytest.raises(JournalCorrupt, match="bad journal magic"):
+        scan_buffer(b"XXJL\x01\x00\x00\x00" + buf[8:])
+    # Sequence regression.
+    twice = buf + frame_record(encode_audit({"a": 1}), 1)
+    with pytest.raises(JournalCorrupt, match="sequence regression"):
+        scan_buffer(twice)
+
+
+def test_frame_record_bounds():
+    with pytest.raises(JournalCorrupt):
+        frame_record(b"", 1)
+
+
+# ----------------------------------------------------------------------
+# JournalWriter
+# ----------------------------------------------------------------------
+
+
+def test_journal_writer_append_scan_round_trip(tmp_path):
+    path = str(tmp_path / "j.jz")
+    writer = JournalWriter(path, fsync=FsyncPolicy.NEVER)
+    payloads = [encode_frag_add([f]) for f in FRAGS]
+    writer.append_many(payloads)
+    writer.close()
+    scan = scan_journal(path)
+    assert [p for _, p in scan.records] == payloads
+    assert [s for s, _ in scan.records] == [1, 2, 3]
+
+
+def test_journal_writer_reopen_continues_sequence(tmp_path):
+    path = str(tmp_path / "j.jz")
+    writer = JournalWriter(path, fsync=FsyncPolicy.NEVER)
+    writer.append(encode_audit({"n": 1}))
+    assert writer.last_seq == 1
+    writer.close()
+    # A fresh writer must continue above the durable high-water mark.
+    writer = JournalWriter(path, fsync=FsyncPolicy.NEVER, start_seq=2)
+    writer.append(encode_audit({"n": 2}))
+    writer.close()
+    assert [s for s, _ in scan_journal(path).records] == [1, 2]
+
+
+def test_journal_writer_fsync_policies(tmp_path):
+    always = JournalWriter(
+        str(tmp_path / "a.jz"), fsync=FsyncPolicy.ALWAYS
+    )
+    for _ in range(3):
+        always.append(encode_audit({}))
+    assert always.fsyncs >= 4  # magic + one per append
+    always.close()
+
+    batch = JournalWriter(
+        str(tmp_path / "b.jz"), fsync=FsyncPolicy.BATCH, batch_size=4
+    )
+    baseline = batch.fsyncs
+    for _ in range(3):
+        batch.append(encode_audit({}))
+    assert batch.fsyncs == baseline  # group not yet full
+    batch.append(encode_audit({}))
+    assert batch.fsyncs == baseline + 1  # group commit
+    batch.append(encode_audit({}))
+    batch.commit()
+    assert batch.counters()["pending_group"] == 0
+    batch.close()
+
+    never = JournalWriter(str(tmp_path / "n.jz"), fsync=FsyncPolicy.NEVER)
+    never.append(encode_audit({}))
+    never.commit()
+    assert never.fsyncs == 0
+    never.close()
+
+
+def test_journal_writer_truncate_to_empty(tmp_path):
+    path = str(tmp_path / "j.jz")
+    writer = JournalWriter(path, fsync=FsyncPolicy.NEVER)
+    writer.append(encode_audit({"n": 1}))
+    writer.truncate_to_empty()
+    writer.append(encode_audit({"n": 2}))
+    writer.close()
+    scan = scan_journal(path)
+    assert len(scan.records) == 1
+    assert decode_record(scan.records[0][1]) == (REC_AUDIT, {"n": 2})
+
+
+def test_fsync_policy_from_name():
+    assert FsyncPolicy.from_name("ALWAYS") is FsyncPolicy.ALWAYS
+    with pytest.raises(ValueError, match="unknown fsync policy"):
+        FsyncPolicy.from_name("sometimes")
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+
+def test_checkpoint_round_trip(tmp_path):
+    path = str(tmp_path / "ck.jz")
+    write_checkpoint(
+        path,
+        fragments=FRAGS,
+        epoch=9,
+        tenant="wp",
+        overlays={"t2": FRAGS[:1], "t1": FRAGS[:2]},
+        audit=[{"q": "1 OR 1=1"}],
+        journal_seq=41,
+    )
+    checkpoint = read_checkpoint(path)
+    assert checkpoint.fragments == FRAGS
+    assert checkpoint.epoch == 9
+    assert checkpoint.tenant == "wp"
+    assert checkpoint.overlays == {"t1": FRAGS[:2], "t2": FRAGS[:1]}
+    assert checkpoint.audit == [{"q": "1 OR 1=1"}]
+    assert checkpoint.journal_seq == 41
+    assert read_checkpoint(str(tmp_path / "missing.jz")) is None
+
+
+def test_checkpoint_refuses_damage(tmp_path):
+    path = str(tmp_path / "ck.jz")
+    write_checkpoint(
+        path, fragments=FRAGS, epoch=3, tenant="", overlays={}, audit=[]
+    )
+    blob = open(path, "rb").read()
+    # A checkpoint is only ever published whole: truncation is corruption
+    # here, not a torn tail (the missing seal proves the short write).
+    with open(path, "wb") as handle:
+        handle.write(blob[:-10])
+    with pytest.raises(JournalCorrupt):
+        read_checkpoint(path)
+    # Mid-stream bit flip.
+    mangled = bytearray(blob)
+    mangled[len(blob) // 2] ^= 0x40
+    with open(path, "wb") as handle:
+        handle.write(bytes(mangled))
+    with pytest.raises(JournalCorrupt):
+        read_checkpoint(path)
+
+
+def test_checkpoint_write_is_atomic_and_sweeps_tmp(tmp_path):
+    path = str(tmp_path / "ck.jz")
+    write_checkpoint(
+        path, fragments=FRAGS, epoch=1, tenant="", overlays={}, audit=[]
+    )
+
+    def crash_before_rename(src, dst):
+        raise OSError("injected: died before rename")
+
+    with pytest.raises(OSError, match="before rename"):
+        write_checkpoint(
+            path,
+            fragments=["NEW"],
+            epoch=2,
+            tenant="",
+            overlays={},
+            audit=[],
+            replace=crash_before_rename,
+        )
+    # Old checkpoint intact; the orphaned tmp is swept at recovery.
+    assert read_checkpoint(path).fragments == FRAGS
+    assert sweep_stale_tmp(str(tmp_path)) == 1
+    assert sweep_stale_tmp(str(tmp_path)) == 0
+
+
+# ----------------------------------------------------------------------
+# DurableFragmentStore: the WAL discipline
+# ----------------------------------------------------------------------
+
+
+class _RefusingJournal:
+    """Journal stub whose appends always fail (disk-full shape)."""
+
+    def append(self, payload):
+        raise OSError("no space left on device")
+
+
+def test_store_journal_first_refuses_mutation_on_append_failure(tmp_path):
+    store = DurableFragmentStore(FRAGS)
+    store.bind_journal(_RefusingJournal())
+    before = (list(store.fragments), store.epoch)
+    with pytest.raises(OSError):
+        store.add_many(["NEW FRAGMENT "])
+    with pytest.raises(OSError):
+        store.remove(FRAGS[0])
+    with pytest.raises(OSError):
+        store.reload(["OTHER "])
+    # Fail-closed WAL: memory is untouched when disk refuses.
+    assert (list(store.fragments), store.epoch) == before
+
+
+def test_store_journals_exact_deduped_batch(tmp_path):
+    path = str(tmp_path / "j.jz")
+    journal = JournalWriter(path, fsync=FsyncPolicy.NEVER)
+    store = DurableFragmentStore(FRAGS)
+    store.bind_journal(journal)
+    store.add_many([FRAGS[0], "NEW ", "NEW ", "", "ALSO "])
+    store.add_many(FRAGS)  # fully deduped -> no record at all
+    assert not store.remove("never there")  # no-op -> no record
+    store.reload(["B ", "A ", "B "])
+    journal.close()
+    records = [decode_record(p) for _, p in scan_journal(path).records]
+    assert records == [
+        (REC_FRAG_ADD, ["NEW ", "ALSO "]),
+        (REC_FRAG_RELOAD, ["B ", "A "]),
+    ]
+
+
+def test_restore_epoch_guard():
+    store = FragmentStore.restore(FRAGS, 7)
+    assert store.epoch == 7 and list(store.fragments) == FRAGS
+    # One reload can install a whole vocabulary in a single bump, so
+    # epoch 1 is the minimum for any non-empty store ...
+    assert FragmentStore.restore(FRAGS, 1).epoch == 1
+    assert FragmentStore.restore([], 0).epoch == 0
+    # ... and epoch 0 with fragments present is impossible history.
+    with pytest.raises(ValueError):
+        FragmentStore.restore(FRAGS, 0)
+
+
+# ----------------------------------------------------------------------
+# recover()
+# ----------------------------------------------------------------------
+
+
+def test_recover_fresh_directory(tmp_path):
+    recovered = recover(str(tmp_path))
+    assert recovered.source == "fresh"
+    assert recovered.fragments == [] and recovered.epoch == 0
+
+
+def _mutate(state):
+    state.store.add_many(["ADDED "])
+    state.store.remove(FRAGS[0])
+    state.append_audit({"q": "1 OR 1=1"})
+    state.set_overlay("shop", ["OV "])
+
+
+def test_recover_replays_journal_over_checkpoint(tmp_path):
+    state = DurableState(
+        str(tmp_path), seed_fragments=FRAGS, fsync=FsyncPolicy.NEVER
+    )
+    _mutate(state)
+    state.abandon()  # crash-shaped: no final checkpoint
+    recovered = recover(str(tmp_path))
+    assert recovered.source == "checkpoint+journal"
+    assert recovered.fragments == [FRAGS[1], FRAGS[2], "ADDED "]
+    assert recovered.epoch == len(FRAGS) + 2
+    assert recovered.audit == [{"q": "1 OR 1=1"}]
+    assert recovered.overlays == {"shop": ["OV "]}
+    assert recovered.replayed_records == 4
+    # Replay is idempotent: recovering again changes nothing.
+    assert recover(str(tmp_path)) == recovered
+
+
+def test_recover_skips_records_a_checkpoint_already_absorbed(tmp_path):
+    state = DurableState(
+        str(tmp_path), seed_fragments=FRAGS, fsync=FsyncPolicy.NEVER
+    )
+    _mutate(state)
+    journal_path = os.path.join(str(tmp_path), "journal.jz")
+    stale_journal = open(journal_path, "rb").read()
+    state.checkpoint()  # compacts + truncates the journal
+    state.abandon()
+    # Crash landed between checkpoint publication and truncation: put the
+    # pre-checkpoint journal back and recover.
+    with open(journal_path, "wb") as handle:
+        handle.write(stale_journal)
+    replayed = recover(str(tmp_path))
+    assert replayed.skipped_records == 4 and replayed.replayed_records == 0
+    # Sequence skip keeps epoch arithmetic and audit exact -- nothing is
+    # double-applied.
+    assert replayed.epoch == len(FRAGS) + 2
+    assert replayed.audit == [{"q": "1 OR 1=1"}]
+
+
+def test_recover_truncates_torn_tail(tmp_path):
+    state = DurableState(
+        str(tmp_path), seed_fragments=FRAGS, fsync=FsyncPolicy.NEVER
+    )
+    state.store.add_many(["DURABLE "])
+    state.store.add_many(["TORN AWAY "])
+    state.abandon()
+    journal_path = os.path.join(str(tmp_path), "journal.jz")
+    size = os.path.getsize(journal_path)
+    with open(journal_path, "r+b") as handle:
+        handle.truncate(size - 3)
+    recovered = recover(str(tmp_path))
+    assert recovered.torn_tail_truncated and recovered.torn_bytes > 0
+    assert "DURABLE " in recovered.fragments
+    assert "TORN AWAY " not in recovered.fragments
+    # The truncation is durable: a second recovery sees a clean journal.
+    assert not recover(str(tmp_path)).torn_tail_truncated
+
+
+def test_recover_refuses_checkpoint_only_kinds_in_journal(tmp_path):
+    journal_path = os.path.join(str(tmp_path), "journal.jz")
+    with open(journal_path, "wb") as handle:
+        handle.write(FILE_MAGIC + frame_record(encode_seal(0, 0), 1))
+    with pytest.raises(JournalCorrupt, match="checkpoint-only"):
+        recover(str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# DurableState lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_durable_state_seed_is_durable_immediately(tmp_path):
+    DurableState(
+        str(tmp_path), seed_fragments=FRAGS, fsync=FsyncPolicy.NEVER
+    ).abandon()
+    recovered = recover(str(tmp_path))
+    assert recovered.source == "checkpoint"
+    assert recovered.fragments == FRAGS
+
+
+def test_durable_state_persisted_wins_over_seed(tmp_path):
+    state = DurableState(
+        str(tmp_path), seed_fragments=FRAGS, fsync=FsyncPolicy.NEVER
+    )
+    state.store.reload(["SURVIVOR "])
+    state.abandon()
+    reopened = DurableState(
+        str(tmp_path),
+        seed_fragments=["WRONG SEED "],
+        fsync=FsyncPolicy.NEVER,
+    )
+    assert list(reopened.store.fragments) == ["SURVIVOR "]
+    # Reopening after a replay compacts: the journal is bare again.
+    assert len(scan_journal(os.path.join(str(tmp_path), "journal.jz")).records) == 0
+    reopened.close()
+
+
+def test_durable_state_checkpoint_cadence_and_report(tmp_path):
+    state = DurableState(
+        str(tmp_path),
+        seed_fragments=FRAGS,
+        fsync=FsyncPolicy.NEVER,
+        checkpoint_every=3,
+    )
+    assert not state.maybe_checkpoint()
+    state.append_audit({"n": 1})
+    state.append_audit({"n": 2})
+    assert not state.maybe_checkpoint()
+    state.append_audit({"n": 3})
+    assert state.maybe_checkpoint()
+    report = state.durability_report()
+    assert report["checkpoints_written"] == 2  # seed + cadence
+    assert report["records_since_checkpoint"] == 0
+    assert report["audit_persisted"] == 3
+    assert report["fsync_policy"] == "never"
+    assert report["recovery"]["source"] == "fresh"
+    state.close()
+
+
+def test_durable_state_audit_tail_bounded_but_persisted(tmp_path):
+    state = DurableState(
+        str(tmp_path), fsync=FsyncPolicy.NEVER, audit_keep=4
+    )
+    for n in range(10):
+        state.append_audit({"n": n})
+    assert [e["n"] for e in state.audit_tail()] == [6, 7, 8, 9]
+    state.abandon()
+    # The journal holds all ten; only the in-memory tail is bounded.
+    recovered = recover(str(tmp_path))
+    assert [e["n"] for e in recovered.audit] == list(range(10))
+
+
+def test_durable_state_rejects_bad_knobs(tmp_path):
+    with pytest.raises(ValueError):
+        DurableState(str(tmp_path / "x"), checkpoint_every=0)
+    with pytest.raises(ValueError):
+        JournalWriter(str(tmp_path / "j.jz"), batch_size=0)
+    with pytest.raises(ValueError):
+        JournalWriter(str(tmp_path / "j.jz"), start_seq=0)
+
+
+# ----------------------------------------------------------------------
+# FleetPersistence
+# ----------------------------------------------------------------------
+
+
+def test_fleet_persistence_round_trip_with_hostile_names(tmp_path):
+    fleet = FleetPersistence(str(tmp_path), fsync=FsyncPolicy.NEVER)
+    fleet.record_base("shared", FRAGS)
+    fleet.record_base("../escape", ["X "])
+    fleet.open_tenant("shop/../../etc", seed_fragments=["OV1 "])
+    fleet.record_overlay("shop/../../etc", ["OV2 "])
+    fleet.close()
+    # Quoting confines every durable file under the state tree.
+    for root, _dirs, files in os.walk(str(tmp_path)):
+        for name in files:
+            assert os.path.realpath(os.path.join(root, name)).startswith(
+                os.path.realpath(str(tmp_path))
+            )
+    reopened = FleetPersistence(str(tmp_path), fsync=FsyncPolicy.NEVER)
+    assert reopened.recover_bases() == {
+        "../escape": ["X "],
+        "shared": FRAGS,
+    }
+    assert reopened.recover_overlays() == {"shop/../../etc": ["OV2 "]}
+    report = reopened.report()
+    assert report["open_tenants"] == 0 and report["fsync_policy"] == "never"
